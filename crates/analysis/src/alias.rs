@@ -1,0 +1,186 @@
+//! May/must alias queries over memory references.
+
+use crate::points_to::{AbstractObj, PointsTo};
+use seqpar_ir::{FuncId, MemRef, Program, ValueId};
+
+/// The answer to an alias query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AliasResult {
+    /// The references provably never access the same location.
+    No,
+    /// The references may access the same location.
+    May,
+    /// The references provably always access the same location.
+    Must,
+}
+
+impl AliasResult {
+    /// Whether the references can conflict at all.
+    pub fn may_alias(self) -> bool {
+        !matches!(self, AliasResult::No)
+    }
+}
+
+/// An alias oracle layered over [`PointsTo`].
+///
+/// Field sensitivity is applied at the query: distinct static fields of
+/// the same object never alias. This models the 176.gcc fix in the paper
+/// (§4.2.1), where packed bit-flags had to be split into separate
+/// locations to stop spurious conflicts.
+#[derive(Debug)]
+pub struct AliasQuery<'a> {
+    program: &'a Program,
+    points_to: &'a PointsTo,
+}
+
+impl<'a> AliasQuery<'a> {
+    /// Creates a query oracle from analysis results.
+    pub fn new(program: &'a Program, points_to: &'a PointsTo) -> Self {
+        Self { program, points_to }
+    }
+
+    /// The underlying points-to analysis.
+    pub fn points_to(&self) -> &PointsTo {
+        self.points_to
+    }
+
+    /// Classifies two memory references, each in its own function context.
+    pub fn alias(&self, fa: FuncId, a: &MemRef, fb: FuncId, b: &MemRef) -> AliasResult {
+        let sa = self.points_to.of(fa, a.base);
+        let sb = self.points_to.of(fb, b.base);
+        // Unknown pointers (empty sets) are treated conservatively.
+        if sa.is_empty() || sb.is_empty() {
+            return AliasResult::May;
+        }
+        let overlap: Vec<&AbstractObj> = sa.iter().filter(|o| sb.contains(*o)).collect();
+        if overlap.is_empty() {
+            return AliasResult::No;
+        }
+        // Distinct static fields of the same object never overlap.
+        if let (Some(f1), Some(f2)) = (a.field, b.field) {
+            if f1 != f2 {
+                return AliasResult::No;
+            }
+        }
+        // Must-alias: both references resolve to the same single scalar
+        // object, same field, and neither is dynamically indexed.
+        if sa.len() == 1
+            && sb.len() == 1
+            && sa == sb
+            && a.field == b.field
+            && a.index.is_none()
+            && b.index.is_none()
+        {
+            if let AbstractObj::Global(g) = sa.iter().next().unwrap() {
+                if self.program.global(*g).size == 1 {
+                    return AliasResult::Must;
+                }
+            }
+        }
+        AliasResult::May
+    }
+
+    /// Convenience query for two references in the same function.
+    pub fn alias_in(&self, f: FuncId, a: &MemRef, b: &MemRef) -> AliasResult {
+        self.alias(f, a, f, b)
+    }
+
+    /// Whether a value may point to a given global.
+    pub fn may_point_to_global(&self, f: FuncId, v: ValueId, g: seqpar_ir::MemObjId) -> bool {
+        self.points_to.of(f, v).contains(&AbstractObj::Global(g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqpar_ir::FunctionBuilder;
+
+    fn setup() -> (Program, FuncId, ValueId, ValueId) {
+        let mut p = Program::new("t");
+        let g1 = p.add_global("g1", 1);
+        let g2 = p.add_global("g2", 8);
+        let mut b = FunctionBuilder::new("f");
+        let a1 = b.global_addr(g1);
+        let a2 = b.global_addr(g2);
+        b.ret(None);
+        let f = b.finish(&mut p);
+        (p, f, a1, a2)
+    }
+
+    #[test]
+    fn disjoint_objects_do_not_alias() {
+        let (p, f, a1, a2) = setup();
+        let pt = PointsTo::analyze(&p);
+        let q = AliasQuery::new(&p, &pt);
+        assert_eq!(
+            q.alias_in(f, &MemRef::direct(a1), &MemRef::direct(a2)),
+            AliasResult::No
+        );
+    }
+
+    #[test]
+    fn same_scalar_global_must_alias() {
+        let (p, f, a1, _) = setup();
+        let pt = PointsTo::analyze(&p);
+        let q = AliasQuery::new(&p, &pt);
+        let r = q.alias_in(f, &MemRef::direct(a1), &MemRef::direct(a1));
+        assert_eq!(r, AliasResult::Must);
+        assert!(r.may_alias());
+    }
+
+    #[test]
+    fn arrays_only_may_alias_themselves() {
+        let (p, f, _, a2) = setup();
+        let pt = PointsTo::analyze(&p);
+        let q = AliasQuery::new(&p, &pt);
+        // g2 has size 8: two direct refs may alias but are not must.
+        assert_eq!(
+            q.alias_in(f, &MemRef::direct(a2), &MemRef::direct(a2)),
+            AliasResult::May
+        );
+    }
+
+    #[test]
+    fn distinct_fields_never_alias() {
+        let (p, f, a1, _) = setup();
+        let pt = PointsTo::analyze(&p);
+        let q = AliasQuery::new(&p, &pt);
+        assert_eq!(
+            q.alias_in(f, &MemRef::field(a1, 0), &MemRef::field(a1, 1)),
+            AliasResult::No
+        );
+        assert_eq!(
+            q.alias_in(f, &MemRef::field(a1, 3), &MemRef::field(a1, 3)),
+            AliasResult::Must
+        );
+    }
+
+    #[test]
+    fn unknown_pointers_are_conservative() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::new("f");
+        let x = b.add_param(); // nothing known about this pointer
+        let y = b.add_param();
+        b.ret(None);
+        let f = b.finish(&mut p);
+        let pt = PointsTo::analyze(&p);
+        let q = AliasQuery::new(&p, &pt);
+        assert_eq!(
+            q.alias_in(f, &MemRef::direct(x), &MemRef::direct(y)),
+            AliasResult::May
+        );
+    }
+
+    #[test]
+    fn indexed_refs_to_same_object_are_may_not_must() {
+        let (p, f, a1, _) = setup();
+        let pt = PointsTo::analyze(&p);
+        let q = AliasQuery::new(&p, &pt);
+        let idx = ValueId::new(90);
+        assert_eq!(
+            q.alias_in(f, &MemRef::indexed(a1, idx), &MemRef::direct(a1)),
+            AliasResult::May
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Control-dependence computation from post-dominance.
+//!
+//! Block `B` is control dependent on branch block `A` when `A` has a
+//! successor from which `B` is always reached (B post-dominates that
+//! successor) but `B` does not post-dominate `A` itself — i.e. the branch
+//! at `A` decides whether `B` executes (Ferrante–Ottenstein–Warren).
+
+use seqpar_ir::{BlockId, Cfg, DomTree, Function};
+use std::collections::BTreeSet;
+
+/// Control-dependence relation over the blocks of one function.
+#[derive(Clone, Debug, Default)]
+pub struct ControlDeps {
+    /// `deps[b]` = branch blocks that `b` is control dependent on.
+    deps: Vec<BTreeSet<BlockId>>,
+}
+
+impl ControlDeps {
+    /// Computes control dependences for `func`.
+    pub fn analyze(func: &Function) -> Self {
+        let cfg = Cfg::build(func);
+        let pdom = DomTree::post_dominators(&cfg);
+        let mut deps = vec![BTreeSet::new(); func.block_count()];
+        for a in cfg.reverse_postorder().iter().copied() {
+            let succs = cfg.succs(a);
+            if succs.len() < 2 {
+                continue;
+            }
+            for &s in succs {
+                // Walk the post-dominator tree from s up to (exclusive)
+                // ipdom(a); every node on that path is control dependent
+                // on a.
+                let stop = pdom.idom(a);
+                let mut cur = Some(s);
+                while let Some(b) = cur {
+                    if Some(b) == stop {
+                        break;
+                    }
+                    deps[b.index()].insert(a);
+                    if b == a {
+                        // Self-loop: a controls itself; stop to avoid
+                        // walking past the loop.
+                        break;
+                    }
+                    cur = pdom.idom(b);
+                }
+            }
+        }
+        Self { deps }
+    }
+
+    /// The branch blocks that `block` is control dependent on.
+    pub fn deps_of(&self, block: BlockId) -> &BTreeSet<BlockId> {
+        &self.deps[block.index()]
+    }
+
+    /// Whether `block` is control dependent on `branch`.
+    pub fn depends_on(&self, block: BlockId, branch: BlockId) -> bool {
+        self.deps[block.index()].contains(&branch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqpar_ir::FunctionBuilder;
+
+    #[test]
+    fn diamond_arms_depend_on_the_branch() {
+        let mut b = FunctionBuilder::new("diamond");
+        let t = b.add_block("t");
+        let e = b.add_block("e");
+        let j = b.add_block("j");
+        let c = b.const_(1);
+        b.cond_branch(c, t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(None);
+        let f = b.into_function();
+        let cd = ControlDeps::analyze(&f);
+        assert!(cd.depends_on(t, f.entry));
+        assert!(cd.depends_on(e, f.entry));
+        assert!(!cd.depends_on(j, f.entry));
+        assert!(cd.deps_of(f.entry).is_empty());
+    }
+
+    #[test]
+    fn loop_body_depends_on_loop_branch() {
+        let mut b = FunctionBuilder::new("loop");
+        let header = b.add_block("header");
+        let body = b.add_block("body");
+        let exit = b.add_block("exit");
+        b.jump(header);
+        b.switch_to(header);
+        let c = b.const_(1);
+        b.cond_branch(c, body, exit);
+        b.switch_to(body);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.into_function();
+        let cd = ControlDeps::analyze(&f);
+        assert!(cd.depends_on(body, header));
+        // The header itself re-executes only if the branch takes the
+        // back-path: header is control dependent on itself.
+        assert!(cd.depends_on(header, header));
+        assert!(!cd.depends_on(exit, header));
+    }
+
+    #[test]
+    fn straight_line_code_has_no_control_deps() {
+        let mut b = FunctionBuilder::new("straight");
+        let next = b.add_block("next");
+        b.jump(next);
+        b.switch_to(next);
+        b.ret(None);
+        let f = b.into_function();
+        let cd = ControlDeps::analyze(&f);
+        for blk in f.block_ids() {
+            assert!(cd.deps_of(blk).is_empty());
+        }
+    }
+
+    #[test]
+    fn nested_branch_dependences_stack() {
+        // entry: br -> a | exit ; a: br -> b | exit ; b -> exit
+        let mut bl = FunctionBuilder::new("nested");
+        let a = bl.add_block("a");
+        let b2 = bl.add_block("b");
+        let exit = bl.add_block("exit");
+        let c1 = bl.const_(1);
+        bl.cond_branch(c1, a, exit);
+        bl.switch_to(a);
+        let c2 = bl.const_(1);
+        bl.cond_branch(c2, b2, exit);
+        bl.switch_to(b2);
+        bl.jump(exit);
+        bl.switch_to(exit);
+        bl.ret(None);
+        let f = bl.into_function();
+        let cd = ControlDeps::analyze(&f);
+        assert!(cd.depends_on(a, f.entry));
+        assert!(cd.depends_on(b2, a));
+        assert!(!cd.depends_on(b2, f.entry) || cd.depends_on(b2, a));
+        assert!(!cd.depends_on(exit, f.entry));
+    }
+}

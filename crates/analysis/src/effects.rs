@@ -1,0 +1,261 @@
+//! Bottom-up memory-effect summaries for functions.
+//!
+//! Whole-program scope (paper §2.2) means the parallelizer must see the
+//! memory behaviour of code "deeply nested within function calls" without
+//! textual inlining. Effect summaries provide that: for every function we
+//! compute the set of abstract objects it (transitively) may read and
+//! write, so a call instruction can participate in memory-dependence
+//! construction as a single node.
+
+use crate::points_to::{AbstractObj, PointsTo};
+use seqpar_ir::{Callee, FuncId, Opcode, Program};
+use std::collections::{BTreeSet, HashMap};
+
+/// The transitive read/write object sets of one function.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EffectSummary {
+    /// Objects the function may read.
+    pub reads: BTreeSet<AbstractObj>,
+    /// Objects the function may write.
+    pub writes: BTreeSet<AbstractObj>,
+    /// The function may touch memory the analysis cannot name.
+    pub clobbers_unknown: bool,
+}
+
+impl EffectSummary {
+    /// Whether the function has no visible memory effects.
+    pub fn is_pure(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty() && !self.clobbers_unknown
+    }
+
+    /// Whether this summary's effects may conflict with another's
+    /// (write/write or read/write overlap).
+    pub fn conflicts_with(&self, other: &EffectSummary) -> bool {
+        if self.clobbers_unknown || other.clobbers_unknown {
+            return true;
+        }
+        let overlap =
+            |a: &BTreeSet<AbstractObj>, b: &BTreeSet<AbstractObj>| a.iter().any(|o| b.contains(o));
+        overlap(&self.writes, &other.writes)
+            || overlap(&self.writes, &other.reads)
+            || overlap(&self.reads, &other.writes)
+    }
+}
+
+/// Effect summaries for all functions of a program.
+#[derive(Clone, Debug, Default)]
+pub struct Effects {
+    summaries: HashMap<FuncId, EffectSummary>,
+}
+
+impl Effects {
+    /// Computes summaries to a fixed point (handles recursion).
+    pub fn analyze(program: &Program, points_to: &PointsTo) -> Self {
+        let mut summaries: HashMap<FuncId, EffectSummary> = program
+            .function_ids()
+            .map(|f| (f, EffectSummary::default()))
+            .collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for f in program.function_ids() {
+                let updated = Self::summarize(program, points_to, f, &summaries);
+                if summaries.get(&f) != Some(&updated) {
+                    summaries.insert(f, updated);
+                    changed = true;
+                }
+            }
+        }
+        Self { summaries }
+    }
+
+    fn summarize(
+        program: &Program,
+        points_to: &PointsTo,
+        f: FuncId,
+        current: &HashMap<FuncId, EffectSummary>,
+    ) -> EffectSummary {
+        let func = program.function(f);
+        let mut s = EffectSummary::default();
+        for i in func.inst_ids() {
+            match &func.inst(i).opcode {
+                Opcode::Load(mem) => {
+                    let pts = points_to.of(f, mem.base);
+                    if pts.is_empty() {
+                        s.clobbers_unknown = true;
+                    }
+                    s.reads.extend(pts.iter().copied());
+                }
+                Opcode::Store(mem) => {
+                    let pts = points_to.of(f, mem.base);
+                    if pts.is_empty() {
+                        s.clobbers_unknown = true;
+                    }
+                    s.writes.extend(pts.iter().copied());
+                }
+                Opcode::Call { callee, .. } => match callee {
+                    Callee::Internal(g) => {
+                        if let Some(cs) = current.get(g) {
+                            s.reads.extend(cs.reads.iter().copied());
+                            s.writes.extend(cs.writes.iter().copied());
+                            s.clobbers_unknown |= cs.clobbers_unknown;
+                        }
+                    }
+                    Callee::External(name) => match program.extern_fn(name) {
+                        Some(ext) => {
+                            if ext.effect.clobbers_all {
+                                s.clobbers_unknown = true;
+                            }
+                            s.reads
+                                .extend(ext.effect.reads.iter().map(|g| AbstractObj::Global(*g)));
+                            s.writes
+                                .extend(ext.effect.writes.iter().map(|g| AbstractObj::Global(*g)));
+                        }
+                        // Undeclared externals are worst-case.
+                        None => s.clobbers_unknown = true,
+                    },
+                },
+                _ => {}
+            }
+        }
+        s
+    }
+
+    /// The summary for `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` was not part of the analyzed program.
+    pub fn of(&self, f: FuncId) -> &EffectSummary {
+        self.summaries.get(&f).expect("function analyzed")
+    }
+
+    /// The effects of a *call site* described by its callee.
+    pub fn of_callee(&self, program: &Program, callee: &Callee) -> EffectSummary {
+        match callee {
+            Callee::Internal(g) => self.of(*g).clone(),
+            Callee::External(name) => match program.extern_fn(name) {
+                Some(ext) => {
+                    let mut s = EffectSummary {
+                        clobbers_unknown: ext.effect.clobbers_all,
+                        ..Default::default()
+                    };
+                    s.reads
+                        .extend(ext.effect.reads.iter().map(|g| AbstractObj::Global(*g)));
+                    s.writes
+                        .extend(ext.effect.writes.iter().map(|g| AbstractObj::Global(*g)));
+                    s
+                }
+                None => EffectSummary {
+                    clobbers_unknown: true,
+                    ..Default::default()
+                },
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqpar_ir::{ExternEffect, FunctionBuilder};
+
+    #[test]
+    fn direct_loads_and_stores_are_summarized() {
+        let mut p = Program::new("t");
+        let g = p.add_global("g", 1);
+        let mut b = FunctionBuilder::new("f");
+        let a = b.global_addr(g);
+        let v = b.load(a);
+        b.store(a, v);
+        b.ret(None);
+        let f = b.finish(&mut p);
+        let pt = PointsTo::analyze(&p);
+        let eff = Effects::analyze(&p, &pt);
+        let s = eff.of(f);
+        assert!(s.reads.contains(&AbstractObj::Global(g)));
+        assert!(s.writes.contains(&AbstractObj::Global(g)));
+        assert!(!s.clobbers_unknown);
+    }
+
+    #[test]
+    fn effects_flow_up_through_calls() {
+        let mut p = Program::new("t");
+        let g = p.add_global("g", 1);
+        let mut cb = FunctionBuilder::new("writer");
+        let a = cb.global_addr(g);
+        let z = cb.const_(0);
+        cb.store(a, z);
+        cb.ret(None);
+        let writer = cb.finish(&mut p);
+        let mut b = FunctionBuilder::new("caller");
+        b.call(writer, &[]);
+        b.ret(None);
+        let caller = b.finish(&mut p);
+        let pt = PointsTo::analyze(&p);
+        let eff = Effects::analyze(&p, &pt);
+        assert!(eff.of(caller).writes.contains(&AbstractObj::Global(g)));
+    }
+
+    #[test]
+    fn recursive_functions_reach_fixed_point() {
+        let mut p = Program::new("t");
+        let g = p.add_global("g", 1);
+        // f calls itself then writes g.
+        let mut b = FunctionBuilder::new("rec");
+        let f_id_placeholder = seqpar_ir::FuncId::new(0);
+        b.call(f_id_placeholder, &[]);
+        let a = b.global_addr(g);
+        let z = b.const_(0);
+        b.store(a, z);
+        b.ret(None);
+        let f = b.finish(&mut p);
+        assert_eq!(f, f_id_placeholder);
+        let pt = PointsTo::analyze(&p);
+        let eff = Effects::analyze(&p, &pt);
+        assert!(eff.of(f).writes.contains(&AbstractObj::Global(g)));
+    }
+
+    #[test]
+    fn undeclared_externals_clobber_unknown() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::new("f");
+        b.call_ext("mystery", &[], None);
+        b.ret(None);
+        let f = b.finish(&mut p);
+        let pt = PointsTo::analyze(&p);
+        let eff = Effects::analyze(&p, &pt);
+        assert!(eff.of(f).clobbers_unknown);
+        assert!(!eff.of(f).is_pure());
+    }
+
+    #[test]
+    fn declared_pure_externals_stay_pure() {
+        let mut p = Program::new("t");
+        p.declare_extern("sin", ExternEffect::pure_fn());
+        let mut b = FunctionBuilder::new("f");
+        b.call_ext("sin", &[], None);
+        b.ret(None);
+        let f = b.finish(&mut p);
+        let pt = PointsTo::analyze(&p);
+        let eff = Effects::analyze(&p, &pt);
+        assert!(eff.of(f).is_pure());
+    }
+
+    #[test]
+    fn conflict_detection_between_summaries() {
+        let g = AbstractObj::Global(seqpar_ir::MemObjId::new(0));
+        let mut a = EffectSummary::default();
+        a.writes.insert(g);
+        let mut b = EffectSummary::default();
+        b.reads.insert(g);
+        assert!(a.conflicts_with(&b));
+        assert!(b.conflicts_with(&a));
+        let c = EffectSummary::default();
+        assert!(!c.conflicts_with(&b));
+        // Read/read does not conflict.
+        let mut d = EffectSummary::default();
+        d.reads.insert(g);
+        assert!(!d.conflicts_with(&b));
+    }
+}

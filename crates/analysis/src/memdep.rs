@@ -1,0 +1,366 @@
+//! Memory-dependence construction over a loop body.
+
+use crate::alias::AliasQuery;
+use crate::effects::{EffectSummary, Effects};
+use crate::points_to::AbstractObj;
+use crate::profile::MemProfile;
+use seqpar_ir::{FuncId, InstId, MemRef, Opcode, Program};
+use std::collections::BTreeSet;
+
+/// One memory dependence between two instructions of a loop body.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemDep {
+    /// Source (earlier in the dependence direction).
+    pub src: InstId,
+    /// Destination.
+    pub dst: InstId,
+    /// Whether the dependence crosses loop iterations.
+    pub carried: bool,
+    /// Manifestation frequency from the profile (`1.0` when unprofiled).
+    pub freq: f64,
+}
+
+/// The memory access behaviour of one instruction, for pairing.
+#[derive(Clone, Debug)]
+enum Access {
+    Load(MemRef),
+    Store(MemRef),
+    Call(EffectSummary),
+}
+
+impl Access {
+    fn writes(&self) -> bool {
+        match self {
+            Access::Load(_) => false,
+            Access::Store(_) => true,
+            Access::Call(s) => !s.writes.is_empty() || s.clobbers_unknown,
+        }
+    }
+}
+
+/// Computes memory dependences among `scope` (instructions of a loop body
+/// in program order).
+///
+/// Every conflicting pair produces an intra-iteration edge in program
+/// order and a loop-carried edge in the reverse direction; an instruction
+/// that conflicts with itself (e.g. a store to a shared object) produces a
+/// carried self-edge. When a `profile` is supplied, carried-edge
+/// frequencies are refined from it — mirroring the paper's
+/// memory-profiling pass, which lets speculation target the dependences
+/// that rarely manifest.
+pub fn mem_deps(
+    program: &Program,
+    func: FuncId,
+    scope: &[InstId],
+    aliases: &AliasQuery<'_>,
+    effects: &Effects,
+    profile: Option<&MemProfile>,
+) -> Vec<MemDep> {
+    let f = program.function(func);
+    let accesses: Vec<(InstId, Access)> = scope
+        .iter()
+        .filter_map(|&i| {
+            let acc = match &f.inst(i).opcode {
+                Opcode::Load(m) => Access::Load(*m),
+                Opcode::Store(m) => Access::Store(*m),
+                Opcode::Call { callee, .. } => Access::Call(effects.of_callee(program, callee)),
+                _ => return None,
+            };
+            Some((i, acc))
+        })
+        .collect();
+    let mut deps = Vec::new();
+    for (ai, (inst_a, acc_a)) in accesses.iter().enumerate() {
+        for (inst_b, acc_b) in accesses.iter().skip(ai) {
+            let same = inst_a == inst_b;
+            if !acc_a.writes() && !acc_b.writes() {
+                continue; // read-read never conflicts
+            }
+            if !conflicts(program, func, acc_a, acc_b, aliases) {
+                continue;
+            }
+            if same {
+                // Self-conflict across iterations (store-store or a call
+                // writing state it also reads).
+                if acc_a.writes() {
+                    deps.push(MemDep {
+                        src: *inst_a,
+                        dst: *inst_a,
+                        carried: true,
+                        freq: lookup(profile, *inst_a, *inst_a),
+                    });
+                }
+            } else {
+                deps.push(MemDep {
+                    src: *inst_a,
+                    dst: *inst_b,
+                    carried: false,
+                    freq: lookup(profile, *inst_a, *inst_b),
+                });
+                deps.push(MemDep {
+                    src: *inst_b,
+                    dst: *inst_a,
+                    carried: true,
+                    freq: lookup(profile, *inst_b, *inst_a),
+                });
+            }
+        }
+    }
+    deps
+}
+
+fn lookup(profile: Option<&MemProfile>, src: InstId, dst: InstId) -> f64 {
+    profile.map(|p| p.freq(src, dst)).unwrap_or(1.0)
+}
+
+fn conflicts(
+    program: &Program,
+    func: FuncId,
+    a: &Access,
+    b: &Access,
+    aliases: &AliasQuery<'_>,
+) -> bool {
+    match (a, b) {
+        (Access::Load(ma), Access::Store(mb))
+        | (Access::Store(ma), Access::Load(mb))
+        | (Access::Store(ma), Access::Store(mb)) => aliases.alias_in(func, ma, mb).may_alias(),
+        (Access::Load(_), Access::Load(_)) => false,
+        (Access::Call(s), Access::Load(m)) | (Access::Load(m), Access::Call(s)) => {
+            summary_touches(s, aliases, func, m, /*write_needed=*/ true)
+        }
+        (Access::Call(s), Access::Store(m)) | (Access::Store(m), Access::Call(s)) => {
+            summary_touches(s, aliases, func, m, /*write_needed=*/ false)
+        }
+        (Access::Call(sa), Access::Call(sb)) => {
+            let _ = program;
+            sa.conflicts_with(sb)
+        }
+    }
+}
+
+/// Whether a call summary touches the location of `m`. For loads, only
+/// the summary's *writes* matter; for stores, both reads and writes.
+fn summary_touches(
+    s: &EffectSummary,
+    aliases: &AliasQuery<'_>,
+    func: FuncId,
+    m: &MemRef,
+    write_needed: bool,
+) -> bool {
+    if s.clobbers_unknown {
+        return true;
+    }
+    let pts = aliases.points_to().of(func, m.base);
+    if pts.is_empty() {
+        // Unknown pointer: conservative if the call has any effect.
+        return !s.writes.is_empty() || (!write_needed && !s.reads.is_empty());
+    }
+    let touched: &BTreeSet<AbstractObj> = &s.writes;
+    if pts.iter().any(|o| touched.contains(o)) {
+        return true;
+    }
+    if !write_needed && pts.iter().any(|o| s.reads.contains(o)) {
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::points_to::PointsTo;
+    use seqpar_ir::{ExternEffect, FunctionBuilder, LoopForest};
+
+    struct Fixture {
+        program: Program,
+        func: FuncId,
+        scope: Vec<InstId>,
+    }
+
+    /// Loop body: load g; store g; call ext "touch_h" (writes h); store h2.
+    fn fixture() -> Fixture {
+        let mut p = Program::new("t");
+        let g = p.add_global("g", 1);
+        let h = p.add_global("h", 1);
+        let h2 = p.add_global("h2", 1);
+        p.declare_extern(
+            "touch_h",
+            ExternEffect {
+                writes: vec![h],
+                ..Default::default()
+            },
+        );
+        let mut b = FunctionBuilder::new("f");
+        let header = b.add_block("header");
+        let exit = b.add_block("exit");
+        b.jump(header);
+        b.switch_to(header);
+        let ag = b.global_addr(g);
+        let v = b.load(ag);
+        b.label_last("load_g");
+        b.store(ag, v);
+        let ah2 = b.global_addr(h2);
+        b.store(ah2, v);
+        b.call_ext("touch_h", &[], None);
+        let c = b.binop(Opcode::CmpEq, v, v);
+        b.cond_branch(c, exit, header);
+        b.switch_to(exit);
+        b.ret(None);
+        let func = b.finish(&mut p);
+        let forest = LoopForest::build(p.function(func));
+        let (lid, _) = forest.loops().next().unwrap();
+        let scope = forest.body_insts(lid, p.function(func));
+        Fixture {
+            program: p,
+            func,
+            scope,
+        }
+    }
+
+    fn deps_of(fx: &Fixture, profile: Option<&MemProfile>) -> Vec<MemDep> {
+        let pt = PointsTo::analyze(&fx.program);
+        let aliases = AliasQuery::new(&fx.program, &pt);
+        let effects = Effects::analyze(&fx.program, &pt);
+        mem_deps(&fx.program, fx.func, &fx.scope, &aliases, &effects, profile)
+    }
+
+    #[test]
+    fn load_store_pair_creates_intra_and_carried_edges() {
+        let fx = fixture();
+        let deps = deps_of(&fx, None);
+        let f = fx.program.function(fx.func);
+        let load_g = f
+            .inst_ids()
+            .find(|i| f.inst(*i).label.as_deref() == Some("load_g"))
+            .unwrap();
+        // Intra: load -> store (program order), carried: store -> load.
+        assert!(deps.iter().any(|d| d.src == load_g && !d.carried));
+        assert!(deps.iter().any(|d| d.dst == load_g && d.carried));
+    }
+
+    #[test]
+    fn store_has_carried_self_edge() {
+        let fx = fixture();
+        let deps = deps_of(&fx, None);
+        assert!(deps.iter().any(|d| d.src == d.dst && d.carried));
+    }
+
+    #[test]
+    fn disjoint_objects_produce_no_cross_edges() {
+        let fx = fixture();
+        let deps = deps_of(&fx, None);
+        let f = fx.program.function(fx.func);
+        // The store to h2 must not depend on the load/store of g.
+        let store_h2 = fx
+            .scope
+            .iter()
+            .copied()
+            .filter(|i| matches!(f.inst(*i).opcode, Opcode::Store(_)))
+            .nth(1)
+            .unwrap();
+        let load_g = f
+            .inst_ids()
+            .find(|i| f.inst(*i).label.as_deref() == Some("load_g"))
+            .unwrap();
+        assert!(!deps
+            .iter()
+            .any(|d| (d.src == store_h2 && d.dst == load_g)
+                || (d.src == load_g && d.dst == store_h2)));
+    }
+
+    #[test]
+    fn call_conflicts_only_with_objects_in_its_summary() {
+        let fx = fixture();
+        let deps = deps_of(&fx, None);
+        let f = fx.program.function(fx.func);
+        let call = fx
+            .scope
+            .iter()
+            .copied()
+            .find(|i| f.inst(*i).opcode.is_call())
+            .unwrap();
+        let load_g = f
+            .inst_ids()
+            .find(|i| f.inst(*i).label.as_deref() == Some("load_g"))
+            .unwrap();
+        // touch_h writes only h: no dependence with accesses to g.
+        assert!(!deps.iter().any(|d| d.src == call && d.dst == load_g));
+        // But the call self-conflicts across iterations (writes h twice).
+        assert!(deps
+            .iter()
+            .any(|d| d.src == call && d.dst == call && d.carried));
+    }
+
+    #[test]
+    fn profile_refines_carried_frequencies() {
+        let fx = fixture();
+        let f = fx.program.function(fx.func);
+        let load_g = f
+            .inst_ids()
+            .find(|i| f.inst(*i).label.as_deref() == Some("load_g"))
+            .unwrap();
+        let store_g = fx
+            .scope
+            .iter()
+            .copied()
+            .find(|i| matches!(f.inst(*i).opcode, Opcode::Store(_)))
+            .unwrap();
+        let mut profile = MemProfile::new();
+        profile.record(store_g, load_g, 0.01);
+        let deps = deps_of(&fx, Some(&profile));
+        let carried = deps
+            .iter()
+            .find(|d| d.src == store_g && d.dst == load_g && d.carried)
+            .unwrap();
+        assert_eq!(carried.freq, 0.01);
+        // Unprofiled edges default to the profile's default (0.0).
+        let self_edge = deps.iter().find(|d| d.src == d.dst).unwrap();
+        assert_eq!(self_edge.freq, 0.0);
+    }
+
+    #[test]
+    fn distinct_fields_do_not_conflict() {
+        // The 176.gcc bit-flag fix: a store to field 0 must not order
+        // against a load of field 1 of the same object.
+        let mut p = Program::new("t");
+        let obj = p.add_global("ir_node", 4);
+        let mut b = FunctionBuilder::new("f");
+        let header = b.add_block("header");
+        let exit = b.add_block("exit");
+        b.jump(header);
+        b.switch_to(header);
+        let base = b.global_addr(obj);
+        let public_flag = b.load_ref(seqpar_ir::MemRef::field(base, 1));
+        let st = {
+            let zero = b.const_(0);
+            b.store_ref(seqpar_ir::MemRef::field(base, 0), zero)
+        };
+        let done = b.binop(Opcode::CmpEq, public_flag, public_flag);
+        b.cond_branch(done, exit, header);
+        b.switch_to(exit);
+        b.ret(None);
+        let func = b.finish(&mut p);
+        let forest = LoopForest::build(p.function(func));
+        let (lid, _) = forest.loops().next().unwrap();
+        let scope = forest.body_insts(lid, p.function(func));
+        let pt = PointsTo::analyze(&p);
+        let aliases = AliasQuery::new(&p, &pt);
+        let effects = Effects::analyze(&p, &pt);
+        let deps = mem_deps(&p, func, &scope, &aliases, &effects, None);
+        // The store only self-conflicts; no edge touches the load.
+        let load_id = p
+            .function(func)
+            .inst_ids()
+            .find(|i| matches!(p.function(func).inst(*i).opcode, Opcode::Load(_)))
+            .unwrap();
+        assert!(!deps.iter().any(|d| d.src == load_id || d.dst == load_id));
+        assert!(deps.iter().any(|d| d.src == st && d.dst == st && d.carried));
+    }
+
+    #[test]
+    fn without_profile_all_edges_are_certain() {
+        let fx = fixture();
+        let deps = deps_of(&fx, None);
+        assert!(deps.iter().all(|d| d.freq == 1.0));
+    }
+}

@@ -1,0 +1,355 @@
+//! Andersen-style inclusion-based pointer analysis.
+//!
+//! Whole-program, flow-insensitive, context-insensitive. Heap allocations
+//! are named by allocation site. The paper leans on "aggressive alias
+//! analysis" \[5\] and whole-program scope (§2.2) to avoid over-estimating
+//! dependences; this is the corresponding substrate.
+
+use seqpar_ir::{Callee, FuncId, InstId, MemObjId, Opcode, Program, ValueId};
+use std::collections::{BTreeSet, HashMap};
+
+/// An abstract memory object: a global or an allocation site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AbstractObj {
+    /// A named global declared in the [`Program`].
+    Global(MemObjId),
+    /// The object allocated by a call instruction (e.g. `malloc`).
+    Alloc(FuncId, InstId),
+}
+
+/// A program-wide value key: SSA values are per-function.
+type ValKey = (FuncId, ValueId);
+
+/// The result of the pointer analysis: for each SSA value, the set of
+/// abstract objects it may point to.
+#[derive(Clone, Debug, Default)]
+pub struct PointsTo {
+    value_sets: HashMap<ValKey, BTreeSet<AbstractObj>>,
+    /// What each abstract object's pointer-typed contents may point to.
+    content_sets: HashMap<AbstractObj, BTreeSet<AbstractObj>>,
+}
+
+impl PointsTo {
+    /// Runs the analysis over a whole program to a fixed point.
+    pub fn analyze(program: &Program) -> Self {
+        let mut pt = Self::default();
+        let mut changed = true;
+        // Iterate to a fixed point over all functions; each pass
+        // propagates one more level of indirection. Program sizes here are
+        // small (hot-loop models), so the quadratic worklist is fine.
+        while changed {
+            changed = false;
+            for f in program.function_ids() {
+                changed |= pt.propagate_function(program, f);
+            }
+        }
+        pt
+    }
+
+    /// The points-to set of `value` in `func`. Empty for non-pointers.
+    pub fn of(&self, func: FuncId, value: ValueId) -> &BTreeSet<AbstractObj> {
+        static EMPTY: BTreeSet<AbstractObj> = BTreeSet::new();
+        self.value_sets.get(&(func, value)).unwrap_or(&EMPTY)
+    }
+
+    /// Whether two values may reference a common object.
+    pub fn may_overlap(&self, a: (FuncId, ValueId), b: (FuncId, ValueId)) -> bool {
+        let sa = self.of(a.0, a.1);
+        let sb = self.of(b.0, b.1);
+        sa.iter().any(|o| sb.contains(o))
+    }
+
+    fn add_value(&mut self, key: ValKey, obj: AbstractObj) -> bool {
+        self.value_sets.entry(key).or_default().insert(obj)
+    }
+
+    fn union_value(&mut self, dst: ValKey, src: ValKey) -> bool {
+        if dst == src {
+            return false;
+        }
+        let src_set = self.value_sets.get(&src).cloned().unwrap_or_default();
+        let dst_set = self.value_sets.entry(dst).or_default();
+        let before = dst_set.len();
+        dst_set.extend(src_set);
+        dst_set.len() != before
+    }
+
+    fn propagate_function(&mut self, program: &Program, f: FuncId) -> bool {
+        let func = program.function(f);
+        let mut changed = false;
+        for i in func.inst_ids() {
+            let inst = func.inst(i);
+            match &inst.opcode {
+                Opcode::AddrOf(obj) => {
+                    if let Some(d) = inst.def {
+                        changed |= self.add_value((f, d), AbstractObj::Global(*obj));
+                    }
+                }
+                Opcode::Copy | Opcode::Phi | Opcode::Gep => {
+                    if let Some(d) = inst.def {
+                        for &op in &inst.operands {
+                            changed |= self.union_value((f, d), (f, op));
+                        }
+                    }
+                }
+                Opcode::Load(mem) => {
+                    // d ⊇ contents(o) for each o the base may point to.
+                    if let Some(d) = inst.def {
+                        let bases: Vec<AbstractObj> =
+                            self.of(f, mem.base).iter().copied().collect();
+                        for o in bases {
+                            let contents = self.content_sets.get(&o).cloned().unwrap_or_default();
+                            let set = self.value_sets.entry((f, d)).or_default();
+                            let before = set.len();
+                            set.extend(contents);
+                            changed |= set.len() != before;
+                        }
+                    }
+                }
+                Opcode::Store(mem) => {
+                    // contents(o) ⊇ pts(value) for each o the base may
+                    // point to. The stored value is operand 0.
+                    if let Some(&val) = inst.operands.first() {
+                        let bases: Vec<AbstractObj> =
+                            self.of(f, mem.base).iter().copied().collect();
+                        let val_set = self.of(f, val).clone();
+                        for o in bases {
+                            let set = self.content_sets.entry(o).or_default();
+                            let before = set.len();
+                            set.extend(val_set.iter().copied());
+                            changed |= set.len() != before;
+                        }
+                    }
+                }
+                Opcode::Call { callee, .. } => match callee {
+                    Callee::Internal(g) => {
+                        // Context-insensitive parameter binding and return
+                        // propagation.
+                        let callee_func = program.function(*g);
+                        let params = callee_func.params.clone();
+                        for (idx, &arg) in inst.operands.iter().enumerate() {
+                            if let Some(&p) = params.get(idx) {
+                                changed |= self.union_value((*g, p), (f, arg));
+                            }
+                        }
+                        if let Some(d) = inst.def {
+                            for r in return_values(program, *g) {
+                                changed |= self.union_value((f, d), (*g, r));
+                            }
+                        }
+                    }
+                    Callee::External(name) => {
+                        let allocates = program
+                            .extern_fn(name)
+                            .map(|e| e.effect.allocates)
+                            .unwrap_or(false);
+                        if allocates {
+                            if let Some(d) = inst.def {
+                                changed |= self.add_value((f, d), AbstractObj::Alloc(f, i));
+                            }
+                        }
+                    }
+                },
+                _ => {}
+            }
+        }
+        changed
+    }
+}
+
+fn return_values(program: &Program, f: FuncId) -> Vec<ValueId> {
+    let func = program.function(f);
+    let mut out = Vec::new();
+    for b in func.block_ids() {
+        if let seqpar_ir::Terminator::Return(Some(v)) = func.block(b).terminator {
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqpar_ir::{ExternEffect, FunctionBuilder};
+
+    #[test]
+    fn addrof_points_to_global() {
+        let mut p = Program::new("t");
+        let g = p.add_global("g", 1);
+        let mut b = FunctionBuilder::new("f");
+        let a = b.global_addr(g);
+        b.ret(None);
+        let f = b.finish(&mut p);
+        let pt = PointsTo::analyze(&p);
+        assert_eq!(
+            pt.of(f, a).iter().copied().collect::<Vec<_>>(),
+            vec![AbstractObj::Global(g)]
+        );
+    }
+
+    #[test]
+    fn copies_and_phis_propagate_sets() {
+        let mut p = Program::new("t");
+        let g = p.add_global("g", 1);
+        let mut b = FunctionBuilder::new("f");
+        let a = b.global_addr(g);
+        let c = b.copy(a);
+        let d = b.copy(c);
+        b.ret(None);
+        let f = b.finish(&mut p);
+        let pt = PointsTo::analyze(&p);
+        assert!(pt.of(f, d).contains(&AbstractObj::Global(g)));
+        assert!(pt.may_overlap((f, a), (f, d)));
+    }
+
+    #[test]
+    fn distinct_globals_do_not_overlap() {
+        let mut p = Program::new("t");
+        let g1 = p.add_global("g1", 1);
+        let g2 = p.add_global("g2", 1);
+        let mut b = FunctionBuilder::new("f");
+        let a1 = b.global_addr(g1);
+        let a2 = b.global_addr(g2);
+        b.ret(None);
+        let f = b.finish(&mut p);
+        let pt = PointsTo::analyze(&p);
+        assert!(!pt.may_overlap((f, a1), (f, a2)));
+    }
+
+    #[test]
+    fn stores_and_loads_flow_through_memory() {
+        // *slot = &g; q = *slot; q must point to g.
+        let mut p = Program::new("t");
+        let g = p.add_global("g", 1);
+        let slot = p.add_global("slot", 1);
+        let mut b = FunctionBuilder::new("f");
+        let ag = b.global_addr(g);
+        let aslot = b.global_addr(slot);
+        b.store(aslot, ag);
+        let q = b.load(aslot);
+        b.ret(None);
+        let f = b.finish(&mut p);
+        let pt = PointsTo::analyze(&p);
+        assert!(pt.of(f, q).contains(&AbstractObj::Global(g)));
+    }
+
+    #[test]
+    fn malloc_sites_are_distinct_objects() {
+        let mut p = Program::new("t");
+        p.declare_extern(
+            "malloc",
+            ExternEffect {
+                allocates: true,
+                ..Default::default()
+            },
+        );
+        let mut b = FunctionBuilder::new("f");
+        let m1 = b.call_ext("malloc", &[], None);
+        let m2 = b.call_ext("malloc", &[], None);
+        b.ret(None);
+        let f = b.finish(&mut p);
+        let pt = PointsTo::analyze(&p);
+        assert_eq!(pt.of(f, m1).len(), 1);
+        assert_eq!(pt.of(f, m2).len(), 1);
+        assert!(!pt.may_overlap((f, m1), (f, m2)));
+    }
+
+    #[test]
+    fn call_binds_arguments_to_parameters() {
+        let mut p = Program::new("t");
+        let g = p.add_global("g", 1);
+        // callee(ptr) { return ptr; }
+        let mut cb = FunctionBuilder::new("callee");
+        let param = cb.add_param();
+        cb.ret(Some(param));
+        let callee = cb.finish(&mut p);
+        // caller: r = callee(&g)
+        let mut b = FunctionBuilder::new("caller");
+        let ag = b.global_addr(g);
+        let r = b.call(callee, &[ag]);
+        b.ret(None);
+        let caller = b.finish(&mut p);
+        let pt = PointsTo::analyze(&p);
+        assert!(pt.of(callee, param).contains(&AbstractObj::Global(g)));
+        assert!(pt.of(caller, r).contains(&AbstractObj::Global(g)));
+    }
+
+    #[test]
+    fn gep_derived_pointers_keep_their_targets() {
+        let mut p = Program::new("t");
+        let g = p.add_global("buf", 64);
+        let mut b = FunctionBuilder::new("f");
+        let base = b.global_addr(g);
+        let off = b.const_(8);
+        let elem = b.gep(base, off);
+        let elem2 = b.gep(elem, off);
+        b.ret(None);
+        let f = b.finish(&mut p);
+        let pt = PointsTo::analyze(&p);
+        assert!(pt.of(f, elem).contains(&AbstractObj::Global(g)));
+        assert!(pt.of(f, elem2).contains(&AbstractObj::Global(g)));
+        assert!(pt.may_overlap((f, base), (f, elem2)));
+    }
+
+    #[test]
+    fn two_level_indirection_resolves() {
+        // **slot: slot holds &p, p holds &g; loading twice reaches g.
+        let mut prog = Program::new("t");
+        let g = prog.add_global("g", 1);
+        let pcell = prog.add_global("p", 1);
+        let slot = prog.add_global("slot", 1);
+        let mut b = FunctionBuilder::new("f");
+        let ag = b.global_addr(g);
+        let ap = b.global_addr(pcell);
+        let aslot = b.global_addr(slot);
+        b.store(ap, ag); // *p = &g
+        b.store(aslot, ap); // *slot = &p
+        let l1 = b.load(aslot); // l1 = *slot  (== &p)
+        let l2 = b.load(l1); // l2 = **slot (== &g)
+        b.ret(None);
+        let f = b.finish(&mut prog);
+        let pt = PointsTo::analyze(&prog);
+        assert!(pt.of(f, l1).contains(&AbstractObj::Global(pcell)));
+        assert!(pt.of(f, l2).contains(&AbstractObj::Global(g)));
+    }
+
+    #[test]
+    fn return_values_propagate_allocation_sites() {
+        // wrapper() { return malloc(); } — the caller's pointer must be
+        // the wrapper's allocation site, distinct per call *site* in the
+        // callee (context-insensitive: both callers share it).
+        let mut p = Program::new("t");
+        p.declare_extern(
+            "malloc",
+            ExternEffect {
+                allocates: true,
+                ..Default::default()
+            },
+        );
+        let mut wb = FunctionBuilder::new("wrapper");
+        let m = wb.call_ext("malloc", &[], None);
+        wb.ret(Some(m));
+        let wrapper = wb.finish(&mut p);
+        let mut cb = FunctionBuilder::new("caller");
+        let a = cb.call(wrapper, &[]);
+        let b2 = cb.call(wrapper, &[]);
+        cb.ret(None);
+        let caller = cb.finish(&mut p);
+        let pt = PointsTo::analyze(&p);
+        assert_eq!(pt.of(caller, a).len(), 1);
+        // Context-insensitivity: both call results share the site.
+        assert!(pt.may_overlap((caller, a), (caller, b2)));
+    }
+
+    #[test]
+    fn non_pointer_values_have_empty_sets() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::new("f");
+        let c = b.const_(7);
+        b.ret(None);
+        let f = b.finish(&mut p);
+        let pt = PointsTo::analyze(&p);
+        assert!(pt.of(f, c).is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! Register (SSA def-use) dependences with loop-carried classification.
+
+use seqpar_ir::{Function, InstId, Loop, Opcode, ValueId};
+use std::collections::HashMap;
+
+/// One register dependence: `def_inst` produces a value consumed by
+/// `use_inst`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegDep {
+    /// Producer instruction.
+    pub def_inst: InstId,
+    /// Consumer instruction.
+    pub use_inst: InstId,
+    /// The value flowing along the edge.
+    pub value: ValueId,
+    /// Whether the value flows across loop iterations (through a header
+    /// phi) rather than within one iteration.
+    pub carried: bool,
+}
+
+/// Computes register dependences among the instructions of `scope`
+/// (typically a loop body), classifying loop-carried edges relative to
+/// `target_loop` when given.
+///
+/// In SSA form, the only way a value crosses the back edge of a loop is
+/// through a phi at the loop header whose operand comes from a latch. An
+/// edge `def -> phi` is therefore *carried* exactly when the phi sits in
+/// the header of `target_loop` and the def lies inside the loop body.
+pub fn reg_deps(func: &Function, scope: &[InstId], target_loop: Option<&Loop>) -> Vec<RegDep> {
+    let in_scope: HashMap<InstId, usize> =
+        scope.iter().enumerate().map(|(idx, i)| (*i, idx)).collect();
+    let mut def_site: HashMap<ValueId, InstId> = HashMap::new();
+    for &i in scope {
+        if let Some(d) = func.inst(i).def {
+            def_site.insert(d, i);
+        }
+    }
+    let header_insts: Vec<InstId> = target_loop
+        .map(|l| func.block(l.header).insts.clone())
+        .unwrap_or_default();
+    let mut deps = Vec::new();
+    for &use_inst in scope {
+        for &op in &func.inst(use_inst).operands {
+            let Some(&def_inst) = def_site.get(&op) else {
+                continue;
+            };
+            if !in_scope.contains_key(&def_inst) {
+                continue;
+            }
+            let is_header_phi = matches!(func.inst(use_inst).opcode, Opcode::Phi)
+                && header_insts.contains(&use_inst);
+            // A def feeding a header phi from inside the loop flows around
+            // the back edge.
+            let carried = is_header_phi && def_inst != use_inst;
+            deps.push(RegDep {
+                def_inst,
+                use_inst,
+                value: op,
+                carried,
+            });
+        }
+    }
+    deps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqpar_ir::{FunctionBuilder, LoopForest};
+
+    /// i = phi(0, i+1); sum = phi(0, sum+i)
+    fn counting_loop() -> (Function, LoopForest) {
+        let mut b = FunctionBuilder::new("count");
+        let header = b.add_block("header");
+        let exit = b.add_block("exit");
+        let zero = b.const_(0);
+        b.jump(header);
+        b.switch_to(header);
+        let i = b.phi(&[zero, ValueId::new(99)]); // patched below
+        let one = b.const_(1);
+        let next = b.binop(Opcode::Add, i, one);
+        let done = b.binop(Opcode::CmpLt, next, one);
+        b.cond_branch(done, header, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut f = b.into_function();
+        // Patch the phi's second operand to be `next` (the back-edge value).
+        let header_insts = f.block(seqpar_ir::BlockId::new(1)).insts.clone();
+        let phi_id = header_insts[0];
+        f.inst_mut(phi_id).operands[1] = next;
+        let forest = LoopForest::build(&f);
+        (f, forest)
+    }
+
+    use seqpar_ir::{Function, Opcode, ValueId};
+
+    #[test]
+    fn intra_iteration_deps_are_not_carried() {
+        let (f, forest) = counting_loop();
+        let (lid, l) = forest.loops().next().unwrap();
+        let scope = forest.body_insts(lid, &f);
+        let deps = reg_deps(&f, &scope, Some(l));
+        // i -> next (phi feeding the add) is intra-iteration.
+        let phi = scope[0];
+        let add = scope[2];
+        assert!(deps
+            .iter()
+            .any(|d| d.def_inst == phi && d.use_inst == add && !d.carried));
+    }
+
+    #[test]
+    fn back_edge_phi_input_is_carried() {
+        let (f, forest) = counting_loop();
+        let (lid, l) = forest.loops().next().unwrap();
+        let scope = forest.body_insts(lid, &f);
+        let deps = reg_deps(&f, &scope, Some(l));
+        let phi = scope[0];
+        let add = scope[2];
+        // next -> i (the add feeding the header phi) crosses iterations.
+        assert!(deps
+            .iter()
+            .any(|d| d.def_inst == add && d.use_inst == phi && d.carried));
+    }
+
+    #[test]
+    fn defs_outside_scope_are_ignored() {
+        let (f, forest) = counting_loop();
+        let (lid, l) = forest.loops().next().unwrap();
+        let scope = forest.body_insts(lid, &f);
+        let deps = reg_deps(&f, &scope, Some(l));
+        // The `zero` const lives in the entry block, outside the loop:
+        // no edge should originate from it.
+        for d in &deps {
+            assert!(scope.contains(&d.def_inst));
+            assert!(scope.contains(&d.use_inst));
+        }
+    }
+
+    #[test]
+    fn without_target_loop_nothing_is_carried() {
+        let (f, forest) = counting_loop();
+        let (lid, _) = forest.loops().next().unwrap();
+        let scope = forest.body_insts(lid, &f);
+        let deps = reg_deps(&f, &scope, None);
+        assert!(deps.iter().all(|d| !d.carried));
+        assert!(!deps.is_empty());
+    }
+}

@@ -1,0 +1,280 @@
+//! Constancy and loop-invariance analysis.
+//!
+//! The paper cites "variable value analysis" \[22\] among the techniques
+//! that unlock parallelism: proving a value constant at a program point
+//! removes dependences outright, and proving it *likely* stable nominates
+//! it for value speculation. This module provides the static half — a
+//! simple sparse conditional-constant lattice plus loop-invariance — while
+//! [`crate::profile::ValueProfile`] provides the dynamic half.
+
+use seqpar_ir::{Function, InstId, Loop, Opcode, ValueId};
+use std::collections::HashMap;
+
+/// The constant-propagation lattice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lattice {
+    /// Not yet known (optimistic).
+    Top,
+    /// Proven a compile-time constant.
+    Const(i64),
+    /// Varies at runtime.
+    Bottom,
+}
+
+impl Lattice {
+    fn meet(self, other: Lattice) -> Lattice {
+        match (self, other) {
+            (Lattice::Top, x) | (x, Lattice::Top) => x,
+            (Lattice::Const(a), Lattice::Const(b)) if a == b => Lattice::Const(a),
+            _ => Lattice::Bottom,
+        }
+    }
+}
+
+/// Results of constancy/invariance analysis over one function.
+#[derive(Clone, Debug, Default)]
+pub struct ValueFacts {
+    consts: HashMap<ValueId, i64>,
+}
+
+impl ValueFacts {
+    /// Runs constant propagation over `func` (flow-insensitive meet over
+    /// all reaching definitions; precise enough for loop models).
+    pub fn analyze(func: &Function) -> Self {
+        let mut state: HashMap<ValueId, Lattice> = HashMap::new();
+        for &p in &func.params {
+            state.insert(p, Lattice::Bottom);
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in func.inst_ids() {
+                let inst = func.inst(i);
+                let Some(def) = inst.def else { continue };
+                let get = |v: ValueId, st: &HashMap<ValueId, Lattice>| {
+                    st.get(&v).copied().unwrap_or(Lattice::Top)
+                };
+                let new = match &inst.opcode {
+                    Opcode::Const(c) => Lattice::Const(*c),
+                    Opcode::Copy => get(inst.operands[0], &state),
+                    Opcode::Phi => inst
+                        .operands
+                        .iter()
+                        .fold(Lattice::Top, |acc, &v| acc.meet(get(v, &state))),
+                    Opcode::Add
+                    | Opcode::Sub
+                    | Opcode::Mul
+                    | Opcode::Div
+                    | Opcode::Rem
+                    | Opcode::And
+                    | Opcode::Or
+                    | Opcode::Xor
+                    | Opcode::Shl
+                    | Opcode::Shr
+                    | Opcode::CmpEq
+                    | Opcode::CmpNe
+                    | Opcode::CmpLt
+                    | Opcode::CmpLe => {
+                        let a = get(inst.operands[0], &state);
+                        let b = get(inst.operands[1], &state);
+                        match (a, b) {
+                            (Lattice::Const(x), Lattice::Const(y)) => {
+                                eval(&inst.opcode, x, y).map_or(Lattice::Bottom, Lattice::Const)
+                            }
+                            (Lattice::Bottom, _) | (_, Lattice::Bottom) => Lattice::Bottom,
+                            _ => Lattice::Top,
+                        }
+                    }
+                    // Loads, calls, and address-ofs produce runtime values.
+                    _ => Lattice::Bottom,
+                };
+                let old = state.get(&def).copied().unwrap_or(Lattice::Top);
+                let merged = old.meet(new);
+                if merged != old {
+                    state.insert(def, merged);
+                    changed = true;
+                }
+            }
+        }
+        let consts = state
+            .into_iter()
+            .filter_map(|(v, l)| match l {
+                Lattice::Const(c) => Some((v, c)),
+                _ => None,
+            })
+            .collect();
+        Self { consts }
+    }
+
+    /// The proven constant value of `v`, if any.
+    pub fn const_of(&self, v: ValueId) -> Option<i64> {
+        self.consts.get(&v).copied()
+    }
+
+    /// Whether `v` is proven constant.
+    pub fn is_const(&self, v: ValueId) -> bool {
+        self.consts.contains_key(&v)
+    }
+}
+
+fn eval(op: &Opcode, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        Opcode::Add => a.wrapping_add(b),
+        Opcode::Sub => a.wrapping_sub(b),
+        Opcode::Mul => a.wrapping_mul(b),
+        Opcode::Div => a.checked_div(b)?,
+        Opcode::Rem => a.checked_rem(b)?,
+        Opcode::And => a & b,
+        Opcode::Or => a | b,
+        Opcode::Xor => a ^ b,
+        Opcode::Shl => a.checked_shl(u32::try_from(b).ok()?)?,
+        Opcode::Shr => a.checked_shr(u32::try_from(b).ok()?)?,
+        Opcode::CmpEq => i64::from(a == b),
+        Opcode::CmpNe => i64::from(a != b),
+        Opcode::CmpLt => i64::from(a < b),
+        Opcode::CmpLe => i64::from(a <= b),
+        _ => return None,
+    })
+}
+
+/// Whether instruction `i` is invariant in `l`: its operands are all
+/// defined outside the loop (or themselves invariant) and it does not
+/// touch memory.
+pub fn is_loop_invariant(func: &Function, l: &Loop, i: InstId) -> bool {
+    fn go(func: &Function, l: &Loop, i: InstId, depth: usize) -> bool {
+        if depth > 64 {
+            return false; // defensive cut-off for cyclic (phi) chains
+        }
+        let inst = func.inst(i);
+        if inst.opcode.may_read_memory()
+            || inst.opcode.may_write_memory()
+            || matches!(inst.opcode, Opcode::Phi)
+        {
+            return false;
+        }
+        inst.operands.iter().all(|&op| match func.def_of(op) {
+            None => true, // parameter: defined outside any loop
+            Some(d) => {
+                let in_loop = func.block_of(d).map(|b| l.contains(b)).unwrap_or(false);
+                !in_loop || go(func, l, d, depth + 1)
+            }
+        })
+    }
+    go(func, l, i, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqpar_ir::{FunctionBuilder, LoopForest};
+
+    #[test]
+    fn constants_fold_through_arithmetic() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.const_(6);
+        let y = b.const_(7);
+        let m = b.binop(Opcode::Mul, x, y);
+        let c = b.binop(Opcode::CmpEq, m, m);
+        b.ret(Some(c));
+        let f = b.into_function();
+        let facts = ValueFacts::analyze(&f);
+        assert_eq!(facts.const_of(m), Some(42));
+        assert_eq!(facts.const_of(c), Some(1));
+    }
+
+    #[test]
+    fn params_and_loads_are_not_constant() {
+        let mut p = seqpar_ir::Program::new("t");
+        let g = p.add_global("g", 1);
+        let mut b = FunctionBuilder::new("f");
+        let x = b.add_param();
+        let a = b.global_addr(g);
+        let v = b.load(a);
+        let s = b.binop(Opcode::Add, x, v);
+        b.ret(Some(s));
+        let f = b.into_function();
+        let facts = ValueFacts::analyze(&f);
+        assert!(!facts.is_const(x));
+        assert!(!facts.is_const(v));
+        assert!(!facts.is_const(s));
+    }
+
+    #[test]
+    fn phi_of_equal_constants_is_constant() {
+        let mut b = FunctionBuilder::new("f");
+        let t = b.add_block("t");
+        let e = b.add_block("e");
+        let j = b.add_block("j");
+        let c = b.const_(1);
+        b.cond_branch(c, t, e);
+        b.switch_to(t);
+        let x1 = b.const_(5);
+        b.jump(j);
+        b.switch_to(e);
+        let x2 = b.const_(5);
+        b.jump(j);
+        b.switch_to(j);
+        let phi = b.phi(&[x1, x2]);
+        b.ret(Some(phi));
+        let f = b.into_function();
+        let facts = ValueFacts::analyze(&f);
+        assert_eq!(facts.const_of(phi), Some(5));
+    }
+
+    #[test]
+    fn phi_of_distinct_constants_is_not_constant() {
+        let mut b = FunctionBuilder::new("f");
+        let t = b.add_block("t");
+        let e = b.add_block("e");
+        let j = b.add_block("j");
+        let c = b.const_(1);
+        b.cond_branch(c, t, e);
+        b.switch_to(t);
+        let x1 = b.const_(5);
+        b.jump(j);
+        b.switch_to(e);
+        let x2 = b.const_(6);
+        b.jump(j);
+        b.switch_to(j);
+        let phi = b.phi(&[x1, x2]);
+        b.ret(Some(phi));
+        let f = b.into_function();
+        let facts = ValueFacts::analyze(&f);
+        assert!(!facts.is_const(phi));
+    }
+
+    #[test]
+    fn division_by_zero_is_bottom_not_panic() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.const_(1);
+        let z = b.const_(0);
+        let d = b.binop(Opcode::Div, x, z);
+        b.ret(Some(d));
+        let facts = ValueFacts::analyze(&b.into_function());
+        assert!(!facts.is_const(d));
+    }
+
+    #[test]
+    fn loop_invariance_detects_hoistable_ops() {
+        let mut b = FunctionBuilder::new("f");
+        let header = b.add_block("header");
+        let exit = b.add_block("exit");
+        let pre = b.const_(10);
+        b.jump(header);
+        b.switch_to(header);
+        let inv = b.binop(Opcode::Add, pre, pre); // invariant
+        let phi_placeholder = b.phi(&[pre, pre]); // variant (phi)
+        let var = b.binop(Opcode::Add, phi_placeholder, pre); // depends on phi
+        let c = b.binop(Opcode::CmpEq, var, inv);
+        b.cond_branch(c, exit, header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.into_function();
+        let forest = LoopForest::build(&f);
+        let (lid, l) = forest.loops().next().unwrap();
+        let body = forest.body_insts(lid, &f);
+        assert!(is_loop_invariant(&f, l, body[0]));
+        assert!(!is_loop_invariant(&f, l, body[1]));
+        assert!(!is_loop_invariant(&f, l, body[2]));
+    }
+}

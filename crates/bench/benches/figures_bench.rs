@@ -1,0 +1,80 @@
+//! One Criterion bench target per paper table/figure: each bench
+//! regenerates its experiment's data (at test size, so `cargo bench`
+//! stays fast) and reports the headline numbers to stderr once.
+//!
+//! For the full-size runs recorded in EXPERIMENTS.md, use the `figures`
+//! binary with `--size ref`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seqpar_bench::{geomean, sweep_workload, table2, PlanKind};
+use seqpar_workloads::{all_workloads, workload_by_name, InputSize};
+use std::hint::black_box;
+use std::sync::Once;
+
+fn sweep_best(id: &str) -> f64 {
+    let w = workload_by_name(id).expect("known benchmark");
+    sweep_workload(w.as_ref(), InputSize::Test, PlanKind::Dswp)
+        .best()
+        .speedup
+}
+
+fn fig(c: &mut Criterion, name: &str, ids: &'static [&'static str]) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| eprintln!("(figure data at --size ref lives in EXPERIMENTS.md)"));
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10);
+    for id in ids {
+        g.bench_function(format!("sweep/{id}"), |b| {
+            b.iter(|| black_box(sweep_best(id)))
+        });
+    }
+    g.finish();
+}
+
+fn fig4(c: &mut Criterion) {
+    fig(
+        c,
+        "figure4",
+        &["181.mcf", "253.perlbmk", "255.vortex", "256.bzip2"],
+    );
+}
+
+fn fig5(c: &mut Criterion) {
+    fig(c, "figure5", &["176.gcc", "254.gap"]);
+}
+
+fn fig6(c: &mut Criterion) {
+    fig(
+        c,
+        "figure6",
+        &["186.crafty", "197.parser", "300.twolf", "175.vpr"],
+    );
+}
+
+fn fig7(c: &mut Criterion) {
+    fig(c, "figure7", &["164.gzip"]);
+}
+
+fn table_2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("geomean", |b| {
+        b.iter(|| {
+            let sweeps: Vec<_> = all_workloads()
+                .iter()
+                .map(|w| {
+                    (
+                        w.meta(),
+                        sweep_workload(w.as_ref(), InputSize::Test, PlanKind::Dswp),
+                    )
+                })
+                .collect();
+            let rows = table2(&sweeps);
+            black_box(geomean(rows.iter().map(|r| r.speedup)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig4, fig5, fig6, fig7, table_2);
+criterion_main!(benches);

@@ -1,0 +1,251 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! figures [--size test|train|ref] [fig4|fig5|fig6|fig7|table1|table2|ablations|gantt|all]
+//! ```
+//!
+//! Absolute numbers differ from the paper (our substrate is a simulator
+//! over work-unit traces, not an Itanium 2), but the *shapes* — which
+//! benchmarks scale, where they saturate, who beats the Moore's-law
+//! reference — are the reproduction target (see EXPERIMENTS.md).
+
+use seqpar_bench::{
+    render_curves, render_table1, render_table2, sweep_workload, table2, PlanKind, SweepResult,
+};
+use seqpar_workloads::{all_workloads, workload_by_name, InputSize, Workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut size = InputSize::Train;
+    let mut targets = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--size" => {
+                size = match iter.next().map(String::as_str) {
+                    Some("test") => InputSize::Test,
+                    Some("train") => InputSize::Train,
+                    Some("ref") => InputSize::Ref,
+                    other => {
+                        eprintln!("unknown size {other:?} (use test|train|ref)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    for t in &targets {
+        match t.as_str() {
+            "fig4" => fig(
+                size,
+                "Figure 4: parallelizable by the framework",
+                &["181.mcf", "253.perlbmk", "255.vortex", "256.bzip2"],
+            ),
+            "fig5" => fig(
+                size,
+                "Figure 5: Commutative-enabled",
+                &["176.gcc", "254.gap"],
+            ),
+            "fig6" => fig(
+                size,
+                "Figure 6: improved parallelizations",
+                &["186.crafty", "197.parser", "300.twolf", "175.vpr"],
+            ),
+            "fig7" => fig(size, "Figure 7: Y-branch (gzip)", &["164.gzip"]),
+            "table1" => table1(),
+            "gantt" => gantt(size),
+            "table2" => run_table2(size),
+            "ablations" => ablations(size),
+            "all" => {
+                fig(
+                    size,
+                    "Figure 4: parallelizable by the framework",
+                    &["181.mcf", "253.perlbmk", "255.vortex", "256.bzip2"],
+                );
+                fig(
+                    size,
+                    "Figure 5: Commutative-enabled",
+                    &["176.gcc", "254.gap"],
+                );
+                fig(
+                    size,
+                    "Figure 6: improved parallelizations",
+                    &["186.crafty", "197.parser", "300.twolf", "175.vpr"],
+                );
+                fig(size, "Figure 7: Y-branch (gzip)", &["164.gzip"]);
+                table1();
+                run_table2(size);
+                ablations(size);
+                gantt(size);
+            }
+            other => {
+                eprintln!("unknown target {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn fig(size: InputSize, title: &str, ids: &[&str]) {
+    let curves: Vec<SweepResult> = ids
+        .iter()
+        .map(|id| {
+            let w = workload_by_name(id).expect("known benchmark");
+            sweep_workload(w.as_ref(), size, PlanKind::Dswp)
+        })
+        .collect();
+    println!("{}", render_curves(title, &curves));
+}
+
+fn table1() {
+    let metas: Vec<_> = all_workloads().iter().map(|w| w.meta()).collect();
+    println!("{}", render_table1(&metas));
+}
+
+fn run_table2(size: InputSize) {
+    let sweeps: Vec<_> = all_workloads()
+        .iter()
+        .map(|w| (w.meta(), sweep_workload(w.as_ref(), size, PlanKind::Dswp)))
+        .collect();
+    println!("{}", render_table2(&table2(&sweeps)));
+}
+
+/// Prints the first cycles of 256.bzip2's 8-core schedule — the A/B/C
+/// pipeline of paper Figure 3, rendered from a real trace.
+fn gantt(size: InputSize) {
+    let w = workload_by_name("256.bzip2").expect("bzip2 exists");
+    let trace = w.trace(size);
+    let sim = seqpar_runtime::Simulator::new(seqpar_runtime::SimConfig {
+        cores: 8,
+        comm_latency: 10,
+        queue_capacity: 128,
+        ..seqpar_runtime::SimConfig::default()
+    });
+    let (r, placements) = sim
+        .run_traced(
+            &trace.task_graph(),
+            &seqpar_runtime::ExecutionPlan::three_phase(8),
+        )
+        .expect("valid plan");
+    println!("## Figure 3 (schedule view): 256.bzip2 on 8 cores");
+    println!("core 0 = phase A (read), cores 1-6 = phase B (transform), core 7 = phase C (write)");
+    print!("{}", seqpar_bench::render_gantt(&placements, 8, r.makespan));
+    println!();
+}
+
+/// Design-choice ablations called out in DESIGN.md.
+fn ablations(size: InputSize) {
+    println!("## Ablations");
+    // DSWP vs TLS execution plans (paper §3.2: results should be similar).
+    println!("\n### DSWP vs TLS plan, best speedup");
+    println!("{:<14}{:>10}{:>10}", "benchmark", "dswp", "tls");
+    for w in all_workloads() {
+        let d = sweep_workload(w.as_ref(), size, PlanKind::Dswp).best();
+        let t = sweep_workload(w.as_ref(), size, PlanKind::Tls).best();
+        println!(
+            "{:<14}{:>10.2}{:>10.2}",
+            w.meta().spec_id,
+            d.speedup,
+            t.speedup
+        );
+    }
+    // Speculation value: re-run with every speculation event violated
+    // (equivalent to synchronizing all carried dependences).
+    println!("\n### Value of speculation (32 threads, DSWP)");
+    println!(
+        "{:<14}{:>12}{:>16}",
+        "benchmark", "speculative", "synchronized"
+    );
+    for w in all_workloads() {
+        let trace = w.trace(size);
+        let spec = seqpar_bench::simulate(&trace, 32, PlanKind::Dswp).speedup();
+        let sync = {
+            // Rewrite every record to depend on its predecessor.
+            let mut t = seqpar::IterationTrace::speculative();
+            for (i, r) in trace.records().iter().enumerate() {
+                let mut r = *r;
+                if i > 0 {
+                    r.misspec_on = Some(i as u64 - 1);
+                }
+                t.push(r);
+            }
+            seqpar_bench::simulate(&t, 32, PlanKind::Dswp).speedup()
+        };
+        println!("{:<14}{:>12.2}{:>16.2}", w.meta().spec_id, spec, sync);
+    }
+    // Dynamic least-loaded vs static round-robin phase-B assignment on
+    // the most variance-bound benchmark.
+    println!("\n### Dynamic vs static phase-B assignment (186.crafty, 16 threads)");
+    let crafty = workload_by_name("186.crafty").expect("crafty exists");
+    let ctrace = crafty.trace(size);
+    let cgraph = ctrace.task_graph();
+    let sim16 = seqpar_runtime::Simulator::new(seqpar_runtime::SimConfig {
+        cores: 16,
+        comm_latency: 10,
+        queue_capacity: 128,
+        ..seqpar_runtime::SimConfig::default()
+    });
+    let dynamic = sim16
+        .run(&cgraph, &seqpar_runtime::ExecutionPlan::three_phase(16))
+        .expect("valid plan");
+    let rr = sim16
+        .run(
+            &cgraph,
+            &seqpar_runtime::ExecutionPlan::three_phase_static(16),
+        )
+        .expect("valid plan");
+    println!(
+        "least-loaded: {:.2}   round-robin: {:.2}",
+        dynamic.speedup(),
+        rr.speedup()
+    );
+
+    // 176.gcc's label_num fix (§4.2.1): global counter vs the paper's
+    // per-function (function, number) pairs.
+    println!("\n### 176.gcc label numbering (16 threads)");
+    let gcc = seqpar_workloads::gcc::Gcc;
+    let fixed = seqpar_bench::simulate(
+        &seqpar_workloads::Workload::trace(&gcc, size),
+        16,
+        PlanKind::Dswp,
+    )
+    .speedup();
+    let global =
+        seqpar_bench::simulate(&gcc.trace_with_global_labels(size), 16, PlanKind::Dswp).speedup();
+    println!("per-function labels: {fixed:.2}   global label_num: {global:.2}");
+
+    // Queue capacity sweep on the most pipeline-bound benchmark.
+    println!("\n### Queue capacity (164.gzip, 16 threads)");
+    let gzip = workload_by_name("164.gzip").expect("gzip exists");
+    let trace = gzip.trace(size);
+    let graph = trace.task_graph();
+    for cap in [1usize, 4, 8, 32, 128] {
+        let sim = seqpar_runtime::Simulator::new(seqpar_runtime::SimConfig {
+            cores: 16,
+            comm_latency: 10,
+            queue_capacity: cap,
+            ..seqpar_runtime::SimConfig::default()
+        });
+        let r = sim
+            .run(&graph, &seqpar_runtime::ExecutionPlan::three_phase(16))
+            .expect("valid plan");
+        println!(
+            "capacity {cap:>4}: speedup {:>6.2} (stall cycles {})",
+            r.speedup(),
+            r.queue_stall_cycles
+        );
+    }
+    let _ = size;
+}
+
+// Silence the unused-trait warning when compiled standalone.
+#[allow(dead_code)]
+fn _assert_traits(w: &dyn Workload) -> &'static str {
+    w.meta().spec_id
+}

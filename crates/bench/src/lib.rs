@@ -1,0 +1,349 @@
+//! Experiment harness: sweeps, tables, and figure regeneration.
+//!
+//! This crate turns workload traces into the paper's tables and figures.
+//! The entry point is the `figures` binary (`cargo run -p seqpar-bench
+//! --bin figures -- all`); the library half exposes the sweep machinery
+//! so integration tests and Criterion benches can reuse it.
+
+#![warn(missing_docs)]
+
+use seqpar::IterationTrace;
+use seqpar_runtime::{ExecutionPlan, SimConfig, SimResult, Simulator};
+use seqpar_workloads::{InputSize, Workload, WorkloadMeta};
+
+/// The thread counts used throughout the paper's figures.
+pub const THREAD_SWEEP: &[usize] = &[1, 2, 4, 6, 8, 10, 12, 15, 16, 20, 24, 28, 32];
+
+/// How iterations are scheduled in a sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanKind {
+    /// The paper's three-phase DSWP plan (§3.2).
+    Dswp,
+    /// The TLS-style single-stage plan.
+    Tls,
+}
+
+/// One point of a speedup curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// Thread (core) count.
+    pub threads: usize,
+    /// Speedup of multi-threaded over single-threaded execution.
+    pub speedup: f64,
+    /// Fraction of speculations that were violated.
+    pub misspec_rate: f64,
+    /// Core utilization.
+    pub utilization: f64,
+}
+
+/// A full speedup curve for one benchmark.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// Benchmark SPEC id.
+    pub spec_id: String,
+    /// The points, in ascending thread order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepResult {
+    /// The best speedup and the minimum thread count achieving it
+    /// (within 1%), as in Table 2.
+    pub fn best(&self) -> SweepPoint {
+        let max = self.points.iter().map(|p| p.speedup).fold(0.0f64, f64::max);
+        *self
+            .points
+            .iter()
+            .find(|p| p.speedup >= max * 0.99)
+            .expect("sweep is non-empty")
+    }
+
+    /// The speedup at a specific thread count, if swept.
+    pub fn at(&self, threads: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.threads == threads)
+            .map(|p| p.speedup)
+    }
+}
+
+/// Simulates one trace at one thread count under the given plan.
+pub fn simulate(trace: &IterationTrace, threads: usize, kind: PlanKind) -> SimResult {
+    let (graph, plan) = match kind {
+        PlanKind::Dswp => (trace.task_graph(), ExecutionPlan::three_phase(threads)),
+        PlanKind::Tls => (trace.tls_task_graph(), ExecutionPlan::tls(threads)),
+    };
+    // Channel buffering: a stage-to-stage channel gangs several of the
+    // machine's 256 hardware queues (only a handful of channels exist),
+    // giving 128 in-flight iterations; the single-queue 32-entry case is
+    // measured by the queue-capacity ablation.
+    let sim = Simulator::new(SimConfig {
+        cores: threads,
+        comm_latency: 10,
+        queue_capacity: 128,
+        ..SimConfig::default()
+    });
+    sim.run(&graph, &plan).expect("plan matches machine")
+}
+
+/// Sweeps a precomputed trace over `threads`.
+pub fn sweep_trace(
+    spec_id: &str,
+    trace: &IterationTrace,
+    threads: &[usize],
+    kind: PlanKind,
+) -> SweepResult {
+    let points = threads
+        .iter()
+        .map(|&t| {
+            let r = simulate(trace, t, kind);
+            let total_spec = r.violations + r.speculations_survived;
+            SweepPoint {
+                threads: t,
+                speedup: r.speedup(),
+                misspec_rate: if total_spec == 0 {
+                    0.0
+                } else {
+                    r.violations as f64 / total_spec as f64
+                },
+                utilization: r.utilization(),
+            }
+        })
+        .collect();
+    SweepResult {
+        spec_id: spec_id.to_string(),
+        points,
+    }
+}
+
+/// Runs the full sweep for one workload.
+pub fn sweep_workload(w: &dyn Workload, size: InputSize, kind: PlanKind) -> SweepResult {
+    let trace = w.trace(size);
+    sweep_trace(w.meta().spec_id, &trace, THREAD_SWEEP, kind)
+}
+
+/// Renders a set of curves as an ASCII table (threads × benchmarks), the
+/// textual equivalent of the paper's figures.
+pub fn render_curves(title: &str, curves: &[SweepResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    out.push_str(&format!("{:>8}", "threads"));
+    for c in curves {
+        out.push_str(&format!("{:>14}", c.spec_id));
+    }
+    out.push('\n');
+    for (i, &t) in THREAD_SWEEP.iter().enumerate() {
+        out.push_str(&format!("{t:>8}"));
+        for c in curves {
+            out.push_str(&format!("{:>14.2}", c.points[i].speedup));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One row of Table 2.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Benchmark id.
+    pub spec_id: String,
+    /// Minimum threads at which the best speedup occurs.
+    pub threads: usize,
+    /// Best speedup.
+    pub speedup: f64,
+    /// Moore's-law reference speedup at that thread count.
+    pub moore: f64,
+    /// speedup / moore.
+    pub ratio: f64,
+    /// The paper's reported speedup, for side-by-side comparison.
+    pub paper_speedup: f64,
+    /// The paper's reported thread count.
+    pub paper_threads: u32,
+}
+
+/// Computes Table 2 from sweeps.
+pub fn table2(sweeps: &[(WorkloadMeta, SweepResult)]) -> Vec<Table2Row> {
+    sweeps
+        .iter()
+        .map(|(meta, sweep)| {
+            let best = sweep.best();
+            let moore = WorkloadMeta::moore_speedup(best.threads as u32);
+            Table2Row {
+                spec_id: meta.spec_id.to_string(),
+                threads: best.threads,
+                speedup: best.speedup,
+                moore,
+                ratio: best.speedup / moore,
+                paper_speedup: meta.paper_speedup,
+                paper_threads: meta.paper_threads,
+            }
+        })
+        .collect()
+}
+
+/// Geometric mean of a positive series.
+pub fn geomean(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0.0f64, 0usize);
+    for x in xs {
+        log_sum += x.ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Renders Table 2 rows.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str("## Table 2: best speedup vs Moore's-law reference\n");
+    out.push_str(&format!(
+        "{:<14}{:>9}{:>9}{:>8}{:>7} |{:>9}{:>9}\n",
+        "benchmark", "threads", "speedup", "moore", "ratio", "paper", "paper#"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14}{:>9}{:>9.2}{:>8.2}{:>7.2} |{:>9.2}{:>9}\n",
+            r.spec_id, r.threads, r.speedup, r.moore, r.ratio, r.paper_speedup, r.paper_threads
+        ));
+    }
+    let gm_speedup = geomean(rows.iter().map(|r| r.speedup));
+    let gm_threads = geomean(rows.iter().map(|r| r.threads as f64));
+    let gm_moore = geomean(rows.iter().map(|r| r.moore));
+    let gm_ratio = geomean(rows.iter().map(|r| r.ratio));
+    let am = |f: &dyn Fn(&Table2Row) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
+    out.push_str(&format!(
+        "{:<14}{:>9.0}{:>9.2}{:>8.2}{:>7.2} |{:>9.2}\n",
+        "GeoMean",
+        gm_threads,
+        gm_speedup,
+        gm_moore,
+        gm_ratio,
+        geomean(rows.iter().map(|r| r.paper_speedup)),
+    ));
+    out.push_str(&format!(
+        "{:<14}{:>9.0}{:>9.2}{:>8.2}{:>7.2} |{:>9.2}\n",
+        "ArithMean",
+        am(&|r| r.threads as f64),
+        am(&|r| r.speedup),
+        am(&|r| r.moore),
+        am(&|r| r.ratio),
+        am(&|r| r.paper_speedup),
+    ));
+    out
+}
+
+/// Renders the first `width` cycles of a traced schedule as an ASCII
+/// Gantt chart (one row per core), for examples and debugging.
+pub fn render_gantt(
+    placements: &[seqpar_runtime::TaskPlacement],
+    cores: usize,
+    width: u64,
+) -> String {
+    const COLUMNS: usize = 72;
+    let scale = (width.max(1) as f64) / COLUMNS as f64;
+    let mut rows = vec![vec![b'.'; COLUMNS]; cores];
+    for p in placements {
+        if p.start >= width {
+            continue;
+        }
+        let lo = (p.start as f64 / scale) as usize;
+        let hi = (((p.end.min(width)) as f64 / scale) as usize).max(lo + 1);
+        let glyph = b"ABCDEFGHIJ"[p.task.0 as usize % 10];
+        for cell in rows[p.core].iter_mut().take(hi.min(COLUMNS)).skip(lo) {
+            *cell = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (c, row) in rows.iter().enumerate() {
+        out.push_str(&format!("core {c:>2} |"));
+        out.push_str(std::str::from_utf8(row).expect("ascii"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders Table 1 from workload metadata.
+pub fn render_table1(metas: &[WorkloadMeta]) -> String {
+    let mut out = String::new();
+    out.push_str("## Table 1: loops, lines changed, techniques\n");
+    out.push_str(&format!(
+        "{:<14}{:>6}{:>7}{:>7}  {:<50}\n",
+        "benchmark", "exec%", "lines", "model", "techniques"
+    ));
+    for m in metas {
+        let techniques: Vec<String> = m.techniques.iter().map(|t| t.to_string()).collect();
+        out.push_str(&format!(
+            "{:<14}{:>6}{:>7}{:>7}  {:<50}\n",
+            m.spec_id,
+            m.exec_time_pct,
+            m.lines_changed_all,
+            m.lines_changed_model,
+            techniques.join(", ")
+        ));
+        for l in m.loops {
+            out.push_str(&format!("{:14}  loop: {l}\n", ""));
+        }
+    }
+    let total: u32 = metas.iter().map(|m| m.lines_changed_all).sum();
+    out.push_str(&format!("total lines changed: {total} (paper: 60)\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_equal_values_is_the_value() {
+        assert!((geomean([4.0, 4.0, 4.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean([1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean([]), 1.0);
+    }
+
+    #[test]
+    fn sweep_points_align_with_thread_sweep() {
+        let mut trace = IterationTrace::new();
+        for _ in 0..64 {
+            trace.push(seqpar::IterationRecord::new(1, 50, 1));
+        }
+        let s = sweep_trace("demo", &trace, THREAD_SWEEP, PlanKind::Dswp);
+        assert_eq!(s.points.len(), THREAD_SWEEP.len());
+        assert!(s.at(32).unwrap() > s.at(1).unwrap());
+        assert!(s.best().speedup >= s.at(1).unwrap());
+    }
+
+    #[test]
+    fn gantt_rendering_covers_every_core_row() {
+        let mut trace = IterationTrace::new();
+        for _ in 0..32 {
+            trace.push(seqpar::IterationRecord::new(2, 20, 2));
+        }
+        let sim = Simulator::new(SimConfig {
+            cores: 4,
+            comm_latency: 0,
+            ..SimConfig::default()
+        });
+        let (r, placements) = sim
+            .run_traced(&trace.task_graph(), &ExecutionPlan::three_phase(4))
+            .unwrap();
+        let chart = render_gantt(&placements, 4, r.makespan);
+        assert_eq!(chart.lines().count(), 4);
+        assert!(chart.contains("core  0 |"));
+        // Busy cores show glyphs, not only idle dots.
+        assert!(chart.bytes().filter(|b| b.is_ascii_uppercase()).count() > 10);
+    }
+
+    #[test]
+    fn render_functions_produce_nonempty_tables() {
+        let mut trace = IterationTrace::new();
+        for _ in 0..16 {
+            trace.push(seqpar::IterationRecord::new(1, 10, 1));
+        }
+        let s = sweep_trace("demo", &trace, THREAD_SWEEP, PlanKind::Dswp);
+        let fig = render_curves("demo fig", &[s]);
+        assert!(fig.contains("demo"));
+        assert!(fig.lines().count() > THREAD_SWEEP.len());
+    }
+}

@@ -1,0 +1,55 @@
+//! Errors reported by the parallelizer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a loop could not be parallelized.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParallelizeError {
+    /// The function contains no natural loop to parallelize.
+    NoLoop {
+        /// Name of the function inspected.
+        function: String,
+    },
+    /// Every dependence cycle stayed sequential: no parallel stage could
+    /// be formed and pipelining would not help.
+    NoParallelStage,
+    /// The requested loop id does not exist in the function.
+    UnknownLoop,
+}
+
+impl fmt::Display for ParallelizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParallelizeError::NoLoop { function } => {
+                write!(f, "function `{function}` contains no natural loop")
+            }
+            ParallelizeError::NoParallelStage => {
+                write!(f, "no dependence-free stage could be extracted")
+            }
+            ParallelizeError::UnknownLoop => write!(f, "loop id not found in function"),
+        }
+    }
+}
+
+impl Error for ParallelizeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_prose() {
+        let e = ParallelizeError::NoLoop {
+            function: "main".into(),
+        };
+        assert!(e.to_string().contains("main"));
+        assert!(!ParallelizeError::NoParallelStage.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync>() {}
+        assert_error::<ParallelizeError>();
+    }
+}

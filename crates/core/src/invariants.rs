@@ -1,0 +1,124 @@
+//! Dependence pruning from proven value facts (paper §2.1).
+//!
+//! "Proving two memory operations do not conflict or proving that a
+//! variable holds a constant value at a certain program point can be
+//! invaluable in unlocking parallelism." Alias proofs happen inside the
+//! dependence analysis; this pass handles the value half: a loop-carried
+//! register dependence whose carried value is a *compile-time constant*
+//! transfers the same value every iteration, so consumers need not wait —
+//! the edge is removed outright, with no speculation and no
+//! misspeculation risk.
+
+use seqpar_analysis::pdg::{DepKind, LoopPdg, PdgNode};
+use seqpar_analysis::value_range::ValueFacts;
+use seqpar_ir::Program;
+
+/// Removes carried register edges whose carried value is proven constant.
+/// Returns how many edges were pruned.
+pub fn prune_constant_carried_edges(program: &Program, pdg: &mut LoopPdg) -> usize {
+    let func = program.function(pdg.func());
+    let facts = ValueFacts::analyze(func);
+    let removable = pdg.find_edges(|e| {
+        if !e.carried || e.kind != DepKind::Reg {
+            return false;
+        }
+        let PdgNode::Inst(src) = pdg.nodes()[e.src] else {
+            return false;
+        };
+        func.inst(src).def.is_some_and(|v| facts.is_const(v))
+    });
+    let count = removable.len();
+    pdg.remove_edges(removable.into_iter().map(|(i, _)| i).collect());
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqpar_ir::{BlockId, ExternEffect, FunctionBuilder, LoopForest, Opcode, Program, ValueId};
+
+    /// A loop whose header phi re-receives a constant every iteration
+    /// (a flag reset at the bottom of the body), plus a genuine counter.
+    fn fixture() -> (Program, seqpar_ir::FuncId) {
+        let mut p = Program::new("t");
+        p.declare_extern("f", ExternEffect::pure_fn());
+        let mut b = FunctionBuilder::new("loop");
+        let header = b.add_block("header");
+        let exit = b.add_block("exit");
+        let zero = b.const_(0);
+        b.jump(header);
+        b.switch_to(header);
+        let flag = b.phi(&[zero, ValueId::new(90)]); // patched: constant back-input
+        let count = b.phi(&[zero, ValueId::new(91)]); // patched: real counter
+        let reset = b.const_(0); // the body always resets the flag
+        let one = b.const_(1);
+        let next = b.binop(Opcode::Add, count, one);
+        let used = b.binop(Opcode::Or, flag, next);
+        let done = b.binop(Opcode::CmpEq, used, zero);
+        b.cond_branch(done, exit, header);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut func = b.into_function();
+        let insts = func.block(BlockId::new(1)).insts.clone();
+        let flag_phi = insts[0];
+        let count_phi = insts[1];
+        func.inst_mut(flag_phi).operands[1] = reset;
+        func.inst_mut(count_phi).operands[1] = next;
+        let f = p.add_function(func);
+        (p, f)
+    }
+
+    fn pdg_of(p: &Program, f: seqpar_ir::FuncId) -> LoopPdg {
+        let forest = LoopForest::build(p.function(f));
+        let (lid, _) = forest.loops().next().unwrap();
+        LoopPdg::build(p, f, &forest, lid, None)
+    }
+
+    #[test]
+    fn constant_carried_flag_is_pruned_but_counter_survives() {
+        let (p, f) = fixture();
+        let mut pdg = pdg_of(&p, f);
+        let carried_before = pdg
+            .edges()
+            .filter(|e| e.carried && e.kind == DepKind::Reg)
+            .count();
+        assert!(carried_before >= 2, "flag and counter recurrences");
+        let pruned = prune_constant_carried_edges(&p, &mut pdg);
+        assert_eq!(pruned, 1, "exactly the constant flag edge");
+        // The counter's carried edge must survive: its value changes.
+        assert!(pdg.edges().any(|e| e.carried && e.kind == DepKind::Reg));
+    }
+
+    #[test]
+    fn pruning_is_idempotent() {
+        let (p, f) = fixture();
+        let mut pdg = pdg_of(&p, f);
+        assert_eq!(prune_constant_carried_edges(&p, &mut pdg), 1);
+        assert_eq!(prune_constant_carried_edges(&p, &mut pdg), 0);
+    }
+
+    #[test]
+    fn loops_without_constants_are_untouched() {
+        // Pure counter loop: nothing is provably constant.
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::new("loop");
+        let header = b.add_block("header");
+        let exit = b.add_block("exit");
+        let zero = b.const_(0);
+        b.jump(header);
+        b.switch_to(header);
+        let count = b.phi(&[zero, ValueId::new(90)]);
+        let one = b.const_(1);
+        let next = b.binop(Opcode::Add, count, one);
+        let done = b.binop(Opcode::CmpEq, next, zero);
+        b.cond_branch(done, exit, header);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut func = b.into_function();
+        let phi_id = func.block(BlockId::new(1)).insts[0];
+        func.inst_mut(phi_id).operands[1] = next;
+        let f = p.add_function(func);
+        let mut pdg = pdg_of(&p, f);
+        assert_eq!(prune_constant_carried_edges(&p, &mut pdg), 0);
+    }
+}

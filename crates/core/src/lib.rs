@@ -1,0 +1,86 @@
+//! `seqpar` — speculative pipelined thread extraction from sequential
+//! programs.
+//!
+//! This crate implements the automatic-parallelization framework of
+//! *Bridges, Vachharajani, Zhang, Jablin, August — "Revisiting the
+//! Sequential Programming Model for Multi-Core", MICRO 2007*: the
+//! combination of existing compiler and hardware techniques (§2.1–2.2)
+//! plus two small extensions to the sequential programming model (§2.3)
+//! that together parallelized all of SPEC CINT2000.
+//!
+//! The pieces, bottom to top:
+//!
+//! * [`annotations`] — the **Y-branch** and **Commutative** extensions:
+//!   passes that erase the artificial dependences these annotations
+//!   declare removable;
+//! * [`speculation`] — selection of alias/value/control/silent-store
+//!   speculation candidates from profile data;
+//! * [`scc`] — strongly connected components of the dependence graph;
+//! * [`dswp`] — the PS-DSWP partitioner: condenses the PDG into an SCC
+//!   DAG and splits it into the paper's three phases — sequential **A**,
+//!   replicated parallel **B**, sequential **C** (§3.2);
+//! * [`pipeline`] — turning a partition plus a measured
+//!   [`pipeline::IterationTrace`] into a task graph and execution plan for
+//!   the [`seqpar_runtime`] simulator;
+//! * [`tls`] — the TLS-style baseline parallelization;
+//! * [`parallelizer`] — the [`Parallelizer`] facade tying it together;
+//! * [`report`] — which techniques a parallelization used (Table 1).
+//!
+//! # Example
+//!
+//! ```
+//! use seqpar::{Parallelizer, SpeculationConfig};
+//! use seqpar_ir::{FunctionBuilder, Program, Opcode, CommGroupId};
+//!
+//! // A loop whose only cross-iteration dependence is a commutative RNG.
+//! let mut program = Program::new("demo");
+//! program.declare_extern("rng", seqpar_ir::ExternEffect::pure_fn());
+//! let sink = program.add_global("sink", 64);
+//! let mut b = FunctionBuilder::new("loop");
+//! let header = b.add_block("header");
+//! let exit = b.add_block("exit");
+//! b.jump(header);
+//! b.switch_to(header);
+//! let r = b.call_ext("rng", &[], Some(CommGroupId(0)));
+//! let base = b.global_addr(sink);
+//! let slot = b.gep(base, r);
+//! b.store(slot, r);
+//! let done = b.binop(Opcode::CmpEq, r, r);
+//! b.cond_branch(done, exit, header);
+//! b.switch_to(exit);
+//! b.ret(None);
+//! let func = b.finish(&mut program);
+//!
+//! let result = Parallelizer::new(&program)
+//!     .speculation(SpeculationConfig::default())
+//!     .parallelize_outermost(func)
+//!     .expect("loop is parallelizable");
+//! assert!(result.report().parallel_fraction() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod annotations;
+pub mod dswp;
+pub mod error;
+pub mod invariants;
+pub mod parallelizer;
+pub mod pipeline;
+pub mod reductions;
+pub mod region;
+pub mod report;
+pub mod scc;
+pub mod speculation;
+pub mod tls;
+
+pub use annotations::{apply_commutative, apply_ybranch};
+pub use dswp::{partition_to_dot, Partition, Stage};
+pub use error::ParallelizeError;
+pub use invariants::prune_constant_carried_edges;
+pub use parallelizer::{ParallelizedLoop, Parallelizer};
+pub use pipeline::{IterationRecord, IterationTrace};
+pub use reductions::{apply_reductions, ReductionOutcome};
+pub use region::{form_region, inline_call, InlineError, RegionOutcome};
+pub use report::{ParallelizationReport, Technique};
+pub use speculation::{SpecKind, Speculation, SpeculationConfig, SpeculationSet};

@@ -1,0 +1,370 @@
+//! The end-to-end parallelization facade.
+
+use crate::annotations::{apply_commutative, apply_ybranch};
+use crate::dswp::{partition, Partition, Stage};
+use crate::error::ParallelizeError;
+use crate::invariants::prune_constant_carried_edges;
+use crate::reductions::apply_reductions;
+use crate::report::{ParallelizationReport, Technique};
+use crate::speculation::{select, SpecKind, SpeculationConfig, SpeculationSet};
+use seqpar_analysis::pdg::LoopPdg;
+use seqpar_analysis::profile::LoopProfile;
+use seqpar_ir::{FuncId, LoopForest, LoopId, Program};
+use seqpar_runtime::ExecutionPlan;
+
+/// The result of parallelizing one loop: the stage partition, the
+/// speculation set, and a techniques report.
+#[derive(Clone, Debug)]
+pub struct ParallelizedLoop {
+    partition: Partition,
+    speculation: SpeculationSet,
+    report: ParallelizationReport,
+    pdg: LoopPdg,
+}
+
+impl ParallelizedLoop {
+    /// The three-phase stage assignment.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The speculations the parallelization relies on.
+    pub fn speculation(&self) -> &SpeculationSet {
+        &self.speculation
+    }
+
+    /// The techniques report (one row of the paper's Table 1).
+    pub fn report(&self) -> &ParallelizationReport {
+        &self.report
+    }
+
+    /// The pruned dependence graph the partition was computed over.
+    pub fn pdg(&self) -> &LoopPdg {
+        &self.pdg
+    }
+
+    /// The execution plan for a machine with `cores` cores.
+    pub fn plan(&self, cores: usize) -> ExecutionPlan {
+        ExecutionPlan::three_phase(cores)
+    }
+}
+
+/// Orchestrates analysis, annotation application, speculation selection,
+/// and partitioning over whole programs.
+///
+/// See the [crate documentation](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Parallelizer<'p> {
+    program: &'p Program,
+    spec_config: SpeculationConfig,
+    profile: Option<LoopProfile>,
+    nested: bool,
+    reductions: bool,
+}
+
+impl<'p> Parallelizer<'p> {
+    /// Creates a parallelizer over `program` with default configuration.
+    pub fn new(program: &'p Program) -> Self {
+        Self {
+            program,
+            spec_config: SpeculationConfig::default(),
+            profile: None,
+            nested: false,
+            reductions: false,
+        }
+    }
+
+    /// Sets the speculation configuration (builder style).
+    pub fn speculation(mut self, config: SpeculationConfig) -> Self {
+        self.spec_config = config;
+        self
+    }
+
+    /// Supplies profile data for the target loop (builder style).
+    pub fn profile(mut self, profile: LoopProfile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// Marks this parallelization as nested (multiple loop levels or
+    /// unrolled recursion, as in 186.crafty) for reporting purposes.
+    pub fn nested(mut self, nested: bool) -> Self {
+        self.nested = nested;
+        self
+    }
+
+    /// Enables reduction expansion (§2.1): associative accumulator cycles
+    /// are privatized per thread instead of serializing the loop.
+    pub fn expand_reductions(mut self, enabled: bool) -> Self {
+        self.reductions = enabled;
+        self
+    }
+
+    /// Parallelizes the outermost (largest) loop of `func`.
+    ///
+    /// The paper found that useful parallelism lives at or near the
+    /// outermost application loop (§2.2), so this is the default entry
+    /// point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParallelizeError::NoLoop`] if the function has no loop.
+    pub fn parallelize_outermost(
+        &self,
+        func: FuncId,
+    ) -> Result<ParallelizedLoop, ParallelizeError> {
+        let f = self.program.function(func);
+        let forest = LoopForest::build(f);
+        let outermost = forest
+            .loops()
+            .filter(|(_, l)| l.depth == 0)
+            .max_by_key(|(_, l)| l.blocks.len())
+            .map(|(id, _)| id)
+            .ok_or_else(|| ParallelizeError::NoLoop {
+                function: f.name.clone(),
+            })?;
+        self.parallelize(func, &forest, outermost)
+    }
+
+    /// Parallelizes a specific loop of `func`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParallelizeError::UnknownLoop`] if `loop_id` is not in
+    /// `forest`.
+    pub fn parallelize(
+        &self,
+        func: FuncId,
+        forest: &LoopForest,
+        loop_id: LoopId,
+    ) -> Result<ParallelizedLoop, ParallelizeError> {
+        if loop_id.0 as usize >= forest.len() {
+            return Err(ParallelizeError::UnknownLoop);
+        }
+        let mut pdg = LoopPdg::build(self.program, func, forest, loop_id, self.profile.as_ref());
+
+        // 1. Sequential-model extensions remove declared-removable deps.
+        let ybranch = apply_ybranch(self.program, &mut pdg);
+        let commutative = apply_commutative(&mut pdg);
+        // 1b. Sound value-fact pruning: constant carried values never
+        // order iterations.
+        let invariant_pruned = prune_constant_carried_edges(self.program, &mut pdg);
+        let _ = invariant_pruned;
+        // 1c. Classic transformations: reduction expansion (§2.1).
+        let reductions = if self.reductions {
+            apply_reductions(self.program, &mut pdg)
+        } else {
+            crate::reductions::ReductionOutcome::default()
+        };
+        // 2. Profile-guided speculation removes rarely-manifesting deps.
+        let speculation = select(
+            self.program,
+            &mut pdg,
+            self.profile.as_ref(),
+            &self.spec_config,
+        );
+        // 3. PS-DSWP partitions what remains.
+        let part = partition(&pdg);
+
+        let mut techniques = vec![Technique::Dswp];
+        if !speculation.is_empty() || part.has_parallel_stage() {
+            // Any parallel execution relies on versioned memory for
+            // privatization, even without explicit speculation.
+            techniques.push(Technique::TlsMemory);
+        }
+        if speculation.uses(SpecKind::Alias) {
+            techniques.push(Technique::AliasSpeculation);
+        }
+        if speculation.uses(SpecKind::Value) {
+            techniques.push(Technique::ValueSpeculation);
+        }
+        if speculation.uses(SpecKind::Control) {
+            techniques.push(Technique::ControlSpeculation);
+        }
+        if speculation.uses(SpecKind::SilentStore) {
+            techniques.push(Technique::SilentStoreSpeculation);
+        }
+        if commutative.edges_removed > 0 {
+            techniques.push(Technique::Commutative);
+        }
+        if ybranch.edges_removed > 0 {
+            techniques.push(Technique::YBranch);
+        }
+        if self.nested {
+            techniques.push(Technique::Nested);
+        }
+        if reductions.any() {
+            techniques.push(Technique::ReductionExpansion);
+        }
+        techniques.sort();
+        techniques.dedup();
+
+        let report = ParallelizationReport {
+            function: self.program.function(func).name.clone(),
+            techniques,
+            stage_weights: [
+                part.weight(Stage::A),
+                part.weight(Stage::B),
+                part.weight(Stage::C),
+            ],
+            expected_misspec: speculation.misspec_per_iteration(),
+            annotation_edges_removed: ybranch.edges_removed + commutative.edges_removed,
+            speculated_edges: speculation.len(),
+        };
+        Ok(ParallelizedLoop {
+            partition: part,
+            speculation,
+            report,
+            pdg,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqpar_ir::{CommGroupId, ExternEffect, FunctionBuilder, Opcode};
+
+    /// The 300.twolf shape: a loop whose cross-iteration dependences are
+    /// a commutative RNG plus heavy pure work.
+    fn twolf_like(commutative: bool) -> (Program, FuncId) {
+        let mut p = Program::new("twolf");
+        let seed = p.add_global("randVarS", 1);
+        let out = p.add_global("out", 1);
+        p.declare_extern(
+            "Yacm_random",
+            ExternEffect {
+                reads: vec![seed],
+                writes: vec![seed],
+                ..Default::default()
+            },
+        );
+        p.declare_extern("ucxx2", ExternEffect::pure_fn());
+        let mut b = FunctionBuilder::new("uloop");
+        let header = b.add_block("header");
+        let exit = b.add_block("exit");
+        b.jump(header);
+        b.switch_to(header);
+        let group = commutative.then_some(CommGroupId(0));
+        let r = b.call_ext("Yacm_random", &[], group);
+        let cost = b.call_ext("ucxx2", &[r], None);
+        let ao = b.global_addr(out);
+        let old = b.load(ao);
+        let merged = b.binop(Opcode::Add, old, cost);
+        b.store(ao, merged);
+        // Loop control depends only on the RNG draw (phase-A shaped), not
+        // on the heavy work — as in twolf, where `uloop`'s trip count is
+        // an annealing schedule, not a function of the swap evaluations.
+        let done = b.binop(Opcode::CmpLe, r, r);
+        let _ = merged;
+        b.cond_branch(done, exit, header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish(&mut p);
+        (p, f)
+    }
+
+    #[test]
+    fn commutative_unlocks_the_parallel_stage() {
+        let (p, f) = twolf_like(true);
+        let result = Parallelizer::new(&p).parallelize_outermost(f).unwrap();
+        assert!(result.partition().has_parallel_stage());
+        assert!(result.report().uses(Technique::Commutative));
+        assert!(result.report().uses(Technique::Dswp));
+        assert!(result.report().parallel_fraction() > 0.3);
+    }
+
+    #[test]
+    fn without_commutative_the_rng_serializes() {
+        let (p, f) = twolf_like(false);
+        let result = Parallelizer::new(&p).parallelize_outermost(f).unwrap();
+        // The RNG's seed recurrence chains every call; the heavy work can
+        // still pipeline but the RNG call cannot replicate.
+        assert!(!result.report().uses(Technique::Commutative));
+        let with = {
+            let (p2, f2) = twolf_like(true);
+            Parallelizer::new(&p2)
+                .parallelize_outermost(f2)
+                .unwrap()
+                .report()
+                .parallel_fraction()
+        };
+        assert!(result.report().parallel_fraction() <= with);
+    }
+
+    #[test]
+    fn straight_line_function_has_no_loop() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::new("flat");
+        b.ret(None);
+        let f = b.finish(&mut p);
+        let err = Parallelizer::new(&p).parallelize_outermost(f).unwrap_err();
+        assert_eq!(
+            err,
+            ParallelizeError::NoLoop {
+                function: "flat".into()
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_loop_id_is_rejected() {
+        let (p, f) = twolf_like(true);
+        let forest = LoopForest::build(p.function(f));
+        let err = Parallelizer::new(&p)
+            .parallelize(f, &forest, seqpar_ir::LoopId(99))
+            .unwrap_err();
+        assert_eq!(err, ParallelizeError::UnknownLoop);
+    }
+
+    #[test]
+    fn nested_flag_is_reported() {
+        let (p, f) = twolf_like(true);
+        let result = Parallelizer::new(&p)
+            .nested(true)
+            .parallelize_outermost(f)
+            .unwrap();
+        assert!(result.report().uses(Technique::Nested));
+    }
+
+    #[test]
+    fn reduction_expansion_is_opt_in_and_reported() {
+        // A loop whose only recurrence is a memory accumulator.
+        let mut p = Program::new("t");
+        let acc = p.add_global("acc", 1);
+        p.declare_extern("f", ExternEffect::pure_fn());
+        let mut b = FunctionBuilder::new("sum");
+        let header = b.add_block("header");
+        let exit = b.add_block("exit");
+        b.jump(header);
+        b.switch_to(header);
+        let x = b.call_ext("f", &[], None);
+        let a = b.global_addr(acc);
+        let cur = b.load(a);
+        let next = b.binop(Opcode::Add, cur, x);
+        b.store(a, next);
+        let zero = b.const_(0);
+        let done = b.binop(Opcode::CmpEq, x, zero);
+        b.cond_branch(done, exit, header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish(&mut p);
+        let without = Parallelizer::new(&p).parallelize_outermost(f).unwrap();
+        let with = Parallelizer::new(&p)
+            .expand_reductions(true)
+            .parallelize_outermost(f)
+            .unwrap();
+        assert!(!without.report().uses(Technique::ReductionExpansion));
+        assert!(with.report().uses(Technique::ReductionExpansion));
+        assert!(with.report().parallel_fraction() > without.report().parallel_fraction());
+    }
+
+    #[test]
+    fn plan_matches_trace_stage_count() {
+        let (p, f) = twolf_like(true);
+        let result = Parallelizer::new(&p).parallelize_outermost(f).unwrap();
+        let plan = result.plan(8);
+        assert_eq!(plan.stage_count(), 3);
+        assert_eq!(plan.cores_required(), 8);
+    }
+}

@@ -1,0 +1,318 @@
+//! From partitions and measured traces to simulatable task graphs.
+//!
+//! The paper measures parallel performance by decomposing the
+//! single-threaded run into *tasks* — dynamic instances of the statically
+//! chosen phases — timing each natively, and simulating the schedule
+//! (§3.1). [`IterationTrace`] is that decomposition: one record per loop
+//! iteration with the measured phase costs and the dynamic dependence
+//! events (misspeculations) that actually occurred.
+
+use seqpar_runtime::{ExecutionPlan, SpecDep, TaskGraph, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// Measurements for one loop iteration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// Cycles spent in the sequential produce phase (A).
+    pub a_cost: u64,
+    /// Cycles spent in the parallel phase (B).
+    pub b_cost: u64,
+    /// Cycles spent in the sequential consume phase (C).
+    pub c_cost: u64,
+    /// `Some(j)` when this iteration's phase-B work *actually* depended
+    /// on iteration `j`'s phase-B work — i.e. the speculation that
+    /// iterations are independent was violated by iteration `j`.
+    pub misspec_on: Option<u64>,
+}
+
+impl IterationRecord {
+    /// A record with the given costs and no misspeculation.
+    pub fn new(a_cost: u64, b_cost: u64, c_cost: u64) -> Self {
+        Self {
+            a_cost,
+            b_cost,
+            c_cost,
+            misspec_on: None,
+        }
+    }
+
+    /// Marks this iteration as having truly depended on iteration `j`.
+    pub fn with_misspec_on(mut self, j: u64) -> Self {
+        self.misspec_on = Some(j);
+        self
+    }
+
+    /// Total cycles of the iteration.
+    pub fn total(&self) -> u64 {
+        self.a_cost + self.b_cost + self.c_cost
+    }
+}
+
+/// The measured execution trace of one parallelized loop.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct IterationTrace {
+    records: Vec<IterationRecord>,
+    /// Whether phase B runs speculatively (records `SpecDep`s between
+    /// consecutive B tasks). Non-speculative pipelines — e.g. 256.bzip2,
+    /// whose blocks are truly independent — skip them.
+    pub speculative: bool,
+}
+
+impl IterationTrace {
+    /// Creates an empty, non-speculative trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty trace whose phase B runs speculatively.
+    pub fn speculative() -> Self {
+        Self {
+            speculative: true,
+            ..Self::default()
+        }
+    }
+
+    /// Appends one iteration's measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record misspeculates on a future iteration.
+    pub fn push(&mut self, record: IterationRecord) {
+        if let Some(j) = record.misspec_on {
+            assert!(
+                (j as usize) < self.records.len(),
+                "iteration {} cannot depend on future iteration {j}",
+                self.records.len()
+            );
+        }
+        self.records.push(record);
+    }
+
+    /// The per-iteration records.
+    pub fn records(&self) -> &[IterationRecord] {
+        &self.records
+    }
+
+    /// The number of iterations.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total single-threaded cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.records.iter().map(IterationRecord::total).sum()
+    }
+
+    /// Fraction of iterations that misspeculated.
+    pub fn misspec_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.records
+                .iter()
+                .filter(|r| r.misspec_on.is_some())
+                .count() as f64
+                / self.records.len() as f64
+        }
+    }
+
+    /// Builds the three-phase task graph of §3.2: phase-A tasks chained
+    /// serially, each phase-B task depending on its iteration's phase-A
+    /// task (plus speculation events), phase-C tasks consuming phase B in
+    /// iteration order.
+    pub fn task_graph(&self) -> TaskGraph {
+        let mut g = TaskGraph::new(3);
+        let mut prev_a: Option<TaskId> = None;
+        let mut prev_c: Option<TaskId> = None;
+        let mut b_ids: Vec<TaskId> = Vec::with_capacity(self.records.len());
+        for (i, r) in self.records.iter().enumerate() {
+            let i = i as u64;
+            let deps_a: Vec<TaskId> = prev_a.into_iter().collect();
+            let ta = g.add_task(0, i, r.a_cost, &deps_a, &[]);
+            let spec = self.spec_deps_for(i, r, &b_ids);
+            let tb = g.add_task(1, i, r.b_cost, &[ta], &spec);
+            let deps_c: Vec<TaskId> = [Some(tb), prev_c].into_iter().flatten().collect();
+            let tc = g.add_task(2, i, r.c_cost, &deps_c, &[]);
+            prev_a = Some(ta);
+            prev_c = Some(tc);
+            b_ids.push(tb);
+        }
+        g
+    }
+
+    /// Builds the TLS-style task graph: one stage, one task per
+    /// iteration, consecutive iterations linked by speculation.
+    pub fn tls_task_graph(&self) -> TaskGraph {
+        let mut g = TaskGraph::new(1);
+        let mut ids: Vec<TaskId> = Vec::with_capacity(self.records.len());
+        for (i, r) in self.records.iter().enumerate() {
+            let i = i as u64;
+            let spec = self.spec_deps_for(i, r, &ids);
+            let t = g.add_task(0, i, r.total(), &[], &spec);
+            ids.push(t);
+        }
+        g
+    }
+
+    fn spec_deps_for(&self, i: u64, r: &IterationRecord, prev: &[TaskId]) -> Vec<SpecDep> {
+        let mut spec = Vec::new();
+        if let Some(j) = r.misspec_on {
+            spec.push(SpecDep {
+                on: prev[j as usize],
+                violated: true,
+            });
+        }
+        if self.speculative && i > 0 && r.misspec_on != Some(i - 1) {
+            spec.push(SpecDep {
+                on: prev[(i - 1) as usize],
+                violated: false,
+            });
+        }
+        spec
+    }
+
+    /// The standard execution plan for this trace on `cores` cores.
+    pub fn plan(cores: usize) -> ExecutionPlan {
+        ExecutionPlan::three_phase(cores)
+    }
+}
+
+impl FromIterator<IterationRecord> for IterationTrace {
+    fn from_iter<T: IntoIterator<Item = IterationRecord>>(iter: T) -> Self {
+        let mut trace = IterationTrace::new();
+        for r in iter {
+            trace.push(r);
+        }
+        trace
+    }
+}
+
+impl Extend<IterationRecord> for IterationTrace {
+    fn extend<T: IntoIterator<Item = IterationRecord>>(&mut self, iter: T) {
+        for r in iter {
+            self.push(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqpar_runtime::{SimConfig, Simulator};
+
+    fn trace(n: u64, misspec_every: Option<u64>) -> IterationTrace {
+        let mut t = IterationTrace::speculative();
+        for i in 0..n {
+            let mut r = IterationRecord::new(5, 100, 5);
+            if let Some(k) = misspec_every {
+                if i > 0 && i % k == 0 {
+                    r = r.with_misspec_on(i - 1);
+                }
+            }
+            t.push(r);
+        }
+        t
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let t = trace(10, None);
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.total_cycles(), 1100);
+        assert_eq!(t.misspec_rate(), 0.0);
+    }
+
+    #[test]
+    fn misspec_rate_counts_violations() {
+        let t = trace(10, Some(2));
+        // Iterations 2,4,6,8 misspeculate.
+        assert!((t.misspec_rate() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn task_graph_has_three_tasks_per_iteration() {
+        let t = trace(7, None);
+        let g = t.task_graph();
+        assert_eq!(g.len(), 21);
+        assert_eq!(g.serial_cycles(), t.total_cycles());
+    }
+
+    #[test]
+    fn clean_trace_pipelines_to_high_speedup() {
+        let t = trace(500, None);
+        let g = t.task_graph();
+        let sim = Simulator::new(SimConfig {
+            cores: 8,
+            comm_latency: 0,
+            ..SimConfig::default()
+        });
+        let r = sim.run(&g, &IterationTrace::plan(8)).unwrap();
+        assert!(r.speedup() > 5.0, "speedup {}", r.speedup());
+        assert_eq!(r.speculations_survived, 499);
+    }
+
+    #[test]
+    fn heavy_misspeculation_destroys_speedup() {
+        let mut t = IterationTrace::speculative();
+        for i in 0..200 {
+            let mut r = IterationRecord::new(0, 100, 0);
+            if i > 0 {
+                r = r.with_misspec_on(i - 1);
+            }
+            t.push(r);
+        }
+        let g = t.task_graph();
+        let sim = Simulator::new(SimConfig {
+            cores: 16,
+            comm_latency: 0,
+            ..SimConfig::default()
+        });
+        let r = sim.run(&g, &IterationTrace::plan(16)).unwrap();
+        assert!(r.speedup() < 1.2, "speedup {}", r.speedup());
+        assert_eq!(r.violations, 199);
+    }
+
+    #[test]
+    fn tls_graph_is_single_stage() {
+        let t = trace(5, None);
+        let g = t.tls_task_graph();
+        assert_eq!(g.stage_count(), 1);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.serial_cycles(), t.total_cycles());
+    }
+
+    #[test]
+    #[should_panic(expected = "future iteration")]
+    fn misspec_on_future_iteration_is_rejected() {
+        let mut t = IterationTrace::new();
+        t.push(IterationRecord::new(1, 1, 1).with_misspec_on(5));
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let t: IterationTrace = (0..4).map(|_| IterationRecord::new(1, 2, 3)).collect();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.total_cycles(), 24);
+        assert!(!t.speculative);
+    }
+
+    #[test]
+    fn misspec_on_distant_iteration_links_to_it() {
+        let mut t = IterationTrace::speculative();
+        t.push(IterationRecord::new(1, 10, 1));
+        t.push(IterationRecord::new(1, 10, 1));
+        t.push(IterationRecord::new(1, 10, 1).with_misspec_on(0));
+        let g = t.task_graph();
+        // Task B2 (index 7) has a violated dep on B0 (index 1) and a
+        // surviving spec dep on B1.
+        let b2 = &g.tasks()[7];
+        assert_eq!(b2.spec_deps.len(), 2);
+        assert!(b2.spec_deps.iter().any(|s| s.violated));
+        assert!(b2.spec_deps.iter().any(|s| !s.violated));
+    }
+}

@@ -1,0 +1,314 @@
+//! Reduction expansion (paper §2.1, citing Mahlke et al. and Ottoni et
+//! al.).
+//!
+//! A reduction is a loop-carried cycle through an associative,
+//! commutative operator — `sum += f(i)`, `count += 1`, `prod *= x` —
+//! either through a register phi or through a memory accumulator. The
+//! cycle is real, but because the operator is associative the compiler
+//! may compute partial results privately per thread and combine them at
+//! the end, so the carried dependence does not have to serialize the
+//! loop. This pass recognizes both reduction shapes and removes their
+//! carried edges from the PDG.
+
+use seqpar_analysis::pdg::{DepKind, LoopPdg, PdgNode};
+use seqpar_ir::{Opcode, Program};
+
+/// Outcome of the reduction-expansion pass.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReductionOutcome {
+    /// Register (phi-carried) reductions expanded.
+    pub register_reductions: usize,
+    /// Memory (load-op-store) reductions expanded.
+    pub memory_reductions: usize,
+    /// Carried edges removed.
+    pub edges_removed: usize,
+}
+
+impl ReductionOutcome {
+    /// Whether anything was expanded.
+    pub fn any(&self) -> bool {
+        self.register_reductions + self.memory_reductions > 0
+    }
+}
+
+fn is_associative(op: &Opcode) -> bool {
+    matches!(
+        op,
+        Opcode::Add | Opcode::Mul | Opcode::And | Opcode::Or | Opcode::Xor
+    )
+}
+
+/// Detects and expands reductions in `pdg`, removing the carried edges of
+/// each recognized accumulator cycle.
+///
+/// Register form: a header phi `p` whose back-edge input is an
+/// associative op that itself consumes `p`. Memory form: a load feeding
+/// an associative op whose result is stored back through a may-alias
+/// reference, with no other consumer of the load inside the loop.
+pub fn apply_reductions(program: &Program, pdg: &mut LoopPdg) -> ReductionOutcome {
+    let func = program.function(pdg.func());
+    let mut outcome = ReductionOutcome::default();
+    let mut remove = Vec::new();
+
+    // --- Register reductions: carried Reg edge op -> phi where the op is
+    // associative and uses the phi's value.
+    for (pos, e) in pdg.find_edges(|e| e.carried && e.kind == DepKind::Reg) {
+        let (PdgNode::Inst(src), PdgNode::Inst(dst)) = (pdg.nodes()[e.src], pdg.nodes()[e.dst])
+        else {
+            continue;
+        };
+        let op = func.inst(src);
+        let phi = func.inst(dst);
+        if !matches!(phi.opcode, Opcode::Phi) || !is_associative(&op.opcode) {
+            continue;
+        }
+        let Some(phi_val) = phi.def else { continue };
+        if op.operands.contains(&phi_val) {
+            outcome.register_reductions += 1;
+            remove.push(pos);
+        }
+    }
+
+    // --- Memory reductions: the carried Mem cycle store -> load where
+    // the load's only role is to feed an associative op that produces the
+    // stored value.
+    let loads_feeding_reduction: Vec<(usize, usize)> = {
+        let mut pairs = Vec::new();
+        for store_node in 0..pdg.node_count() {
+            let PdgNode::Inst(store_id) = pdg.nodes()[store_node] else {
+                continue;
+            };
+            let store = func.inst(store_id);
+            if !matches!(store.opcode, Opcode::Store(_)) {
+                continue;
+            }
+            // Stored value must come from an associative op...
+            let Some(&stored) = store.operands.first() else {
+                continue;
+            };
+            let Some(op_id) = func.def_of(stored) else {
+                continue;
+            };
+            let op = func.inst(op_id);
+            if !is_associative(&op.opcode) {
+                continue;
+            }
+            // ...one of whose operands is a load from the same location
+            // (approximated: a load with a memory edge to this store).
+            for &src_val in &op.operands {
+                let Some(load_id) = func.def_of(src_val) else {
+                    continue;
+                };
+                if !matches!(func.inst(load_id).opcode, Opcode::Load(_)) {
+                    continue;
+                }
+                let Some(load_node) = pdg.index_of(PdgNode::Inst(load_id)) else {
+                    continue;
+                };
+                let connected = pdg.edges().any(|e| {
+                    e.kind == DepKind::Mem
+                        && ((e.src == store_node && e.dst == load_node)
+                            || (e.src == load_node && e.dst == store_node))
+                });
+                // The load must feed nothing but the reduction op inside
+                // the loop: any other consumer observes intermediate
+                // values and forbids privatization.
+                let load_val = func.inst(load_id).def;
+                let exclusive = load_val.is_some_and(|lv| {
+                    !func.inst_ids().any(|i| {
+                        i != op_id
+                            && pdg.index_of(PdgNode::Inst(i)).is_some()
+                            && func.inst(i).operands.contains(&lv)
+                    })
+                });
+                if connected && exclusive {
+                    pairs.push((store_node, load_node));
+                }
+            }
+        }
+        pairs
+    };
+    for (store_node, load_node) in loads_feeding_reduction {
+        let cycle_edges = pdg.find_edges(|e| {
+            e.carried
+                && e.kind == DepKind::Mem
+                && e.src == store_node
+                && (e.dst == load_node || e.dst == store_node)
+        });
+        if !cycle_edges.is_empty() {
+            outcome.memory_reductions += 1;
+            remove.extend(cycle_edges.into_iter().map(|(i, _)| i));
+        }
+    }
+
+    remove.sort_unstable();
+    remove.dedup();
+    outcome.edges_removed = remove.len();
+    pdg.remove_edges(remove);
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqpar_analysis::pdg::LoopPdg;
+    use seqpar_ir::{BlockId, ExternEffect, FunctionBuilder, LoopForest, Program, ValueId};
+
+    /// sum-loop with a *register* accumulator: s = phi(0, s + f(i)).
+    fn register_reduction_loop() -> (Program, seqpar_ir::FuncId) {
+        let mut p = Program::new("t");
+        p.declare_extern("f", ExternEffect::pure_fn());
+        let mut b = FunctionBuilder::new("sum");
+        let header = b.add_block("header");
+        let exit = b.add_block("exit");
+        let zero = b.const_(0);
+        b.jump(header);
+        b.switch_to(header);
+        let s = b.phi(&[zero, ValueId::new(99)]);
+        let x = b.call_ext("f", &[s], None);
+        let next = b.binop(Opcode::Add, s, x);
+        let done = b.binop(Opcode::CmpEq, x, zero);
+        b.cond_branch(done, exit, header);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut func = b.into_function();
+        let phi_id = func.block(BlockId::new(1)).insts[0];
+        func.inst_mut(phi_id).operands[1] = next;
+        let f = p.add_function(func);
+        (p, f)
+    }
+
+    /// sum-loop with a *memory* accumulator: *acc += f(i).
+    fn memory_reduction_loop() -> (Program, seqpar_ir::FuncId) {
+        let mut p = Program::new("t");
+        let acc = p.add_global("acc", 1);
+        p.declare_extern("f", ExternEffect::pure_fn());
+        let mut b = FunctionBuilder::new("sum");
+        let header = b.add_block("header");
+        let exit = b.add_block("exit");
+        b.jump(header);
+        b.switch_to(header);
+        let x = b.call_ext("f", &[], None);
+        let a = b.global_addr(acc);
+        let cur = b.load(a);
+        let next = b.binop(Opcode::Add, cur, x);
+        b.store(a, next);
+        let zero = b.const_(0);
+        let done = b.binop(Opcode::CmpEq, x, zero);
+        b.cond_branch(done, exit, header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish(&mut p);
+        (p, f)
+    }
+
+    fn pdg_of(p: &Program, f: seqpar_ir::FuncId) -> LoopPdg {
+        let forest = LoopForest::build(p.function(f));
+        let (lid, _) = forest.loops().next().unwrap();
+        LoopPdg::build(p, f, &forest, lid, None)
+    }
+
+    #[test]
+    fn register_reduction_is_recognized() {
+        let (p, f) = register_reduction_loop();
+        let mut pdg = pdg_of(&p, f);
+        let outcome = apply_reductions(&p, &mut pdg);
+        assert_eq!(outcome.register_reductions, 1);
+        assert!(outcome.edges_removed > 0);
+        // The add -> phi carried edge is gone.
+        assert!(!pdg.edges().any(|e| e.carried && e.kind == DepKind::Reg));
+    }
+
+    #[test]
+    fn memory_reduction_is_recognized() {
+        let (p, f) = memory_reduction_loop();
+        let mut pdg = pdg_of(&p, f);
+        let before = pdg
+            .edges()
+            .filter(|e| e.carried && e.kind == DepKind::Mem)
+            .count();
+        assert!(before > 0);
+        let outcome = apply_reductions(&p, &mut pdg);
+        assert_eq!(outcome.memory_reductions, 1);
+        // The store->load and store->store carried edges are gone.
+        let after = pdg
+            .edges()
+            .filter(|e| e.carried && e.kind == DepKind::Mem)
+            .count();
+        assert!(after < before, "{after} vs {before}");
+    }
+
+    #[test]
+    fn non_associative_updates_are_left_alone() {
+        // *acc = f() - *acc: subtraction is not associative.
+        let mut p = Program::new("t");
+        let acc = p.add_global("acc", 1);
+        p.declare_extern("f", ExternEffect::pure_fn());
+        let mut b = FunctionBuilder::new("loop");
+        let header = b.add_block("header");
+        let exit = b.add_block("exit");
+        b.jump(header);
+        b.switch_to(header);
+        let x = b.call_ext("f", &[], None);
+        let a = b.global_addr(acc);
+        let cur = b.load(a);
+        let next = b.binop(Opcode::Sub, x, cur);
+        b.store(a, next);
+        let zero = b.const_(0);
+        let done = b.binop(Opcode::CmpEq, x, zero);
+        b.cond_branch(done, exit, header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish(&mut p);
+        let mut pdg = pdg_of(&p, f);
+        let outcome = apply_reductions(&p, &mut pdg);
+        assert!(!outcome.any());
+    }
+
+    #[test]
+    fn loads_with_other_consumers_are_not_privatized() {
+        // The running value is also printed each iteration: intermediate
+        // sums are observable, so the reduction must not expand.
+        let mut p = Program::new("t");
+        let acc = p.add_global("acc", 1);
+        let out = p.add_global("out", 1);
+        p.declare_extern("f", ExternEffect::pure_fn());
+        let mut b = FunctionBuilder::new("loop");
+        let header = b.add_block("header");
+        let exit = b.add_block("exit");
+        b.jump(header);
+        b.switch_to(header);
+        let x = b.call_ext("f", &[], None);
+        let a = b.global_addr(acc);
+        let cur = b.load(a);
+        let next = b.binop(Opcode::Add, cur, x);
+        b.store(a, next);
+        let ao = b.global_addr(out);
+        b.store(ao, cur); // second consumer of the load
+        let zero = b.const_(0);
+        let done = b.binop(Opcode::CmpEq, x, zero);
+        b.cond_branch(done, exit, header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish(&mut p);
+        let mut pdg = pdg_of(&p, f);
+        let outcome = apply_reductions(&p, &mut pdg);
+        assert_eq!(outcome.memory_reductions, 0);
+    }
+
+    #[test]
+    fn expansion_unlocks_doall_for_the_sum_loop() {
+        use crate::dswp::partition;
+        let (p, f) = memory_reduction_loop();
+        let mut pdg = pdg_of(&p, f);
+        let before = partition(&pdg);
+        apply_reductions(&p, &mut pdg);
+        let after = partition(&pdg);
+        assert!(
+            after.parallel_fraction() > before.parallel_fraction(),
+            "expansion must grow the parallel stage: {} -> {}",
+            before.parallel_fraction(),
+            after.parallel_fraction()
+        );
+    }
+}

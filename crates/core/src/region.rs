@@ -1,0 +1,409 @@
+//! Region formation: whole-program scope through inlining (paper §2.2).
+//!
+//! "By using whole program optimization, procedure boundaries can be
+//! removed, giving the compiler the ability to both see and modify code,
+//! regardless of location in the program. Additionally, through region
+//! formation, the compiler can control the amount of code to analyze and
+//! optimize."
+//!
+//! Effect summaries already make calls *visible* to the dependence
+//! analyses, but a call remains a single PDG node: if a callee reads one
+//! global, computes for a long time, and writes another, the whole call
+//! inherits the union of those dependences and is pinned to a sequential
+//! stage. Inlining splits it into separate instructions, so the heavy
+//! pure middle can replicate across cores while only the tiny accesses
+//! stay ordered — exactly the kind of parallelism the paper finds "at or
+//! close to the outermost application loop", deep under calls.
+
+use seqpar_ir::{Callee, FuncId, Inst, InstId, MemRef, Opcode, Program, Terminator, ValueId};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Why a call site could not be inlined.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InlineError {
+    /// The instruction is not a call to an internal function.
+    NotAnInternalCall,
+    /// The call site carries a *Commutative* annotation: the annotation's
+    /// semantics attach to the function boundary, so it must survive.
+    CommutativeCall,
+    /// The callee has control flow (only straight-line, single-return
+    /// functions are inlined).
+    CalleeHasControlFlow,
+    /// The call passes a different number of arguments than the callee
+    /// declares.
+    ArityMismatch {
+        /// Parameters declared.
+        expected: usize,
+        /// Arguments passed.
+        got: usize,
+    },
+}
+
+impl fmt::Display for InlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InlineError::NotAnInternalCall => write!(f, "not a call to an internal function"),
+            InlineError::CommutativeCall => {
+                write!(f, "commutative call sites keep their function boundary")
+            }
+            InlineError::CalleeHasControlFlow => {
+                write!(
+                    f,
+                    "callee has control flow; only straight-line callees inline"
+                )
+            }
+            InlineError::ArityMismatch { expected, got } => {
+                write!(f, "callee expects {expected} arguments, call passes {got}")
+            }
+        }
+    }
+}
+
+impl Error for InlineError {}
+
+/// Whether `callee` is eligible for inlining: a single straight-line
+/// block ending in a return.
+pub fn inlinable(program: &Program, callee: FuncId) -> bool {
+    let f = program.function(callee);
+    f.block_count() == 1 && matches!(f.block(f.entry).terminator, Terminator::Return(_))
+}
+
+/// Inlines the internal call `call` in `caller`, splicing the callee's
+/// body (with renumbered values) in place of the call instruction. The
+/// call instruction itself is rewritten into a copy of the callee's
+/// return value (or a zero constant for `void` callees), so its defined
+/// value keeps its identity for downstream uses.
+///
+/// # Errors
+///
+/// See [`InlineError`].
+pub fn inline_call(program: &mut Program, caller: FuncId, call: InstId) -> Result<(), InlineError> {
+    let (callee_id, args) = {
+        let inst = program.function(caller).inst(call);
+        match &inst.opcode {
+            Opcode::Call {
+                commutative: Some(_),
+                ..
+            } => return Err(InlineError::CommutativeCall),
+            Opcode::Call {
+                callee: Callee::Internal(g),
+                ..
+            } => (*g, inst.operands.clone()),
+            _ => return Err(InlineError::NotAnInternalCall),
+        }
+    };
+    if !inlinable(program, callee_id) {
+        return Err(InlineError::CalleeHasControlFlow);
+    }
+    let callee = program.function(callee_id).clone();
+    if callee.params.len() != args.len() {
+        return Err(InlineError::ArityMismatch {
+            expected: callee.params.len(),
+            got: args.len(),
+        });
+    }
+    let block = program
+        .function(caller)
+        .block_of(call)
+        .expect("call instruction lives in a block");
+
+    // Value renaming: parameters map to the call arguments; every value
+    // the callee defines gets a fresh caller value.
+    let mut rename: HashMap<ValueId, ValueId> = HashMap::new();
+    for (p, a) in callee.params.iter().zip(args.iter()) {
+        rename.insert(*p, *a);
+    }
+    let f = program.function_mut(caller);
+    let callee_insts: Vec<InstId> = callee.block(callee.entry).insts.clone();
+    for &ci in &callee_insts {
+        let src = callee.inst(ci);
+        let new_def = src.def.map(|d| {
+            let nd = f.new_value();
+            rename.insert(d, nd);
+            nd
+        });
+        let remap = |v: ValueId, rn: &HashMap<ValueId, ValueId>| rn.get(&v).copied().unwrap_or(v);
+        let operands: Vec<ValueId> = src.operands.iter().map(|v| remap(*v, &rename)).collect();
+        let remap_mem = |m: &MemRef, rn: &HashMap<ValueId, ValueId>| MemRef {
+            base: remap(m.base, rn),
+            index: m.index.map(|i| remap(i, rn)),
+            field: m.field,
+        };
+        let opcode = match &src.opcode {
+            Opcode::Load(m) => Opcode::Load(remap_mem(m, &rename)),
+            Opcode::Store(m) => Opcode::Store(remap_mem(m, &rename)),
+            other => other.clone(),
+        };
+        let mut inst = Inst::new(opcode, new_def, operands);
+        inst.label = src.label.clone();
+        f.insert_inst_before(block, call, inst);
+    }
+    // Rewrite the call into a copy of the (renamed) return value so the
+    // call's defined value keeps flowing to its uses.
+    let new_opcode = match callee.block(callee.entry).terminator {
+        Terminator::Return(Some(v)) => {
+            let mapped = rename.get(&v).copied().unwrap_or(v);
+            (Opcode::Copy, vec![mapped])
+        }
+        _ => (Opcode::Const(0), Vec::new()),
+    };
+    let call_inst = f.inst_mut(call);
+    call_inst.opcode = new_opcode.0;
+    call_inst.operands = new_opcode.1;
+    Ok(())
+}
+
+/// The outcome of region formation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegionOutcome {
+    /// Call sites inlined.
+    pub calls_inlined: usize,
+    /// Call sites left alone (control flow, annotations, externals).
+    pub calls_skipped: usize,
+}
+
+/// Forms a region around `func`: repeatedly inlines every eligible
+/// internal call it contains, up to `max_rounds` of transitive inlining.
+pub fn form_region(program: &mut Program, func: FuncId, max_rounds: usize) -> RegionOutcome {
+    let mut outcome = RegionOutcome::default();
+    let mut rejected: std::collections::HashSet<InstId> = std::collections::HashSet::new();
+    for _ in 0..max_rounds {
+        let candidates: Vec<InstId> = program
+            .function(func)
+            .inst_ids()
+            .filter(|i| {
+                !rejected.contains(i)
+                    && matches!(
+                        program.function(func).inst(*i).opcode,
+                        Opcode::Call {
+                            callee: Callee::Internal(_),
+                            ..
+                        }
+                    )
+            })
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        let mut inlined_this_round = 0;
+        for call in candidates {
+            match inline_call(program, func, call) {
+                Ok(()) => {
+                    outcome.calls_inlined += 1;
+                    inlined_this_round += 1;
+                }
+                Err(_) => {
+                    outcome.calls_skipped += 1;
+                    rejected.insert(call);
+                }
+            }
+        }
+        if inlined_this_round == 0 {
+            break;
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqpar_ir::{verify_function, CommGroupId, ExternEffect, FunctionBuilder};
+
+    /// caller: loop { x = helper(k); sink += x } where
+    /// helper(k) { t = load g; u = t + k; store h, u; return u }
+    fn program_with_helper() -> (Program, FuncId, FuncId) {
+        let mut p = Program::new("t");
+        let g = p.add_global("g", 1);
+        let h = p.add_global("h", 1);
+        let mut hb = FunctionBuilder::new("helper");
+        let k = hb.add_param();
+        let ag = hb.global_addr(g);
+        let t = hb.load(ag);
+        let u = hb.binop(Opcode::Add, t, k);
+        let ah = hb.global_addr(h);
+        hb.store(ah, u);
+        hb.label_last("helper_store");
+        hb.ret(Some(u));
+        let helper = hb.finish(&mut p);
+
+        let mut cb = FunctionBuilder::new("caller");
+        let header = cb.add_block("header");
+        let exit = cb.add_block("exit");
+        cb.jump(header);
+        cb.switch_to(header);
+        let kk = cb.const_(5);
+        let x = cb.call(helper, &[kk]);
+        let done = cb.binop(Opcode::CmpEq, x, kk);
+        cb.cond_branch(done, exit, header);
+        cb.switch_to(exit);
+        cb.ret(None);
+        let caller = cb.finish(&mut p);
+        let _ = ExternEffect::pure_fn();
+        (p, caller, helper)
+    }
+
+    #[test]
+    fn inlining_splices_the_callee_body() {
+        let (mut p, caller, helper) = program_with_helper();
+        let before = p.function(caller).inst_count();
+        let outcome = form_region(&mut p, caller, 4);
+        assert_eq!(outcome.calls_inlined, 1);
+        let f = p.function(caller);
+        assert!(f.inst_count() > before);
+        // The call became a copy; the callee's labelled store arrived.
+        assert!(!f.inst_ids().any(|i| f.inst(i).opcode.is_call()));
+        assert!(f
+            .inst_ids()
+            .any(|i| f.inst(i).label.as_deref() == Some("helper_store")));
+        verify_function(f).expect("inlined function remains well-formed");
+        let _ = helper;
+    }
+
+    #[test]
+    fn inlined_code_preserves_argument_binding() {
+        let (mut p, caller, _) = program_with_helper();
+        form_region(&mut p, caller, 4);
+        let f = p.function(caller);
+        // The spliced Add must use the caller's constant (the argument),
+        // not the callee's parameter.
+        let add = f
+            .inst_ids()
+            .find(|i| matches!(f.inst(*i).opcode, Opcode::Add))
+            .expect("spliced add");
+        let const5 = f
+            .inst_ids()
+            .find(|i| matches!(f.inst(*i).opcode, Opcode::Const(5)))
+            .expect("caller constant");
+        assert!(f.inst(add).operands.contains(&f.inst(const5).def.unwrap()));
+    }
+
+    #[test]
+    fn commutative_call_sites_are_preserved() {
+        let mut p = Program::new("t");
+        let mut hb = FunctionBuilder::new("alloc");
+        hb.ret(None);
+        let helper = hb.finish(&mut p);
+        let mut cb = FunctionBuilder::new("caller");
+        // Internal call annotated commutative: must not be inlined.
+        let v = cb.const_(0);
+        let _ = cb.call_commutative(helper, &[v], CommGroupId(1));
+        cb.ret(None);
+        let caller = cb.finish(&mut p);
+        let call = p
+            .function(caller)
+            .inst_ids()
+            .find(|i| p.function(caller).inst(*i).opcode.is_call())
+            .unwrap();
+        assert_eq!(
+            inline_call(&mut p, caller, call),
+            Err(InlineError::CommutativeCall)
+        );
+    }
+
+    #[test]
+    fn control_flow_callees_are_skipped() {
+        let mut p = Program::new("t");
+        let mut hb = FunctionBuilder::new("branchy");
+        let t = hb.add_block("t");
+        let e = hb.add_block("e");
+        let c = hb.const_(1);
+        hb.cond_branch(c, t, e);
+        hb.switch_to(t);
+        hb.ret(None);
+        hb.switch_to(e);
+        hb.ret(None);
+        let branchy = hb.finish(&mut p);
+        let mut cb = FunctionBuilder::new("caller");
+        let _ = cb.call(branchy, &[]);
+        cb.ret(None);
+        let caller = cb.finish(&mut p);
+        assert!(!inlinable(&p, branchy));
+        let outcome = form_region(&mut p, caller, 4);
+        assert_eq!(outcome.calls_inlined, 0);
+        assert_eq!(outcome.calls_skipped, 1);
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let mut p = Program::new("t");
+        let mut hb = FunctionBuilder::new("two_params");
+        let _ = hb.add_param();
+        let _ = hb.add_param();
+        hb.ret(None);
+        let helper = hb.finish(&mut p);
+        let mut cb = FunctionBuilder::new("caller");
+        let _ = cb.call(helper, &[]);
+        cb.ret(None);
+        let caller = cb.finish(&mut p);
+        let call = p
+            .function(caller)
+            .inst_ids()
+            .find(|i| p.function(caller).inst(*i).opcode.is_call())
+            .unwrap();
+        assert_eq!(
+            inline_call(&mut p, caller, call),
+            Err(InlineError::ArityMismatch {
+                expected: 2,
+                got: 0
+            })
+        );
+    }
+
+    #[test]
+    fn region_formation_unlocks_the_parallel_stage() {
+        // As a call node, the helper reads g and writes h every iteration:
+        // its self-conflict keeps it sequential. Inlined, only the tiny
+        // store is ordered and the Add can replicate — so the parallel
+        // fraction must strictly improve.
+        let (p_before, caller, _) = program_with_helper();
+        let mut p_after = p_before.clone();
+        let without = crate::Parallelizer::new(&p_before)
+            .parallelize_outermost(caller)
+            .unwrap();
+        form_region(&mut p_after, caller, 4);
+        let with = crate::Parallelizer::new(&p_after)
+            .parallelize_outermost(caller)
+            .unwrap();
+        assert!(
+            with.report().parallel_fraction() >= without.report().parallel_fraction(),
+            "inlining must not lose parallelism: {} vs {}",
+            with.report(),
+            without.report()
+        );
+        // The inlined body exposes more PDG nodes.
+        assert!(with.pdg().node_count() > without.pdg().node_count());
+    }
+
+    #[test]
+    fn transitive_inlining_respects_round_limit() {
+        // a calls b, b calls c: one round inlines b into a (the spliced
+        // call to c inlines on the next round).
+        let mut p = Program::new("t");
+        let mut c3 = FunctionBuilder::new("c");
+        let v = c3.const_(3);
+        c3.ret(Some(v));
+        let cf = c3.finish(&mut p);
+        let mut b2 = FunctionBuilder::new("b");
+        let r = b2.call(cf, &[]);
+        b2.ret(Some(r));
+        let bf = b2.finish(&mut p);
+        let mut a1 = FunctionBuilder::new("a");
+        let r = a1.call(bf, &[]);
+        a1.ret(Some(r));
+        let af = a1.finish(&mut p);
+
+        let mut one_round = p.clone();
+        let o1 = form_region(&mut one_round, af, 1);
+        assert_eq!(o1.calls_inlined, 1);
+        let f = one_round.function(af);
+        assert!(f.inst_ids().any(|i| f.inst(i).opcode.is_call()));
+
+        let o2 = form_region(&mut p, af, 4);
+        assert_eq!(o2.calls_inlined, 2);
+        let f = p.function(af);
+        assert!(!f.inst_ids().any(|i| f.inst(i).opcode.is_call()));
+    }
+}

@@ -1,0 +1,164 @@
+//! Strongly connected components of the dependence graph (Tarjan).
+
+/// The SCC decomposition of a directed graph over `0..n` nodes.
+#[derive(Clone, Debug)]
+pub struct SccDecomposition {
+    /// `component[v]` = SCC index of node `v`. SCC indices are in
+    /// reverse topological order of the condensation (Tarjan emits sinks
+    /// first).
+    component: Vec<usize>,
+    /// Members of each SCC.
+    members: Vec<Vec<usize>>,
+}
+
+impl SccDecomposition {
+    /// Computes SCCs of the graph with `n` nodes and the given edges
+    /// (duplicates and self-loops allowed).
+    pub fn compute(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut adj = vec![Vec::new(); n];
+        for (s, d) in edges {
+            assert!(s < n && d < n, "edge ({s}, {d}) out of range for {n} nodes");
+            adj[s].push(d);
+        }
+        // Iterative Tarjan.
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut component = vec![usize::MAX; n];
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        let mut counter = 0usize;
+        // Call stack: (node, next edge index).
+        let mut call: Vec<(usize, usize)> = Vec::new();
+        for start in 0..n {
+            if index[start] != usize::MAX {
+                continue;
+            }
+            call.push((start, 0));
+            index[start] = counter;
+            low[start] = counter;
+            counter += 1;
+            stack.push(start);
+            on_stack[start] = true;
+            while let Some(&mut (v, ref mut ei)) = call.last_mut() {
+                if *ei < adj[v].len() {
+                    let w = adj[v][*ei];
+                    *ei += 1;
+                    if index[w] == usize::MAX {
+                        index[w] = counter;
+                        low[w] = counter;
+                        counter += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        call.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(parent, _)) = call.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            component[w] = members.len();
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        members.push(comp);
+                    }
+                }
+            }
+        }
+        Self { component, members }
+    }
+
+    /// The SCC index of `node`.
+    pub fn component_of(&self, node: usize) -> usize {
+        self.component[node]
+    }
+
+    /// The members of SCC `c`, in ascending node order.
+    pub fn members(&self, c: usize) -> &[usize] {
+        &self.members[c]
+    }
+
+    /// The number of SCCs.
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// SCC indices in topological order of the condensation (sources
+    /// first). Tarjan emits them in reverse topological order, so this is
+    /// simply the reverse enumeration.
+    pub fn topological(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.members.len()).rev()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_nodes_without_cycles() {
+        let scc = SccDecomposition::compute(3, vec![(0, 1), (1, 2)]);
+        assert_eq!(scc.count(), 3);
+        assert_ne!(scc.component_of(0), scc.component_of(1));
+        // Topological order: 0's SCC before 1's before 2's.
+        let order: Vec<usize> = scc.topological().collect();
+        let pos = |c: usize| order.iter().position(|x| *x == c).unwrap();
+        assert!(pos(scc.component_of(0)) < pos(scc.component_of(1)));
+        assert!(pos(scc.component_of(1)) < pos(scc.component_of(2)));
+    }
+
+    #[test]
+    fn cycle_collapses_into_one_component() {
+        let scc = SccDecomposition::compute(4, vec![(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert_eq!(scc.count(), 2);
+        assert_eq!(scc.component_of(0), scc.component_of(1));
+        assert_eq!(scc.component_of(1), scc.component_of(2));
+        assert_ne!(scc.component_of(2), scc.component_of(3));
+        assert_eq!(scc.members(scc.component_of(0)), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn self_loop_is_its_own_scc() {
+        let scc = SccDecomposition::compute(2, vec![(0, 0), (0, 1)]);
+        assert_eq!(scc.count(), 2);
+    }
+
+    #[test]
+    fn disconnected_graph_is_handled() {
+        let scc = SccDecomposition::compute(5, vec![(3, 4), (4, 3)]);
+        assert_eq!(scc.count(), 4);
+        assert_eq!(scc.component_of(3), scc.component_of(4));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let scc = SccDecomposition::compute(0, Vec::new());
+        assert_eq!(scc.count(), 0);
+    }
+
+    #[test]
+    fn two_interleaved_cycles_merge() {
+        // 0 <-> 1, 1 <-> 2 : all one SCC.
+        let scc = SccDecomposition::compute(3, vec![(0, 1), (1, 0), (1, 2), (2, 1)]);
+        assert_eq!(scc.count(), 1);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let n = 100_000;
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let scc = SccDecomposition::compute(n, edges);
+        assert_eq!(scc.count(), n);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the thread-extraction machinery: SCC
+//! decomposition against brute force, and partition invariants over
+//! randomly generated loop bodies.
+
+use proptest::prelude::*;
+use seqpar::dswp::{partition, Stage};
+use seqpar::scc::SccDecomposition;
+use seqpar_analysis::pdg::LoopPdg;
+use seqpar_ir::{ExternEffect, FunctionBuilder, LoopForest, Opcode, Program};
+
+/// Brute-force reachability on a small graph.
+#[allow(clippy::needless_range_loop)]
+fn reachable(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<bool>> {
+    let mut r = vec![vec![false; n]; n];
+    for i in 0..n {
+        r[i][i] = true;
+    }
+    for &(a, b) in edges {
+        r[a][b] = true;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                r[i][j] |= r[i][k] && r[k][j];
+            }
+        }
+    }
+    r
+}
+
+proptest! {
+    /// Two nodes share an SCC exactly when they are mutually reachable.
+    #[test]
+    #[allow(clippy::needless_range_loop)] // brute-force style on purpose
+    fn scc_matches_mutual_reachability(
+        edges in proptest::collection::vec((0..10usize, 0..10usize), 0..40)
+    ) {
+        let n = 10;
+        let scc = SccDecomposition::compute(n, edges.iter().copied());
+        let r = reachable(n, &edges);
+        for i in 0..n {
+            for j in 0..n {
+                let same = scc.component_of(i) == scc.component_of(j);
+                prop_assert_eq!(same, r[i][j] && r[j][i], "nodes {} and {}", i, j);
+            }
+        }
+    }
+
+    /// The condensation's topological order respects every edge.
+    #[test]
+    fn scc_topological_order_is_valid(
+        edges in proptest::collection::vec((0..12usize, 0..12usize), 0..50)
+    ) {
+        let n = 12;
+        let scc = SccDecomposition::compute(n, edges.iter().copied());
+        let order: Vec<usize> = scc.topological().collect();
+        let pos = |c: usize| order.iter().position(|x| *x == c).expect("component in order");
+        for &(a, b) in &edges {
+            let (ca, cb) = (scc.component_of(a), scc.component_of(b));
+            if ca != cb {
+                prop_assert!(pos(ca) < pos(cb), "edge {}->{} violates order", a, b);
+            }
+        }
+    }
+
+    /// Partitions of random loop bodies always respect the pipeline
+    /// direction (A before B before C for intra-iteration dependences)
+    /// and cover every node.
+    #[test]
+    fn random_loops_partition_consistently(
+        stores in proptest::collection::vec((0..4usize, 0..4usize), 1..8),
+        calls in proptest::collection::vec(any::<bool>(), 1..5)
+    ) {
+        // Build a loop touching up to 4 globals with a mix of loads,
+        // stores, and pure/impure calls.
+        let mut p = Program::new("random");
+        let globals: Vec<_> = (0..4).map(|i| p.add_global(format!("g{i}"), 1)).collect();
+        p.declare_extern("pure", ExternEffect::pure_fn());
+        p.declare_extern("impure", ExternEffect::clobber_all());
+        let mut b = FunctionBuilder::new("f");
+        let header = b.add_block("header");
+        let exit = b.add_block("exit");
+        b.jump(header);
+        b.switch_to(header);
+        let mut last = b.const_(1);
+        for (src, dst) in &stores {
+            let a_src = b.global_addr(globals[*src]);
+            let v = b.load(a_src);
+            let sum = b.binop(Opcode::Add, v, last);
+            let a_dst = b.global_addr(globals[*dst]);
+            b.store(a_dst, sum);
+            last = sum;
+        }
+        for pure in &calls {
+            let name = if *pure { "pure" } else { "impure" };
+            last = b.call_ext(name, &[last], None);
+        }
+        let done = b.binop(Opcode::CmpEq, last, last);
+        b.cond_branch(done, exit, header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish(&mut p);
+        let forest = LoopForest::build(p.function(f));
+        let (lid, _) = forest.loops().next().expect("loop exists");
+        let pdg = LoopPdg::build(&p, f, &forest, lid, None);
+        let part = partition(&pdg);
+        prop_assert_eq!(part.stages().len(), pdg.node_count());
+        // Intra-iteration edges flow forward through the pipeline.
+        for e in pdg.edges() {
+            if !e.carried {
+                prop_assert!(part.stage_of(e.src) <= part.stage_of(e.dst));
+            }
+        }
+        // Weight accounting is exact.
+        let total: u64 = [Stage::A, Stage::B, Stage::C]
+            .iter()
+            .map(|s| part.weight(*s))
+            .sum();
+        prop_assert_eq!(total, pdg.total_weight());
+    }
+}

@@ -1,0 +1,358 @@
+//! Ergonomic construction of IR functions.
+
+use crate::function::Function;
+use crate::ids::{BlockId, FuncId, InstId, MemObjId, ValueId};
+use crate::inst::{Callee, CommGroupId, Inst, MemRef, Opcode, Terminator, YBranchHint};
+use crate::program::Program;
+
+/// A builder for [`Function`]s.
+///
+/// The builder keeps a *current block* cursor; instruction-emitting methods
+/// append to it. Finish with [`FunctionBuilder::finish`], which moves the
+/// function into a [`Program`].
+///
+/// # Example
+///
+/// ```
+/// use seqpar_ir::{FunctionBuilder, Program, Opcode};
+///
+/// let mut program = Program::new("p");
+/// let mut b = FunctionBuilder::new("add_one");
+/// let x = b.add_param();
+/// let one = b.const_(1);
+/// let sum = b.binop(Opcode::Add, x, one);
+/// b.ret(Some(sum));
+/// let f = b.finish(&mut program);
+/// assert_eq!(program.function(f).name, "add_one");
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    current: BlockId,
+}
+
+impl FunctionBuilder {
+    /// Creates a builder positioned at a fresh entry block.
+    pub fn new(name: impl Into<String>) -> Self {
+        let func = Function::new(name);
+        let current = func.entry;
+        Self { func, current }
+    }
+
+    /// The entry block of the function under construction.
+    pub fn entry_block(&self) -> BlockId {
+        self.func.entry
+    }
+
+    /// The block the builder is currently appending to.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Adds a formal parameter and returns its SSA value.
+    pub fn add_param(&mut self) -> ValueId {
+        let v = self.func.new_value();
+        self.func.params.push(v);
+        v
+    }
+
+    /// Appends a new empty block.
+    pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
+        self.func.add_block(name)
+    }
+
+    /// Moves the cursor to `block`.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.current = block;
+    }
+
+    fn emit(&mut self, opcode: Opcode, operands: Vec<ValueId>, defines: bool) -> Option<ValueId> {
+        let def = defines.then(|| self.func.new_value());
+        self.func
+            .push_inst(self.current, Inst::new(opcode, def, operands));
+        def
+    }
+
+    /// Emits an integer constant.
+    pub fn const_(&mut self, value: i64) -> ValueId {
+        self.emit(Opcode::Const(value), vec![], true)
+            .expect("const defines")
+    }
+
+    /// Emits a copy of `value`.
+    pub fn copy(&mut self, value: ValueId) -> ValueId {
+        self.emit(Opcode::Copy, vec![value], true)
+            .expect("copy defines")
+    }
+
+    /// Emits a binary operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not a two-operand arithmetic or comparison opcode.
+    pub fn binop(&mut self, op: Opcode, lhs: ValueId, rhs: ValueId) -> ValueId {
+        assert!(
+            matches!(
+                op,
+                Opcode::Add
+                    | Opcode::Sub
+                    | Opcode::Mul
+                    | Opcode::Div
+                    | Opcode::Rem
+                    | Opcode::And
+                    | Opcode::Or
+                    | Opcode::Xor
+                    | Opcode::Shl
+                    | Opcode::Shr
+                    | Opcode::CmpEq
+                    | Opcode::CmpNe
+                    | Opcode::CmpLt
+                    | Opcode::CmpLe
+            ),
+            "binop requires a binary opcode, got {op:?}"
+        );
+        self.emit(op, vec![lhs, rhs], true).expect("binop defines")
+    }
+
+    /// Emits a phi node. Operands pair positionally with the predecessors
+    /// of the containing block.
+    pub fn phi(&mut self, incoming: &[ValueId]) -> ValueId {
+        self.emit(Opcode::Phi, incoming.to_vec(), true)
+            .expect("phi defines")
+    }
+
+    /// Emits an address-of for a global or stack object.
+    pub fn global_addr(&mut self, obj: MemObjId) -> ValueId {
+        self.emit(Opcode::AddrOf(obj), vec![], true)
+            .expect("addrof defines")
+    }
+
+    /// Emits pointer arithmetic deriving a new pointer from `base`.
+    pub fn gep(&mut self, base: ValueId, offset: ValueId) -> ValueId {
+        self.emit(Opcode::Gep, vec![base, offset], true)
+            .expect("gep defines")
+    }
+
+    /// Emits a load through `ptr`.
+    pub fn load(&mut self, ptr: ValueId) -> ValueId {
+        self.emit(Opcode::Load(MemRef::direct(ptr)), vec![ptr], true)
+            .expect("load defines")
+    }
+
+    /// Emits a load through an arbitrary memory reference.
+    pub fn load_ref(&mut self, mem: MemRef) -> ValueId {
+        let mut ops = vec![mem.base];
+        ops.extend(mem.index);
+        self.emit(Opcode::Load(mem), ops, true)
+            .expect("load defines")
+    }
+
+    /// Emits a store of `value` through `ptr`.
+    pub fn store(&mut self, ptr: ValueId, value: ValueId) -> InstId {
+        let inst = Inst::new(Opcode::Store(MemRef::direct(ptr)), None, vec![value, ptr]);
+        self.func.push_inst(self.current, inst)
+    }
+
+    /// Emits a store of `value` through an arbitrary memory reference.
+    pub fn store_ref(&mut self, mem: MemRef, value: ValueId) -> InstId {
+        let mut ops = vec![value, mem.base];
+        ops.extend(mem.index);
+        let inst = Inst::new(Opcode::Store(mem), None, ops);
+        self.func.push_inst(self.current, inst)
+    }
+
+    /// Emits a call to an internal function; returns the result value.
+    pub fn call(&mut self, callee: FuncId, args: &[ValueId]) -> ValueId {
+        self.emit(
+            Opcode::Call {
+                callee: Callee::Internal(callee),
+                commutative: None,
+            },
+            args.to_vec(),
+            true,
+        )
+        .expect("call defines")
+    }
+
+    /// Emits a *Commutative*-annotated call to an internal function.
+    pub fn call_commutative(
+        &mut self,
+        callee: FuncId,
+        args: &[ValueId],
+        group: CommGroupId,
+    ) -> ValueId {
+        self.emit(
+            Opcode::Call {
+                callee: Callee::Internal(callee),
+                commutative: Some(group),
+            },
+            args.to_vec(),
+            true,
+        )
+        .expect("call defines")
+    }
+
+    /// Emits a call to an external function; `commutative` marks the call
+    /// site with the paper's *Commutative* annotation.
+    pub fn call_ext(
+        &mut self,
+        name: impl Into<String>,
+        args: &[ValueId],
+        commutative: Option<CommGroupId>,
+    ) -> ValueId {
+        self.emit(
+            Opcode::Call {
+                callee: Callee::External(name.into()),
+                commutative,
+            },
+            args.to_vec(),
+            true,
+        )
+        .expect("call defines")
+    }
+
+    /// Labels the most recently emitted instruction for diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current block has no instructions yet.
+    pub fn label_last(&mut self, label: impl Into<String>) {
+        let last = *self
+            .func
+            .block(self.current)
+            .insts
+            .last()
+            .expect("label_last requires a prior instruction");
+        self.func.inst_mut(last).label = Some(label.into());
+    }
+
+    /// Terminates the current block with an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        self.func
+            .set_terminator(self.current, Terminator::Jump(target));
+    }
+
+    /// Terminates the current block with a conditional branch.
+    pub fn cond_branch(&mut self, cond: ValueId, then_block: BlockId, else_block: BlockId) {
+        self.func.set_terminator(
+            self.current,
+            Terminator::CondBranch {
+                cond,
+                then_block,
+                else_block,
+                ybranch: None,
+            },
+        );
+    }
+
+    /// Terminates the current block with a Y-branch-annotated conditional
+    /// branch (paper §2.3.1): the compiler may legally force the true path.
+    pub fn ybranch(
+        &mut self,
+        cond: ValueId,
+        then_block: BlockId,
+        else_block: BlockId,
+        hint: YBranchHint,
+    ) {
+        self.func.set_terminator(
+            self.current,
+            Terminator::CondBranch {
+                cond,
+                then_block,
+                else_block,
+                ybranch: Some(hint),
+            },
+        );
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self, value: Option<ValueId>) {
+        self.func
+            .set_terminator(self.current, Terminator::Return(value));
+    }
+
+    /// Finishes construction, moving the function into `program`.
+    pub fn finish(self, program: &mut Program) -> FuncId {
+        program.add_function(self.func)
+    }
+
+    /// Finishes construction, returning the bare function (mostly for
+    /// tests that do not need a whole program).
+    pub fn into_function(self) -> Function {
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_appends_to_current_block() {
+        let mut b = FunctionBuilder::new("f");
+        let one = b.const_(1);
+        let two = b.const_(2);
+        let sum = b.binop(Opcode::Add, one, two);
+        b.ret(Some(sum));
+        let f = b.into_function();
+        assert_eq!(f.block(f.entry).insts.len(), 3);
+        assert!(matches!(
+            f.block(f.entry).terminator,
+            Terminator::Return(Some(_))
+        ));
+    }
+
+    #[test]
+    fn builder_switches_blocks() {
+        let mut b = FunctionBuilder::new("f");
+        let other = b.add_block("other");
+        b.jump(other);
+        b.switch_to(other);
+        assert_eq!(b.current_block(), other);
+        let v = b.const_(0);
+        b.ret(Some(v));
+        let f = b.into_function();
+        assert!(f.block(f.entry).insts.is_empty());
+        assert_eq!(f.block(other).insts.len(), 1);
+    }
+
+    #[test]
+    fn store_records_value_then_pointer_operands() {
+        let mut b = FunctionBuilder::new("f");
+        let p = b.add_param();
+        let v = b.const_(7);
+        let st = b.store(p, v);
+        b.ret(None);
+        let f = b.into_function();
+        assert_eq!(f.inst(st).operands, vec![v, p]);
+        assert!(f.inst(st).def.is_none());
+    }
+
+    #[test]
+    fn ybranch_annotation_is_preserved() {
+        let mut b = FunctionBuilder::new("f");
+        let t = b.add_block("t");
+        let e = b.add_block("e");
+        let c = b.const_(0);
+        b.ybranch(c, t, e, YBranchHint::new(0.5));
+        let f = b.into_function();
+        match &f.block(f.entry).terminator {
+            Terminator::CondBranch {
+                ybranch: Some(h), ..
+            } => {
+                assert_eq!(h.probability, 0.5);
+            }
+            other => panic!("expected annotated branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn label_last_attaches_to_most_recent_inst() {
+        let mut b = FunctionBuilder::new("f");
+        let _ = b.const_(1);
+        b.label_last("the-one");
+        let f = b.into_function();
+        let id = f.block(f.entry).insts[0];
+        assert_eq!(f.inst(id).label.as_deref(), Some("the-one"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Control-flow graph utilities: successors, predecessors, and orderings.
+
+use crate::function::Function;
+use crate::ids::BlockId;
+
+/// Precomputed successor/predecessor lists and traversal orders for a
+/// [`Function`]'s control-flow graph.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    entry: BlockId,
+}
+
+impl Cfg {
+    /// Builds the CFG for a function.
+    pub fn build(func: &Function) -> Self {
+        let n = func.block_count();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for b in func.block_ids() {
+            for s in func.block(b).terminator.successors() {
+                succs[b.index()].push(s);
+                preds[s.index()].push(b);
+            }
+        }
+        let rpo = reverse_postorder(func.entry, &succs);
+        Self {
+            succs,
+            preds,
+            rpo,
+            entry: func.entry,
+        }
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Successors of `block` in branch order.
+    pub fn succs(&self, block: BlockId) -> &[BlockId] {
+        &self.succs[block.index()]
+    }
+
+    /// Predecessors of `block`.
+    pub fn preds(&self, block: BlockId) -> &[BlockId] {
+        &self.preds[block.index()]
+    }
+
+    /// Blocks in reverse postorder from the entry. Unreachable blocks are
+    /// not included.
+    pub fn reverse_postorder(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// The number of blocks (including unreachable ones).
+    pub fn block_count(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether `block` is reachable from the entry.
+    pub fn is_reachable(&self, block: BlockId) -> bool {
+        self.rpo.contains(&block)
+    }
+
+    /// Exit blocks: reachable blocks with no successors (returns).
+    pub fn exits(&self) -> Vec<BlockId> {
+        self.rpo
+            .iter()
+            .copied()
+            .filter(|b| self.succs(*b).is_empty())
+            .collect()
+    }
+}
+
+fn reverse_postorder(entry: BlockId, succs: &[Vec<BlockId>]) -> Vec<BlockId> {
+    let n = succs.len();
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS with an explicit state stack to avoid recursion limits
+    // on long CFGs.
+    let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+    visited[entry.index()] = true;
+    while let Some(&mut (block, ref mut next)) = stack.last_mut() {
+        if *next < succs[block.index()].len() {
+            let s = succs[block.index()][*next];
+            *next += 1;
+            if !visited[s.index()] {
+                visited[s.index()] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(block);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+
+    fn diamond() -> crate::function::Function {
+        let mut b = FunctionBuilder::new("diamond");
+        let then_b = b.add_block("then");
+        let else_b = b.add_block("else");
+        let join = b.add_block("join");
+        let c = b.const_(1);
+        b.cond_branch(c, then_b, else_b);
+        b.switch_to(then_b);
+        b.jump(join);
+        b.switch_to(else_b);
+        b.jump(join);
+        b.switch_to(join);
+        b.ret(None);
+        b.into_function()
+    }
+
+    #[test]
+    fn diamond_has_expected_edges() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.succs(f.entry).len(), 2);
+        let join = BlockId::new(3);
+        assert_eq!(cfg.preds(join).len(), 2);
+        assert_eq!(cfg.exits(), vec![join]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable_blocks() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], f.entry);
+        assert_eq!(rpo.len(), 4);
+        // Join must come after both branches.
+        let pos = |b: BlockId| rpo.iter().position(|x| *x == b).unwrap();
+        assert!(pos(BlockId::new(3)) > pos(BlockId::new(1)));
+        assert!(pos(BlockId::new(3)) > pos(BlockId::new(2)));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_excluded_from_rpo() {
+        let mut b = FunctionBuilder::new("f");
+        let dead = b.add_block("dead");
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        let f = b.into_function();
+        let cfg = Cfg::build(&f);
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.reverse_postorder().len(), 1);
+    }
+
+    #[test]
+    fn self_loop_edges_are_recorded() {
+        let mut b = FunctionBuilder::new("f");
+        let body = b.add_block("body");
+        b.jump(body);
+        b.switch_to(body);
+        let c = b.const_(1);
+        b.cond_branch(c, body, body);
+        let f = b.into_function();
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.succs(body), &[body, body]);
+        assert!(cfg.preds(body).contains(&f.entry));
+    }
+}

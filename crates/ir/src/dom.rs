@@ -1,0 +1,303 @@
+//! Dominator and post-dominator trees (Cooper–Harvey–Kennedy).
+
+use crate::cfg::Cfg;
+use crate::ids::BlockId;
+
+/// A dominator (or post-dominator) tree over the blocks of a function.
+///
+/// Post-dominance is computed over the reversed CFG rooted at a *virtual
+/// exit* connected to every return block, so functions with multiple
+/// returns are handled uniformly. Queries never expose the virtual node:
+/// a block whose immediate post-dominator is the virtual exit reports
+/// `None` from [`DomTree::idom`].
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// Immediate dominator per node; `idom[root] == root`. The virtual
+    /// node, when present, has index `real_count`.
+    idom: Vec<Option<usize>>,
+    /// Number of real blocks (the virtual node, if any, comes after).
+    real_count: usize,
+    root: usize,
+}
+
+impl DomTree {
+    /// Builds the dominator tree of `cfg`.
+    pub fn dominators(cfg: &Cfg) -> Self {
+        let n = cfg.block_count();
+        let order: Vec<usize> = cfg.reverse_postorder().iter().map(|b| b.index()).collect();
+        let preds: Vec<Vec<usize>> = (0..n)
+            .map(|b| {
+                cfg.preds(BlockId::new(b as u32))
+                    .iter()
+                    .map(|p| p.index())
+                    .collect()
+            })
+            .collect();
+        let idom = compute(n, cfg.entry().index(), &order, &preds);
+        Self {
+            idom,
+            real_count: n,
+            root: cfg.entry().index(),
+        }
+    }
+
+    /// Builds the post-dominator tree of `cfg`.
+    pub fn post_dominators(cfg: &Cfg) -> Self {
+        let n = cfg.block_count();
+        let virt = n;
+        // Reverse graph over n+1 nodes: edge u->v iff v->u in the CFG,
+        // plus virt->e for every exit e.
+        let mut rsuccs: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        let mut rpreds: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        for b in 0..n {
+            let id = BlockId::new(b as u32);
+            for p in cfg.preds(id) {
+                rsuccs[b].push(p.index());
+            }
+            for s in cfg.succs(id) {
+                rpreds[b].push(s.index());
+            }
+        }
+        for e in cfg.exits() {
+            rsuccs[virt].push(e.index());
+            rpreds[e.index()].push(virt);
+        }
+        let order = rpo(n + 1, virt, &rsuccs);
+        let idom = compute(n + 1, virt, &order, &rpreds);
+        Self {
+            idom,
+            real_count: n,
+            root: virt,
+        }
+    }
+
+    /// The immediate dominator of `block`, or `None` if `block` is the
+    /// root, unreachable, or immediately post-dominated only by the
+    /// virtual exit.
+    pub fn idom(&self, block: BlockId) -> Option<BlockId> {
+        match self.idom[block.index()] {
+            Some(d) if d != block.index() && d < self.real_count => Some(BlockId::new(d as u32)),
+            _ => None,
+        }
+    }
+
+    /// The root of the tree when it is a real block (always so for
+    /// dominator trees; for post-dominator trees only with a single exit,
+    /// in which case the virtual exit trivially forwards to it).
+    pub fn root(&self) -> Option<BlockId> {
+        if self.root < self.real_count {
+            Some(BlockId::new(self.root as u32))
+        } else {
+            None
+        }
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b.index()].is_none() {
+            return false;
+        }
+        let mut cur = b.index();
+        loop {
+            if cur == a.index() {
+                return true;
+            }
+            match self.idom[cur] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Whether `block` participates in the tree (is reachable).
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.idom[block.index()].is_some()
+    }
+}
+
+fn rpo(n: usize, root: usize, succs: &[Vec<usize>]) -> Vec<usize> {
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+    visited[root] = true;
+    while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+        if *next < succs[node].len() {
+            let s = succs[node][*next];
+            *next += 1;
+            if !visited[s] {
+                visited[s] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(node);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Cooper–Harvey–Kennedy iterative dominator computation.
+fn compute(n: usize, root: usize, order: &[usize], preds: &[Vec<usize>]) -> Vec<Option<usize>> {
+    let mut order_index = vec![usize::MAX; n];
+    for (i, &b) in order.iter().enumerate() {
+        order_index[b] = i;
+    }
+    let mut idom: Vec<Option<usize>> = vec![None; n];
+    idom[root] = Some(root);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in order.iter() {
+            if b == root {
+                continue;
+            }
+            let mut new_idom: Option<usize> = None;
+            for &p in &preds[b] {
+                if idom[p].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, &order_index, cur, p),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[b] != Some(ni) {
+                    idom[b] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+fn intersect(idom: &[Option<usize>], order_index: &[usize], mut a: usize, mut b: usize) -> usize {
+    while a != b {
+        while order_index[a] > order_index[b] {
+            a = idom[a].expect("settled node");
+        }
+        while order_index[b] > order_index[a] {
+            b = idom[b].expect("settled node");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::Function;
+
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("diamond");
+        let then_b = b.add_block("then");
+        let else_b = b.add_block("else");
+        let join = b.add_block("join");
+        let c = b.const_(1);
+        b.cond_branch(c, then_b, else_b);
+        b.switch_to(then_b);
+        b.jump(join);
+        b.switch_to(else_b);
+        b.jump(join);
+        b.switch_to(join);
+        b.ret(None);
+        b.into_function()
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::dominators(&cfg);
+        let (entry, t, e, join) = (f.entry, BlockId::new(1), BlockId::new(2), BlockId::new(3));
+        assert_eq!(dom.idom(t), Some(entry));
+        assert_eq!(dom.idom(e), Some(entry));
+        assert_eq!(dom.idom(join), Some(entry));
+        assert!(dom.dominates(entry, join));
+        assert!(!dom.dominates(t, join));
+        assert!(dom.dominates(join, join));
+        assert_eq!(dom.root(), Some(entry));
+    }
+
+    #[test]
+    fn diamond_post_dominators() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        let pdom = DomTree::post_dominators(&cfg);
+        let (entry, t, e, join) = (f.entry, BlockId::new(1), BlockId::new(2), BlockId::new(3));
+        assert_eq!(pdom.idom(t), Some(join));
+        assert_eq!(pdom.idom(e), Some(join));
+        assert_eq!(pdom.idom(entry), Some(join));
+        assert!(pdom.dominates(join, entry));
+        assert!(!pdom.dominates(t, entry));
+    }
+
+    #[test]
+    fn loop_dominators() {
+        let mut b = FunctionBuilder::new("loop");
+        let header = b.add_block("header");
+        let body = b.add_block("body");
+        let exit = b.add_block("exit");
+        b.jump(header);
+        b.switch_to(header);
+        let c = b.const_(1);
+        b.cond_branch(c, body, exit);
+        b.switch_to(body);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.into_function();
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::dominators(&cfg);
+        assert_eq!(dom.idom(header), Some(f.entry));
+        assert_eq!(dom.idom(body), Some(header));
+        assert_eq!(dom.idom(exit), Some(header));
+        assert!(dom.dominates(header, body));
+    }
+
+    #[test]
+    fn multi_exit_post_dominance_uses_virtual_root() {
+        let mut bld = FunctionBuilder::new("f");
+        let a = bld.add_block("a");
+        let b2 = bld.add_block("b");
+        let c = bld.const_(1);
+        bld.cond_branch(c, a, b2);
+        bld.switch_to(a);
+        bld.ret(None);
+        bld.switch_to(b2);
+        bld.ret(None);
+        let f = bld.into_function();
+        let cfg = Cfg::build(&f);
+        let pdom = DomTree::post_dominators(&cfg);
+        assert_eq!(pdom.idom(f.entry), None);
+        assert!(!pdom.dominates(a, f.entry));
+        assert!(!pdom.dominates(b2, f.entry));
+        assert!(pdom.contains(f.entry));
+        assert_eq!(pdom.root(), None);
+    }
+
+    #[test]
+    fn loop_body_is_post_dominated_by_header() {
+        let mut b = FunctionBuilder::new("loop");
+        let header = b.add_block("header");
+        let body = b.add_block("body");
+        let exit = b.add_block("exit");
+        b.jump(header);
+        b.switch_to(header);
+        let c = b.const_(1);
+        b.cond_branch(c, body, exit);
+        b.switch_to(body);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.into_function();
+        let cfg = Cfg::build(&f);
+        let pdom = DomTree::post_dominators(&cfg);
+        assert_eq!(pdom.idom(body), Some(header));
+        assert_eq!(pdom.idom(header), Some(exit));
+        assert!(pdom.dominates(header, body));
+    }
+}

@@ -1,0 +1,209 @@
+//! Structural validation of IR functions.
+
+use crate::cfg::Cfg;
+use crate::function::Function;
+use crate::ids::{BlockId, InstId, ValueId};
+use crate::inst::{Opcode, Terminator};
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// An IR well-formedness violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A reachable block is missing a terminator.
+    UnterminatedBlock(BlockId),
+    /// A terminator targets a block that does not exist.
+    BadBranchTarget(BlockId),
+    /// A value is defined by more than one instruction (SSA violation).
+    MultipleDefinitions(ValueId),
+    /// An instruction uses a value that is never defined and is not a
+    /// parameter.
+    UseOfUndefined(InstId, ValueId),
+    /// A phi's operand count does not match its block's predecessor count.
+    PhiArityMismatch(InstId),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::UnterminatedBlock(b) => write!(f, "block {b} has no terminator"),
+            VerifyError::BadBranchTarget(b) => write!(f, "branch targets nonexistent block {b}"),
+            VerifyError::MultipleDefinitions(v) => write!(f, "value {v} defined more than once"),
+            VerifyError::UseOfUndefined(i, v) => {
+                write!(f, "instruction {i} uses undefined value {v}")
+            }
+            VerifyError::PhiArityMismatch(i) => {
+                write!(f, "phi {i} operand count does not match predecessors")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Checks the structural invariants of `func`.
+///
+/// # Errors
+///
+/// Returns the first violation found: unterminated reachable blocks,
+/// branches to nonexistent blocks, multiple definitions of an SSA value,
+/// uses of never-defined values, or phi/predecessor arity mismatches.
+pub fn verify_function(func: &Function) -> Result<(), VerifyError> {
+    let block_count = func.block_count() as u32;
+    // Branch targets must exist.
+    for b in func.block_ids() {
+        for s in func.block(b).terminator.successors() {
+            if s.index() as u32 >= block_count {
+                return Err(VerifyError::BadBranchTarget(s));
+            }
+        }
+    }
+    let cfg = Cfg::build(func);
+    for &b in cfg.reverse_postorder() {
+        if matches!(func.block(b).terminator, Terminator::Unterminated) {
+            return Err(VerifyError::UnterminatedBlock(b));
+        }
+    }
+    // Single definition per value.
+    let mut defined: HashSet<ValueId> = func.params.iter().copied().collect();
+    for i in func.inst_ids() {
+        if let Some(d) = func.inst(i).def {
+            if !defined.insert(d) {
+                return Err(VerifyError::MultipleDefinitions(d));
+            }
+        }
+    }
+    // Uses must be defined somewhere (param or instruction). Dominance of
+    // defs over uses is deliberately not enforced: loop-carried values
+    // flow through phis and the analyses treat the body as a region.
+    for i in func.inst_ids() {
+        for &op in &func.inst(i).operands {
+            if !defined.contains(&op) {
+                return Err(VerifyError::UseOfUndefined(i, op));
+            }
+        }
+    }
+    for b in func.block_ids() {
+        if let Some(cond) = func.block(b).terminator.condition() {
+            if !defined.contains(&cond) {
+                // Attribute the use to the last instruction of the block
+                // if there is one, else a synthetic id.
+                let at = func
+                    .block(b)
+                    .insts
+                    .last()
+                    .copied()
+                    .unwrap_or(InstId::new(0));
+                return Err(VerifyError::UseOfUndefined(at, cond));
+            }
+        }
+    }
+    // Phi arity.
+    for b in func.block_ids() {
+        let preds = cfg.preds(b).len();
+        for &i in &func.block(b).insts {
+            if matches!(func.inst(i).opcode, Opcode::Phi) && func.inst(i).operands.len() != preds {
+                return Err(VerifyError::PhiArityMismatch(i));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Inst;
+
+    #[test]
+    fn accepts_well_formed_function() {
+        let mut b = FunctionBuilder::new("ok");
+        let x = b.add_param();
+        let one = b.const_(1);
+        let s = b.binop(Opcode::Add, x, one);
+        b.ret(Some(s));
+        assert_eq!(verify_function(&b.into_function()), Ok(()));
+    }
+
+    #[test]
+    fn rejects_unterminated_reachable_block() {
+        let b = FunctionBuilder::new("bad");
+        let f = b.into_function();
+        assert_eq!(
+            verify_function(&f),
+            Err(VerifyError::UnterminatedBlock(f.entry))
+        );
+    }
+
+    #[test]
+    fn ignores_unterminated_unreachable_block() {
+        let mut b = FunctionBuilder::new("f");
+        let _dead = b.add_block("dead");
+        b.ret(None);
+        assert_eq!(verify_function(&b.into_function()), Ok(()));
+    }
+
+    #[test]
+    fn rejects_use_of_undefined_value() {
+        let mut f = Function::new("bad");
+        let ghost = ValueId::new(99);
+        f.push_inst(f.entry, Inst::new(Opcode::Copy, None, vec![ghost]));
+        f.set_terminator(f.entry, Terminator::Return(None));
+        assert!(matches!(
+            verify_function(&f),
+            Err(VerifyError::UseOfUndefined(_, v)) if v == ghost
+        ));
+    }
+
+    use crate::function::Function;
+
+    #[test]
+    fn rejects_double_definition() {
+        let mut f = Function::new("bad");
+        let v = f.new_value();
+        f.push_inst(f.entry, Inst::new(Opcode::Const(1), Some(v), vec![]));
+        f.push_inst(f.entry, Inst::new(Opcode::Const(2), Some(v), vec![]));
+        f.set_terminator(f.entry, Terminator::Return(None));
+        assert_eq!(
+            verify_function(&f),
+            Err(VerifyError::MultipleDefinitions(v))
+        );
+    }
+
+    #[test]
+    fn rejects_bad_branch_target() {
+        let mut f = Function::new("bad");
+        f.set_terminator(f.entry, Terminator::Jump(BlockId::new(42)));
+        assert_eq!(
+            verify_function(&f),
+            Err(VerifyError::BadBranchTarget(BlockId::new(42)))
+        );
+    }
+
+    #[test]
+    fn rejects_phi_arity_mismatch() {
+        let mut b = FunctionBuilder::new("bad");
+        let header = b.add_block("header");
+        let exit = b.add_block("exit");
+        let init = b.const_(0);
+        b.jump(header);
+        b.switch_to(header);
+        // Header has two predecessors (entry, header) but phi lists one.
+        let phi = b.phi(&[init]);
+        b.cond_branch(phi, header, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        assert!(matches!(
+            verify_function(&b.into_function()),
+            Err(VerifyError::PhiArityMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_prose() {
+        let msg = VerifyError::UnterminatedBlock(BlockId::new(1)).to_string();
+        assert!(msg.starts_with("block"));
+    }
+}

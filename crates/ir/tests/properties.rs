@@ -1,0 +1,143 @@
+//! Property-based tests for the IR's graph algorithms: dominators and
+//! natural-loop discovery over randomly shaped CFGs.
+
+use proptest::prelude::*;
+use seqpar_ir::{Cfg, DomTree, FunctionBuilder, LoopForest, Terminator};
+
+/// Builds a function whose CFG has `n` blocks; block `i` branches to the
+/// two targets given (targets are reduced mod `n`). Block 0 is the entry;
+/// any block whose targets equal itself twice becomes a return.
+#[allow(clippy::needless_range_loop)]
+fn build_cfg(n: usize, targets: &[(usize, usize)]) -> seqpar_ir::Function {
+    let mut b = FunctionBuilder::new("random");
+    let blocks: Vec<_> = (0..n - 1)
+        .map(|i| b.add_block(format!("b{}", i + 1)))
+        .collect();
+    let block_id = |i: usize| {
+        if i.is_multiple_of(n) {
+            b_entry()
+        } else {
+            blocks[(i % n) - 1]
+        }
+    };
+    fn b_entry() -> seqpar_ir::BlockId {
+        seqpar_ir::BlockId::new(0)
+    }
+    for i in 0..n {
+        let id = block_id(i);
+        b.switch_to(id);
+        let (t1, t2) = targets[i];
+        let (t1, t2) = (t1 % n, t2 % n);
+        if t1 == i && t2 == i {
+            b.ret(None);
+        } else if t1 == t2 {
+            b.jump(block_id(t1));
+        } else {
+            let c = b.const_(1);
+            b.cond_branch(c, block_id(t1), block_id(t2));
+        }
+    }
+    b.into_function()
+}
+
+/// Brute-force dominance: a dominates b iff removing a makes b
+/// unreachable from the entry.
+fn dominates_brute(func: &seqpar_ir::Function, a: usize, target: usize) -> bool {
+    if a == target {
+        return true;
+    }
+    let cfg = Cfg::build(func);
+    let n = func.block_count();
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    if a == 0 {
+        return cfg.is_reachable(seqpar_ir::BlockId::new(target as u32));
+    }
+    while let Some(x) = stack.pop() {
+        for s in cfg.succs(seqpar_ir::BlockId::new(x as u32)) {
+            let si = s.index();
+            if si != a && !seen[si] {
+                seen[si] = true;
+                stack.push(si);
+            }
+        }
+    }
+    cfg.is_reachable(seqpar_ir::BlockId::new(target as u32)) && !seen[target]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The CHK dominator tree agrees with brute-force dominance on every
+    /// reachable block pair.
+    #[test]
+    fn dominators_match_brute_force(
+        targets in proptest::collection::vec((0..6usize, 0..6usize), 6)
+    ) {
+        let n = 6;
+        let func = build_cfg(n, &targets);
+        let cfg = Cfg::build(&func);
+        let dom = DomTree::dominators(&cfg);
+        for a in 0..n {
+            for t in 0..n {
+                let (ba, bt) = (seqpar_ir::BlockId::new(a as u32), seqpar_ir::BlockId::new(t as u32));
+                if !cfg.is_reachable(bt) || !cfg.is_reachable(ba) {
+                    continue;
+                }
+                prop_assert_eq!(
+                    dom.dominates(ba, bt),
+                    dominates_brute(&func, a, t),
+                    "dominates({}, {})", a, t
+                );
+            }
+        }
+    }
+
+    /// Every discovered natural loop is headed by a block that dominates
+    /// its entire body, and the latches really branch to the header.
+    #[test]
+    fn loops_are_dominated_by_their_headers(
+        targets in proptest::collection::vec((0..7usize, 0..7usize), 7)
+    ) {
+        let func = build_cfg(7, &targets);
+        let cfg = Cfg::build(&func);
+        let dom = DomTree::dominators(&cfg);
+        let forest = LoopForest::build(&func);
+        for (_, l) in forest.loops() {
+            for blk in &l.blocks {
+                prop_assert!(dom.dominates(l.header, *blk));
+            }
+            for latch in &l.latches {
+                prop_assert!(l.contains(*latch));
+                let succs = match &func.block(*latch).terminator {
+                    Terminator::Jump(t) => vec![*t],
+                    Terminator::CondBranch { then_block, else_block, .. } => {
+                        vec![*then_block, *else_block]
+                    }
+                    _ => vec![],
+                };
+                prop_assert!(succs.contains(&l.header));
+            }
+        }
+    }
+
+    /// Loop nesting is consistent: a child's body is a subset of its
+    /// parent's.
+    #[test]
+    fn loop_nesting_is_subset_ordered(
+        targets in proptest::collection::vec((0..7usize, 0..7usize), 7)
+    ) {
+        let func = build_cfg(7, &targets);
+        let forest = LoopForest::build(&func);
+        for (_, l) in forest.loops() {
+            if let Some(parent) = l.parent {
+                let p = forest.get(parent);
+                for blk in &l.blocks {
+                    prop_assert!(p.contains(*blk));
+                }
+                prop_assert!(p.blocks.len() > l.blocks.len());
+            }
+        }
+    }
+}

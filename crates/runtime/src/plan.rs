@@ -1,0 +1,231 @@
+//! Execution plans: which core(s) run each pipeline stage.
+
+use serde::{Deserialize, Serialize};
+
+/// How one stage's tasks are placed on cores.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StageAssignment {
+    /// Every task of the stage runs, in iteration order, on one core.
+    ///
+    /// This is the paper's phase A / phase C pattern: sequential stages
+    /// carrying loop-carried dependences stay on a single core.
+    Serial {
+        /// The core hosting the stage.
+        core: usize,
+    },
+    /// Tasks are assigned dynamically to whichever of `cores` has the
+    /// least work enqueued (paper §3.2) — the replicated parallel stage.
+    Parallel {
+        /// The pool of cores sharing the stage.
+        cores: Vec<usize>,
+    },
+    /// Tasks are assigned statically round-robin by iteration number —
+    /// the ablation baseline against the dynamic least-loaded heuristic.
+    RoundRobin {
+        /// The pool of cores sharing the stage.
+        cores: Vec<usize>,
+    },
+}
+
+impl StageAssignment {
+    /// A serial assignment on `core`.
+    pub fn serial(core: usize) -> Self {
+        StageAssignment::Serial { core }
+    }
+
+    /// A parallel assignment over `cores`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is empty.
+    pub fn parallel(cores: Vec<usize>) -> Self {
+        assert!(
+            !cores.is_empty(),
+            "a parallel stage needs at least one core"
+        );
+        StageAssignment::Parallel { cores }
+    }
+
+    /// A static round-robin assignment over `cores`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is empty.
+    pub fn round_robin(cores: Vec<usize>) -> Self {
+        assert!(
+            !cores.is_empty(),
+            "a parallel stage needs at least one core"
+        );
+        StageAssignment::RoundRobin { cores }
+    }
+
+    /// The cores this assignment may use.
+    pub fn cores(&self) -> Vec<usize> {
+        match self {
+            StageAssignment::Serial { core } => vec![*core],
+            StageAssignment::Parallel { cores } | StageAssignment::RoundRobin { cores } => {
+                cores.clone()
+            }
+        }
+    }
+
+    /// The highest core index referenced.
+    pub fn max_core(&self) -> usize {
+        match self {
+            StageAssignment::Serial { core } => *core,
+            StageAssignment::Parallel { cores } | StageAssignment::RoundRobin { cores } => {
+                cores.iter().copied().max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+/// The per-stage placement for one parallelized loop.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionPlan {
+    stages: Vec<StageAssignment>,
+}
+
+impl ExecutionPlan {
+    /// Creates a plan from per-stage assignments (index = stage id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty.
+    pub fn new(stages: Vec<StageAssignment>) -> Self {
+        assert!(!stages.is_empty(), "a plan needs at least one stage");
+        Self { stages }
+    }
+
+    /// The classic A/B/C plan of §3.2 for a machine with `cores` cores:
+    /// phase A serial on core 0, phase C serial on the last core, phase B
+    /// replicated across the remaining cores (or sharing core 0 on small
+    /// machines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn three_phase(cores: usize) -> Self {
+        assert!(cores > 0, "need at least one core");
+        match cores {
+            1 => Self::new(vec![
+                StageAssignment::serial(0),
+                StageAssignment::parallel(vec![0]),
+                StageAssignment::serial(0),
+            ]),
+            2 => Self::new(vec![
+                StageAssignment::serial(0),
+                StageAssignment::parallel(vec![1]),
+                StageAssignment::serial(0),
+            ]),
+            3 => Self::new(vec![
+                StageAssignment::serial(0),
+                StageAssignment::parallel(vec![1]),
+                StageAssignment::serial(2),
+            ]),
+            n => Self::new(vec![
+                StageAssignment::serial(0),
+                StageAssignment::parallel((1..n - 1).collect()),
+                StageAssignment::serial(n - 1),
+            ]),
+        }
+    }
+
+    /// The A/B/C plan with a *statically* scheduled phase B (round-robin
+    /// by iteration) — the ablation baseline for the paper's dynamic
+    /// least-loaded assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn three_phase_static(cores: usize) -> Self {
+        let dynamic = Self::three_phase(cores);
+        let stages = dynamic
+            .stages
+            .into_iter()
+            .map(|s| match s {
+                StageAssignment::Parallel { cores } => StageAssignment::RoundRobin { cores },
+                other => other,
+            })
+            .collect();
+        Self::new(stages)
+    }
+
+    /// A TLS-style plan: one stage, iterations spread across all cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn tls(cores: usize) -> Self {
+        assert!(cores > 0, "need at least one core");
+        Self::new(vec![StageAssignment::parallel((0..cores).collect())])
+    }
+
+    /// The assignment of `stage`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn stage(&self, stage: u8) -> &StageAssignment {
+        &self.stages[stage as usize]
+    }
+
+    /// The number of stages.
+    pub fn stage_count(&self) -> u8 {
+        self.stages.len() as u8
+    }
+
+    /// The number of cores the plan requires (highest index + 1).
+    pub fn cores_required(&self) -> usize {
+        self.stages
+            .iter()
+            .map(StageAssignment::max_core)
+            .max()
+            .unwrap_or(0)
+            + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_phase_splits_cores_sensibly() {
+        let p = ExecutionPlan::three_phase(8);
+        assert_eq!(p.stage_count(), 3);
+        assert_eq!(p.stage(0), &StageAssignment::serial(0));
+        assert_eq!(p.stage(1).cores(), (1..7).collect::<Vec<_>>());
+        assert_eq!(p.stage(2), &StageAssignment::serial(7));
+        assert_eq!(p.cores_required(), 8);
+    }
+
+    #[test]
+    fn three_phase_degenerates_gracefully_on_small_machines() {
+        let p1 = ExecutionPlan::three_phase(1);
+        assert_eq!(p1.cores_required(), 1);
+        let p2 = ExecutionPlan::three_phase(2);
+        assert_eq!(p2.cores_required(), 2);
+        let p3 = ExecutionPlan::three_phase(3);
+        assert_eq!(p3.cores_required(), 3);
+    }
+
+    #[test]
+    fn tls_plan_uses_every_core_in_one_stage() {
+        let p = ExecutionPlan::tls(4);
+        assert_eq!(p.stage_count(), 1);
+        assert_eq!(p.stage(0).cores(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn parallel_assignment_rejects_empty_pool() {
+        StageAssignment::parallel(vec![]);
+    }
+
+    #[test]
+    fn max_core_reports_highest_index() {
+        assert_eq!(StageAssignment::serial(5).max_core(), 5);
+        assert_eq!(StageAssignment::parallel(vec![2, 9, 4]).max_core(), 9);
+    }
+}

@@ -1,0 +1,681 @@
+//! The performance simulator.
+
+use crate::plan::{ExecutionPlan, StageAssignment};
+use crate::task::TaskGraph;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Machine model parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of cores.
+    pub cores: usize,
+    /// Cycles to move a value between cores through a queue.
+    pub comm_latency: u64,
+    /// Entries per core-to-core queue (the paper models 32).
+    pub queue_capacity: usize,
+    /// Number of queues available (the paper models 256).
+    pub num_queues: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            cores: 4,
+            comm_latency: 50,
+            queue_capacity: 32,
+            num_queues: 256,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A config with `cores` cores and default queue parameters.
+    pub fn with_cores(cores: usize) -> Self {
+        Self {
+            cores,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a simulation could not run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The plan references more cores than the machine has.
+    NotEnoughCores {
+        /// Cores the plan needs.
+        required: usize,
+        /// Cores the machine has.
+        available: usize,
+    },
+    /// The plan's stage count does not match the task graph's.
+    StageMismatch {
+        /// Stages in the plan.
+        plan: u8,
+        /// Stages in the graph.
+        graph: u8,
+    },
+    /// The dependence structure needs more queues than the machine has.
+    TooManyChannels {
+        /// Queues required.
+        required: usize,
+        /// Queues available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NotEnoughCores {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "plan requires {required} cores but machine has {available}"
+                )
+            }
+            SimError::StageMismatch { plan, graph } => {
+                write!(f, "plan has {plan} stages but task graph has {graph}")
+            }
+            SimError::TooManyChannels {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "dependences require {required} queues but machine has {available}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Occupancy statistics for one stage-to-stage channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelStat {
+    /// Producer stage.
+    pub producer: u8,
+    /// Consumer stage.
+    pub consumer: u8,
+    /// Maximum entries simultaneously in flight (enqueued at producer
+    /// finish, dequeued at consumer start).
+    pub max_occupancy: usize,
+}
+
+/// Where and when one task executed (from [`Simulator::run_traced`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskPlacement {
+    /// The task.
+    pub task: crate::task::TaskId,
+    /// The core it ran on.
+    pub core: usize,
+    /// Start cycle.
+    pub start: u64,
+    /// End cycle.
+    pub end: u64,
+}
+
+/// The outcome of one simulation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Parallel execution time in cycles.
+    pub makespan: u64,
+    /// Single-threaded execution time (sum of task costs).
+    pub serial_cycles: u64,
+    /// Busy cycles per core.
+    pub core_busy: Vec<u64>,
+    /// Number of tasks executed.
+    pub tasks_executed: usize,
+    /// Cycles tasks were delayed waiting for queue space (backpressure).
+    pub queue_stall_cycles: u64,
+    /// Speculated dependences that manifested and serialized execution.
+    pub violations: u64,
+    /// Speculated dependences that were successfully broken.
+    pub speculations_survived: u64,
+    /// Per-channel peak queue occupancy.
+    pub channel_stats: Vec<ChannelStat>,
+}
+
+impl SimResult {
+    /// Speedup of the parallel execution over single-threaded execution.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan == 0 {
+            1.0
+        } else {
+            self.serial_cycles as f64 / self.makespan as f64
+        }
+    }
+
+    /// Average fraction of core time spent executing tasks.
+    pub fn utilization(&self) -> f64 {
+        let cores = self.core_busy.len().max(1) as u64;
+        if self.makespan == 0 {
+            0.0
+        } else {
+            let busy: u64 = self.core_busy.iter().sum();
+            busy as f64 / (self.makespan * cores) as f64
+        }
+    }
+}
+
+/// The list-scheduling performance simulator.
+///
+/// Tasks are scheduled in `(iter, stage)` order. A task becomes ready when
+/// its synchronized dependences — plus any *violated* speculated
+/// dependences — have finished (cross-core edges pay
+/// [`SimConfig::comm_latency`]) and its output queues have space; it then
+/// runs on its stage's core (serial stages) or on the least-loaded core of
+/// its stage's pool (parallel stages, matching the dynamic assignment of
+/// paper §3.2).
+#[derive(Clone, Debug, Default)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator with the given machine model.
+    pub fn new(config: SimConfig) -> Self {
+        Self { config }
+    }
+
+    /// The machine model in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Simulates `graph` under `plan`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`] for the validation failures.
+    pub fn run(&self, graph: &TaskGraph, plan: &ExecutionPlan) -> Result<SimResult, SimError> {
+        self.run_traced(graph, plan).map(|(r, _)| r)
+    }
+
+    /// Like [`Simulator::run`], but also returns each task's placement —
+    /// which core ran it and when — for schedule visualization.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`] for the validation failures.
+    pub fn run_traced(
+        &self,
+        graph: &TaskGraph,
+        plan: &ExecutionPlan,
+    ) -> Result<(SimResult, Vec<TaskPlacement>), SimError> {
+        if plan.stage_count() != graph.stage_count() {
+            return Err(SimError::StageMismatch {
+                plan: plan.stage_count(),
+                graph: graph.stage_count(),
+            });
+        }
+        if plan.cores_required() > self.config.cores {
+            return Err(SimError::NotEnoughCores {
+                required: plan.cores_required(),
+                available: self.config.cores,
+            });
+        }
+        // One queue per (producer core, consumer stage) pair is the upper
+        // bound the hardware must provide; we conservatively count
+        // channel-pairs × max pool size.
+        let channels = graph.channels();
+        let queues_needed: usize = channels
+            .iter()
+            .map(|(s, t)| plan.stage(s.0).cores().len() * plan.stage(t.0).cores().len())
+            .sum();
+        if queues_needed > self.config.num_queues {
+            return Err(SimError::TooManyChannels {
+                required: queues_needed,
+                available: self.config.num_queues,
+            });
+        }
+        // consumers_of[s] = stages fed by stage s (for backpressure).
+        let mut consumers_of: HashMap<u8, Vec<u8>> = HashMap::new();
+        for (s, t) in &channels {
+            consumers_of.entry(s.0).or_default().push(t.0);
+        }
+
+        let n = graph.len();
+        let mut finish = vec![0u64; n];
+        let mut core_of = vec![0usize; n];
+        let mut start_by_stage_iter: HashMap<(u8, u64), u64> = HashMap::new();
+        let mut finish_by_stage_iter: HashMap<(u8, u64), u64> = HashMap::new();
+        let mut core_avail = vec![0u64; self.config.cores];
+        let mut core_busy = vec![0u64; self.config.cores];
+        let mut queue_stall = 0u64;
+        let mut violations = 0u64;
+        let mut survived = 0u64;
+        let mut placements: Vec<TaskPlacement> = Vec::with_capacity(n);
+
+        for (idx, task) in graph.tasks().iter().enumerate() {
+            // Effective dependences: synchronized + violated speculative.
+            let mut dep_ids: Vec<u32> = task.deps.iter().map(|d| d.0).collect();
+            for s in &task.spec_deps {
+                if s.violated {
+                    violations += 1;
+                    dep_ids.push(s.on.0);
+                } else {
+                    survived += 1;
+                }
+            }
+            // Pick the core.
+            let core = match plan.stage(task.stage.0) {
+                StageAssignment::Serial { core } => *core,
+                StageAssignment::Parallel { cores } => {
+                    // Least work enqueued = earliest available.
+                    *cores
+                        .iter()
+                        .min_by_key(|c| core_avail[**c])
+                        .expect("parallel pool is non-empty")
+                }
+                StageAssignment::RoundRobin { cores } => cores[(task.iter as usize) % cores.len()],
+            };
+            let dep_ready = dep_ids
+                .iter()
+                .map(|&d| {
+                    let lat = if core_of[d as usize] == core {
+                        0
+                    } else {
+                        self.config.comm_latency
+                    };
+                    finish[d as usize] + lat
+                })
+                .max()
+                .unwrap_or(0);
+            // Backpressure: the producer of iteration i cannot run ahead
+            // of its consumers by more than the queue capacity.
+            let mut queue_ready = 0u64;
+            if let Some(consumers) = consumers_of.get(&task.stage.0) {
+                let k = self.config.queue_capacity as u64;
+                if task.iter >= k {
+                    for t in consumers {
+                        if let Some(&s) = start_by_stage_iter.get(&(*t, task.iter - k)) {
+                            queue_ready = queue_ready.max(s);
+                        }
+                    }
+                }
+            }
+            let unconstrained = dep_ready.max(core_avail[core]);
+            if queue_ready > unconstrained {
+                queue_stall += queue_ready - unconstrained;
+            }
+            let start = unconstrained.max(queue_ready);
+            let end = start + task.cost;
+            finish[idx] = end;
+            core_of[idx] = core;
+            core_avail[core] = end;
+            core_busy[core] += task.cost;
+            start_by_stage_iter.insert((task.stage.0, task.iter), start);
+            finish_by_stage_iter.insert((task.stage.0, task.iter), end);
+            placements.push(TaskPlacement {
+                task: crate::task::TaskId(idx as u32),
+                core,
+                start,
+                end,
+            });
+        }
+
+        // Post-hoc channel occupancy: an entry lives from the producer's
+        // finish to the consumer's start.
+        let mut channel_stats = Vec::with_capacity(channels.len());
+        for (s, t) in &channels {
+            let mut events: Vec<(u64, i32)> = Vec::new();
+            for ((stage, iter), &fin) in &finish_by_stage_iter {
+                if *stage == s.0 {
+                    if let Some(&st) = start_by_stage_iter.get(&(t.0, *iter)) {
+                        events.push((fin, 1));
+                        events.push((st, -1));
+                    }
+                }
+            }
+            // Dequeues before enqueues at equal timestamps.
+            events.sort_unstable_by_key(|(time, delta)| (*time, *delta));
+            let mut occupancy = 0i32;
+            let mut max_occupancy = 0i32;
+            for (_, delta) in events {
+                occupancy += delta;
+                max_occupancy = max_occupancy.max(occupancy);
+            }
+            channel_stats.push(ChannelStat {
+                producer: s.0,
+                consumer: t.0,
+                max_occupancy: max_occupancy.max(0) as usize,
+            });
+        }
+
+        Ok((
+            SimResult {
+                makespan: finish.iter().copied().max().unwrap_or(0),
+                serial_cycles: graph.serial_cycles(),
+                core_busy,
+                tasks_executed: n,
+                queue_stall_cycles: queue_stall,
+                violations,
+                speculations_survived: survived,
+                channel_stats,
+            },
+            placements,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{SpecDep, TaskId};
+
+    fn three_phase_graph(iters: u64, a: u64, b: u64, c: u64) -> TaskGraph {
+        let mut g = TaskGraph::new(3);
+        let mut prev_a: Option<TaskId> = None;
+        let mut prev_c: Option<TaskId> = None;
+        for i in 0..iters {
+            let deps_a: Vec<TaskId> = prev_a.into_iter().collect();
+            let ta = g.add_task(0, i, a, &deps_a, &[]);
+            let tb = g.add_task(1, i, b, &[ta], &[]);
+            let deps_c: Vec<TaskId> = [Some(tb), prev_c].into_iter().flatten().collect();
+            let tc = g.add_task(2, i, c, &deps_c, &[]);
+            prev_a = Some(ta);
+            prev_c = Some(tc);
+        }
+        g
+    }
+
+    #[test]
+    fn serial_machine_gets_no_speedup() {
+        let g = three_phase_graph(50, 10, 100, 10);
+        let plan = ExecutionPlan::three_phase(1);
+        let sim = Simulator::new(SimConfig {
+            cores: 1,
+            comm_latency: 0,
+            ..SimConfig::default()
+        });
+        let r = sim.run(&g, &plan).unwrap();
+        assert_eq!(r.makespan, g.serial_cycles());
+        assert!((r.speedup() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_stage_scales_with_cores() {
+        let g = three_phase_graph(200, 1, 100, 1);
+        let sim8 = Simulator::new(SimConfig {
+            cores: 8,
+            comm_latency: 0,
+            ..SimConfig::default()
+        });
+        let sim16 = Simulator::new(SimConfig {
+            cores: 16,
+            comm_latency: 0,
+            ..SimConfig::default()
+        });
+        let r8 = sim8.run(&g, &ExecutionPlan::three_phase(8)).unwrap();
+        let r16 = sim16.run(&g, &ExecutionPlan::three_phase(16)).unwrap();
+        assert!(r8.speedup() > 4.0, "8-core speedup {}", r8.speedup());
+        assert!(r16.speedup() > r8.speedup() * 1.5);
+    }
+
+    #[test]
+    fn violated_speculation_serializes() {
+        // TLS-style: every iteration speculates on the previous one.
+        let make = |violated: bool| {
+            let mut g = TaskGraph::new(1);
+            let mut prev: Option<TaskId> = None;
+            for i in 0..64 {
+                let spec: Vec<SpecDep> = prev
+                    .into_iter()
+                    .map(|on| SpecDep { on, violated })
+                    .collect();
+                prev = Some(g.add_task(0, i, 100, &[], &spec));
+            }
+            g
+        };
+        let sim = Simulator::new(SimConfig {
+            cores: 8,
+            comm_latency: 0,
+            ..SimConfig::default()
+        });
+        let plan = ExecutionPlan::tls(8);
+        let ok = sim.run(&make(false), &plan).unwrap();
+        let bad = sim.run(&make(true), &plan).unwrap();
+        assert!(
+            ok.speedup() > 7.0,
+            "clean speculation speedup {}",
+            ok.speedup()
+        );
+        assert!(
+            (bad.speedup() - 1.0).abs() < 0.05,
+            "violated speedup {}",
+            bad.speedup()
+        );
+        assert_eq!(bad.violations, 63);
+        assert_eq!(ok.speculations_survived, 63);
+    }
+
+    #[test]
+    fn queue_capacity_limits_runahead() {
+        // Fast producer, slow consumer: the producer must stall once the
+        // queue fills.
+        let mut g = TaskGraph::new(2);
+        for i in 0..100 {
+            let p = g.add_task(0, i, 1, &[], &[]);
+            g.add_task(1, i, 100, &[p], &[]);
+        }
+        let cfg = SimConfig {
+            cores: 2,
+            comm_latency: 0,
+            queue_capacity: 4,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::new(cfg);
+        let plan = ExecutionPlan::new(vec![StageAssignment::serial(0), StageAssignment::serial(1)]);
+        let r = sim.run(&g, &plan).unwrap();
+        assert!(r.queue_stall_cycles > 0);
+        // With unbounded queues there would be no stall.
+        let wide = SimConfig {
+            queue_capacity: 1000,
+            ..cfg
+        };
+        let r2 = Simulator::new(wide).run(&g, &plan).unwrap();
+        assert_eq!(r2.queue_stall_cycles, 0);
+        assert!(r2.makespan <= r.makespan);
+    }
+
+    #[test]
+    fn comm_latency_slows_cross_core_pipelines() {
+        let g = three_phase_graph(50, 10, 10, 10);
+        let plan = ExecutionPlan::three_phase(4);
+        let fast = Simulator::new(SimConfig {
+            cores: 4,
+            comm_latency: 0,
+            ..SimConfig::default()
+        });
+        let slow = Simulator::new(SimConfig {
+            cores: 4,
+            comm_latency: 500,
+            ..SimConfig::default()
+        });
+        let rf = fast.run(&g, &plan).unwrap();
+        let rs = slow.run(&g, &plan).unwrap();
+        assert!(rs.makespan > rf.makespan);
+    }
+
+    #[test]
+    fn plan_validation_errors() {
+        let g = three_phase_graph(2, 1, 1, 1);
+        let sim = Simulator::new(SimConfig::with_cores(2));
+        assert_eq!(
+            sim.run(&g, &ExecutionPlan::three_phase(8)),
+            Err(SimError::NotEnoughCores {
+                required: 8,
+                available: 2
+            })
+        );
+        assert_eq!(
+            sim.run(&g, &ExecutionPlan::tls(2)),
+            Err(SimError::StageMismatch { plan: 1, graph: 3 })
+        );
+        let tiny = Simulator::new(SimConfig {
+            num_queues: 1,
+            ..SimConfig::with_cores(3)
+        });
+        assert!(matches!(
+            tiny.run(&g, &ExecutionPlan::three_phase(3)),
+            Err(SimError::TooManyChannels { .. })
+        ));
+    }
+
+    #[test]
+    fn utilization_and_core_busy_are_consistent() {
+        let g = three_phase_graph(100, 5, 50, 5);
+        let sim = Simulator::new(SimConfig {
+            cores: 6,
+            comm_latency: 0,
+            ..SimConfig::default()
+        });
+        let r = sim.run(&g, &ExecutionPlan::three_phase(6)).unwrap();
+        let busy: u64 = r.core_busy.iter().sum();
+        assert_eq!(busy, g.serial_cycles());
+        assert!(r.utilization() > 0.0 && r.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn channel_occupancy_respects_queue_capacity() {
+        // Fast producer, slow consumer: occupancy should climb exactly to
+        // the configured capacity and stop there.
+        let mut g = TaskGraph::new(2);
+        for i in 0..200 {
+            let p = g.add_task(0, i, 1, &[], &[]);
+            g.add_task(1, i, 50, &[p], &[]);
+        }
+        let cfg = SimConfig {
+            cores: 2,
+            comm_latency: 0,
+            queue_capacity: 8,
+            ..SimConfig::default()
+        };
+        let plan = ExecutionPlan::new(vec![StageAssignment::serial(0), StageAssignment::serial(1)]);
+        let r = Simulator::new(cfg).run(&g, &plan).unwrap();
+        assert_eq!(r.channel_stats.len(), 1);
+        let ch = r.channel_stats[0];
+        assert_eq!((ch.producer, ch.consumer), (0, 1));
+        assert!(
+            ch.max_occupancy <= 8 + 1,
+            "occupancy {} exceeds capacity",
+            ch.max_occupancy
+        );
+        assert!(
+            ch.max_occupancy >= 7,
+            "occupancy {} never filled",
+            ch.max_occupancy
+        );
+    }
+
+    #[test]
+    fn traced_placements_are_consistent_with_the_schedule() {
+        let g = three_phase_graph(50, 5, 40, 5);
+        let sim = Simulator::new(SimConfig {
+            cores: 6,
+            comm_latency: 0,
+            ..SimConfig::default()
+        });
+        let (r, placements) = sim.run_traced(&g, &ExecutionPlan::three_phase(6)).unwrap();
+        assert_eq!(placements.len(), g.len());
+        // End times bound the makespan; costs match; no core overlaps.
+        assert_eq!(placements.iter().map(|p| p.end).max().unwrap(), r.makespan);
+        for p in &placements {
+            assert_eq!(p.end - p.start, g.task(p.task).cost);
+            assert!(p.core < 6);
+        }
+        let mut by_core: Vec<Vec<(u64, u64)>> = vec![Vec::new(); 6];
+        for p in &placements {
+            by_core[p.core].push((p.start, p.end));
+        }
+        for spans in &mut by_core {
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                assert!(w[0].1 <= w[1].0, "core executes one task at a time");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_simulates_to_zero() {
+        let g = TaskGraph::new(3);
+        let sim = Simulator::new(SimConfig::with_cores(4));
+        let r = sim.run(&g, &ExecutionPlan::three_phase(4)).unwrap();
+        assert_eq!(r.makespan, 0);
+        assert_eq!(r.speedup(), 1.0);
+        assert_eq!(r.utilization(), 0.0);
+    }
+
+    #[test]
+    fn dynamic_assignment_beats_round_robin_on_variable_tasks() {
+        let mut g = TaskGraph::new(3);
+        let mut prev_a: Option<TaskId> = None;
+        let mut prev_c: Option<TaskId> = None;
+        let mut state = 99u64;
+        for i in 0..600 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Adversarial periodicity: the heavy task recurs at the pool
+            // size, so round-robin pins every one to the same core while
+            // least-loaded spreads them.
+            let cost = if i % 6 == 0 { 2000 } else { 50 + state % 100 };
+            let deps_a: Vec<TaskId> = prev_a.into_iter().collect();
+            let ta = g.add_task(0, i, 1, &deps_a, &[]);
+            let tb = g.add_task(1, i, cost, &[ta], &[]);
+            let deps_c: Vec<TaskId> = [Some(tb), prev_c].into_iter().flatten().collect();
+            prev_c = Some(g.add_task(2, i, 1, &deps_c, &[]));
+            prev_a = Some(ta);
+        }
+        let sim = Simulator::new(SimConfig {
+            cores: 8,
+            comm_latency: 0,
+            ..SimConfig::default()
+        });
+        let dynamic = sim.run(&g, &ExecutionPlan::three_phase(8)).unwrap();
+        let rr = sim.run(&g, &ExecutionPlan::three_phase_static(8)).unwrap();
+        assert!(
+            dynamic.makespan < rr.makespan,
+            "least-loaded {} vs round-robin {}",
+            dynamic.makespan,
+            rr.makespan
+        );
+    }
+
+    #[test]
+    fn dynamic_assignment_balances_variable_tasks() {
+        // Highly variable phase-B costs (like crafty's subtree searches):
+        // dynamic least-loaded assignment should still fill cores well.
+        let mut g = TaskGraph::new(3);
+        let mut prev_a: Option<TaskId> = None;
+        let mut prev_c: Option<TaskId> = None;
+        let mut state = 12345u64;
+        for i in 0..400 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let cost = 10 + state % 200;
+            let deps_a: Vec<TaskId> = prev_a.into_iter().collect();
+            let ta = g.add_task(0, i, 1, &deps_a, &[]);
+            let tb = g.add_task(1, i, cost, &[ta], &[]);
+            let deps_c: Vec<TaskId> = [Some(tb), prev_c].into_iter().flatten().collect();
+            prev_c = Some(g.add_task(2, i, 1, &deps_c, &[]));
+            prev_a = Some(ta);
+        }
+        let sim = Simulator::new(SimConfig {
+            cores: 10,
+            comm_latency: 0,
+            ..SimConfig::default()
+        });
+        let r = sim.run(&g, &ExecutionPlan::three_phase(10)).unwrap();
+        assert!(r.speedup() > 6.0, "speedup {}", r.speedup());
+    }
+}

@@ -1,0 +1,245 @@
+//! Tasks and task graphs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a task within a [`TaskGraph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Index of a pipeline stage (the paper's *phase*: A = 0, B = 1, C = 2 in
+/// the three-phase pattern of §3.2, though any number of stages is
+/// allowed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StageId(pub u8);
+
+impl fmt::Display for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stage{}", self.0)
+    }
+}
+
+/// A speculated dependence observed (or not) at runtime.
+///
+/// The memory-profiling pass tells the simulator which speculated
+/// dependences actually manifested: a violated one behaves exactly like a
+/// synchronized dependence (serialization), a non-violated one costs
+/// nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecDep {
+    /// The producer task this task speculated past.
+    pub on: TaskId,
+    /// Whether the dependence actually manifested this iteration.
+    pub violated: bool,
+}
+
+/// A dynamic task: one instance of a phase for one loop iteration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// The stage (phase) this task belongs to.
+    pub stage: StageId,
+    /// The loop iteration this task came from.
+    pub iter: u64,
+    /// Execution cost in cycles (from native measurement).
+    pub cost: u64,
+    /// Synchronized dependences: the task cannot start until these finish.
+    pub deps: Vec<TaskId>,
+    /// Speculated dependences (see [`SpecDep`]).
+    pub spec_deps: Vec<SpecDep>,
+}
+
+/// The dynamic task graph of one parallelized loop execution.
+///
+/// Tasks must be added in lexicographic `(iter, stage)` order and
+/// dependences must point backwards in that order; [`TaskGraph::add_task`]
+/// enforces this so the simulator can schedule in a single pass.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TaskGraph {
+    stages: u8,
+    tasks: Vec<Task>,
+}
+
+impl TaskGraph {
+    /// Creates an empty graph for a pipeline with `stages` stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is zero.
+    pub fn new(stages: u8) -> Self {
+        assert!(stages > 0, "a pipeline needs at least one stage");
+        Self {
+            stages,
+            tasks: Vec::new(),
+        }
+    }
+
+    /// The number of pipeline stages.
+    pub fn stage_count(&self) -> u8 {
+        self.stages
+    }
+
+    /// Adds a task and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range, if `(iter, stage)` does not
+    /// follow the previous task in lexicographic order, or if any
+    /// dependence points at a task that is not strictly earlier.
+    pub fn add_task(
+        &mut self,
+        stage: u8,
+        iter: u64,
+        cost: u64,
+        deps: &[TaskId],
+        spec_deps: &[SpecDep],
+    ) -> TaskId {
+        assert!(stage < self.stages, "stage {stage} out of range");
+        if let Some(last) = self.tasks.last() {
+            let prev = (last.iter, last.stage.0);
+            assert!(
+                prev < (iter, stage),
+                "tasks must be added in (iter, stage) order: {prev:?} then ({iter}, {stage})"
+            );
+        }
+        let id = TaskId(self.tasks.len() as u32);
+        for d in deps {
+            assert!(d.0 < id.0, "dependence {d} must precede task {id}");
+        }
+        for s in spec_deps {
+            assert!(
+                s.on.0 < id.0,
+                "speculated dependence {} must precede task {id}",
+                s.on
+            );
+        }
+        self.tasks.push(Task {
+            stage: StageId(stage),
+            iter,
+            cost,
+            deps: deps.to_vec(),
+            spec_deps: spec_deps.to_vec(),
+        });
+        id
+    }
+
+    /// The task with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0 as usize]
+    }
+
+    /// All tasks in `(iter, stage)` order.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// The number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total cost of all tasks — the single-threaded execution time.
+    pub fn serial_cycles(&self) -> u64 {
+        self.tasks.iter().map(|t| t.cost).sum()
+    }
+
+    /// The distinct cross-stage channels implied by the dependences, as
+    /// `(producer stage, consumer stage)` pairs.
+    pub fn channels(&self) -> Vec<(StageId, StageId)> {
+        let mut out = Vec::new();
+        for t in &self.tasks {
+            for d in t.deps.iter().chain(t.spec_deps.iter().map(|s| &s.on)) {
+                let src = self.task(*d).stage;
+                if src != t.stage && !out.contains(&(src, t.stage)) {
+                    out.push((src, t.stage));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tasks_accumulate_in_order() {
+        let mut g = TaskGraph::new(3);
+        let a = g.add_task(0, 0, 5, &[], &[]);
+        let b = g.add_task(1, 0, 7, &[a], &[]);
+        let _c = g.add_task(2, 0, 3, &[b], &[]);
+        let a1 = g.add_task(0, 1, 5, &[a], &[]);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.serial_cycles(), 20);
+        assert_eq!(g.task(a1).iter, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "order")]
+    fn out_of_order_tasks_are_rejected() {
+        let mut g = TaskGraph::new(2);
+        g.add_task(1, 0, 5, &[], &[]);
+        g.add_task(0, 0, 5, &[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must precede")]
+    fn forward_dependences_are_rejected() {
+        let mut g = TaskGraph::new(2);
+        g.add_task(0, 0, 5, &[TaskId(5)], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stage_pipeline_is_rejected() {
+        TaskGraph::new(0);
+    }
+
+    #[test]
+    fn channels_derive_from_dependences() {
+        let mut g = TaskGraph::new(3);
+        let a = g.add_task(0, 0, 1, &[], &[]);
+        let b = g.add_task(1, 0, 1, &[a], &[]);
+        g.add_task(2, 0, 1, &[b], &[]);
+        let a1 = g.add_task(0, 1, 1, &[a], &[]);
+        g.add_task(
+            1,
+            1,
+            1,
+            &[a1],
+            &[SpecDep {
+                on: b,
+                violated: false,
+            }],
+        );
+        let ch = g.channels();
+        assert!(ch.contains(&(StageId(0), StageId(1))));
+        assert!(ch.contains(&(StageId(1), StageId(2))));
+        // Same-stage deps (a -> a1) are not channels.
+        assert!(!ch.contains(&(StageId(0), StageId(0))));
+        assert_eq!(ch.len(), 2);
+    }
+
+    #[test]
+    fn empty_graph_reports_zero_serial_cycles() {
+        let g = TaskGraph::new(1);
+        assert!(g.is_empty());
+        assert_eq!(g.serial_cycles(), 0);
+        assert!(g.channels().is_empty());
+    }
+}

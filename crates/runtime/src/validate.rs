@@ -1,0 +1,343 @@
+//! Independent schedule validation.
+//!
+//! [`check_schedule`] re-verifies a traced simulation against every
+//! constraint the machine model imposes, using none of the simulator's
+//! own bookkeeping — a second implementation that keeps the scheduler
+//! honest (and gives downstream users a way to validate hand-written
+//! schedules).
+
+use crate::plan::{ExecutionPlan, StageAssignment};
+use crate::sim::{SimConfig, TaskPlacement};
+use crate::task::TaskGraph;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A constraint violated by a schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleViolation {
+    /// Not every task was placed exactly once.
+    WrongTaskCount {
+        /// Placements provided.
+        got: usize,
+        /// Tasks in the graph.
+        expected: usize,
+    },
+    /// A task ran on a core its stage may not use.
+    CoreOutsidePool {
+        /// Offending task index.
+        task: u32,
+    },
+    /// A task's span does not match its cost.
+    WrongDuration {
+        /// Offending task index.
+        task: u32,
+    },
+    /// Two tasks overlapped on one core.
+    CoreOverlap {
+        /// The core.
+        core: usize,
+    },
+    /// A dependence (or violated speculation) was not respected.
+    DependenceViolated {
+        /// Consumer task index.
+        task: u32,
+        /// Producer task index.
+        dep: u32,
+    },
+    /// A serial stage executed out of iteration order.
+    SerialOrderBroken {
+        /// The stage.
+        stage: u8,
+    },
+    /// A producer overran its output queue's capacity.
+    QueueOverrun {
+        /// Producer stage.
+        producer: u8,
+        /// Consumer stage.
+        consumer: u8,
+    },
+}
+
+impl fmt::Display for ScheduleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleViolation::WrongTaskCount { got, expected } => {
+                write!(
+                    f,
+                    "schedule places {got} tasks but the graph has {expected}"
+                )
+            }
+            ScheduleViolation::CoreOutsidePool { task } => {
+                write!(f, "task {task} ran outside its stage's core pool")
+            }
+            ScheduleViolation::WrongDuration { task } => {
+                write!(f, "task {task} span does not equal its cost")
+            }
+            ScheduleViolation::CoreOverlap { core } => {
+                write!(f, "core {core} ran two tasks at once")
+            }
+            ScheduleViolation::DependenceViolated { task, dep } => {
+                write!(f, "task {task} started before dependence {dep} arrived")
+            }
+            ScheduleViolation::SerialOrderBroken { stage } => {
+                write!(f, "serial stage {stage} executed out of iteration order")
+            }
+            ScheduleViolation::QueueOverrun { producer, consumer } => {
+                write!(
+                    f,
+                    "channel {producer}->{consumer} exceeded its queue capacity"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ScheduleViolation {}
+
+/// Checks `placements` against every machine constraint; returns all
+/// violations found (empty means the schedule is valid).
+pub fn check_schedule(
+    graph: &TaskGraph,
+    plan: &ExecutionPlan,
+    config: &SimConfig,
+    placements: &[TaskPlacement],
+) -> Vec<ScheduleViolation> {
+    let mut violations = Vec::new();
+    if placements.len() != graph.len() {
+        violations.push(ScheduleViolation::WrongTaskCount {
+            got: placements.len(),
+            expected: graph.len(),
+        });
+        return violations;
+    }
+    let mut by_task: Vec<Option<&TaskPlacement>> = vec![None; graph.len()];
+    for p in placements {
+        by_task[p.task.0 as usize] = Some(p);
+    }
+    if by_task.iter().any(Option::is_none) {
+        violations.push(ScheduleViolation::WrongTaskCount {
+            got: placements.len(),
+            expected: graph.len(),
+        });
+        return violations;
+    }
+    let place = |i: u32| by_task[i as usize].expect("checked above");
+
+    // Per-task: duration, pool membership, dependences.
+    for (idx, task) in graph.tasks().iter().enumerate() {
+        let p = place(idx as u32);
+        if p.end - p.start != task.cost {
+            violations.push(ScheduleViolation::WrongDuration { task: idx as u32 });
+        }
+        let pool = plan.stage(task.stage.0).cores();
+        if !pool.contains(&p.core) {
+            violations.push(ScheduleViolation::CoreOutsidePool { task: idx as u32 });
+        }
+        let mut deps: Vec<u32> = task.deps.iter().map(|d| d.0).collect();
+        deps.extend(task.spec_deps.iter().filter(|s| s.violated).map(|s| s.on.0));
+        for d in deps {
+            let dp = place(d);
+            let lat = if dp.core == p.core {
+                0
+            } else {
+                config.comm_latency
+            };
+            if p.start < dp.end + lat {
+                violations.push(ScheduleViolation::DependenceViolated {
+                    task: idx as u32,
+                    dep: d,
+                });
+            }
+        }
+    }
+
+    // Per-core: no overlap.
+    let mut by_core: HashMap<usize, Vec<(u64, u64)>> = HashMap::new();
+    for p in placements {
+        by_core.entry(p.core).or_default().push((p.start, p.end));
+    }
+    for (core, spans) in by_core.iter_mut() {
+        spans.sort_unstable();
+        if spans.windows(2).any(|w| w[0].1 > w[1].0) {
+            violations.push(ScheduleViolation::CoreOverlap { core: *core });
+        }
+    }
+
+    // Serial stages run in iteration order.
+    for stage in 0..graph.stage_count() {
+        if !matches!(plan.stage(stage), StageAssignment::Serial { .. }) {
+            continue;
+        }
+        let mut last_end = 0u64;
+        let mut ordered = true;
+        for (idx, task) in graph.tasks().iter().enumerate() {
+            if task.stage.0 != stage {
+                continue;
+            }
+            let p = place(idx as u32);
+            if p.start < last_end {
+                ordered = false;
+            }
+            last_end = last_end.max(p.end);
+        }
+        if !ordered {
+            violations.push(ScheduleViolation::SerialOrderBroken { stage });
+        }
+    }
+
+    // Queue capacity: producer iteration i must not start before the
+    // consumer of iteration i - capacity started (its slot frees then).
+    let mut start_of: HashMap<(u8, u64), u64> = HashMap::new();
+    for (idx, task) in graph.tasks().iter().enumerate() {
+        start_of.insert((task.stage.0, task.iter), place(idx as u32).start);
+    }
+    for (s, t) in graph.channels() {
+        let k = config.queue_capacity as u64;
+        let mut overrun = false;
+        for task in graph.tasks() {
+            if task.stage != s || task.iter < k {
+                continue;
+            }
+            if let (Some(&p_start), Some(&c_start)) = (
+                start_of.get(&(s.0, task.iter)),
+                start_of.get(&(t.0, task.iter - k)),
+            ) {
+                if p_start < c_start {
+                    overrun = true;
+                }
+            }
+        }
+        if overrun {
+            violations.push(ScheduleViolation::QueueOverrun {
+                producer: s.0,
+                consumer: t.0,
+            });
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use crate::task::{SpecDep, TaskId};
+
+    fn graph() -> TaskGraph {
+        let mut g = TaskGraph::new(3);
+        let mut prev_a: Option<TaskId> = None;
+        let mut prev_c: Option<TaskId> = None;
+        for i in 0..40 {
+            let deps_a: Vec<TaskId> = prev_a.into_iter().collect();
+            let ta = g.add_task(0, i, 3, &deps_a, &[]);
+            let spec: Vec<SpecDep> = prev_a
+                .map(|_| SpecDep {
+                    on: ta,
+                    violated: false,
+                })
+                .into_iter()
+                .collect();
+            let _ = spec;
+            let tb = g.add_task(1, i, 25 + (i % 7) * 4, &[ta], &[]);
+            let deps_c: Vec<TaskId> = [Some(tb), prev_c].into_iter().flatten().collect();
+            prev_c = Some(g.add_task(2, i, 2, &deps_c, &[]));
+            prev_a = Some(ta);
+        }
+        g
+    }
+
+    #[test]
+    fn simulator_schedules_pass_the_independent_checker() {
+        let g = graph();
+        for cores in [2usize, 4, 8] {
+            for (lat, cap) in [(0u64, 32usize), (25, 4), (100, 1)] {
+                let cfg = SimConfig {
+                    cores,
+                    comm_latency: lat,
+                    queue_capacity: cap,
+                    ..SimConfig::default()
+                };
+                let plan = ExecutionPlan::three_phase(cores);
+                let (_, placements) = Simulator::new(cfg)
+                    .run_traced(&g, &plan)
+                    .expect("valid plan");
+                let violations = check_schedule(&g, &plan, &cfg, &placements);
+                assert!(
+                    violations.is_empty(),
+                    "cores={cores} lat={lat} cap={cap}: {violations:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checker_catches_a_tampered_schedule() {
+        let g = graph();
+        let cfg = SimConfig {
+            cores: 4,
+            comm_latency: 10,
+            ..SimConfig::default()
+        };
+        let plan = ExecutionPlan::three_phase(4);
+        let (_, mut placements) = Simulator::new(cfg).run_traced(&g, &plan).expect("valid");
+        // Move a phase-B task to time zero: dependences break.
+        let victim = placements
+            .iter()
+            .position(|p| g.task(p.task).stage.0 == 1 && p.start > 0)
+            .expect("a late B task exists");
+        let dur = placements[victim].end - placements[victim].start;
+        placements[victim].start = 0;
+        placements[victim].end = dur;
+        let violations = check_schedule(&g, &plan, &cfg, &placements);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, ScheduleViolation::DependenceViolated { .. })));
+    }
+
+    #[test]
+    fn checker_catches_wrong_core_pools() {
+        let g = graph();
+        let cfg = SimConfig {
+            cores: 4,
+            comm_latency: 0,
+            ..SimConfig::default()
+        };
+        let plan = ExecutionPlan::three_phase(4);
+        let (_, mut placements) = Simulator::new(cfg).run_traced(&g, &plan).expect("valid");
+        // Put a phase-A task on a phase-B core.
+        let victim = placements
+            .iter()
+            .position(|p| g.task(p.task).stage.0 == 0)
+            .expect("a phase-A task exists");
+        placements[victim].core = 2;
+        let violations = check_schedule(&g, &plan, &cfg, &placements);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, ScheduleViolation::CoreOutsidePool { .. })));
+    }
+
+    #[test]
+    fn checker_catches_missing_tasks() {
+        let g = graph();
+        let cfg = SimConfig {
+            cores: 4,
+            ..SimConfig::default()
+        };
+        let plan = ExecutionPlan::three_phase(4);
+        let (_, mut placements) = Simulator::new(cfg).run_traced(&g, &plan).expect("valid");
+        placements.pop();
+        let violations = check_schedule(&g, &plan, &cfg, &placements);
+        assert!(matches!(
+            violations[0],
+            ScheduleViolation::WrongTaskCount { .. }
+        ));
+    }
+
+    #[test]
+    fn violation_messages_are_prose() {
+        let v = ScheduleViolation::CoreOverlap { core: 3 };
+        assert!(v.to_string().contains("core 3"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the simulator: scheduling invariants that
+//! must hold for any task graph.
+
+use proptest::prelude::*;
+use seqpar_runtime::{ExecutionPlan, SimConfig, Simulator, TaskGraph, TaskId};
+
+/// Builds a three-stage pipeline graph from arbitrary per-iteration
+/// costs and misspeculation flags.
+fn build_graph(costs: &[(u64, u64, u64, bool)]) -> TaskGraph {
+    let mut g = TaskGraph::new(3);
+    let mut prev_a: Option<TaskId> = None;
+    let mut prev_b: Option<TaskId> = None;
+    let mut prev_c: Option<TaskId> = None;
+    for (i, &(a, b, c, misspec)) in costs.iter().enumerate() {
+        let i = i as u64;
+        let deps_a: Vec<TaskId> = prev_a.into_iter().collect();
+        let ta = g.add_task(0, i, a % 100, &deps_a, &[]);
+        let spec: Vec<seqpar_runtime::SpecDep> = prev_b
+            .into_iter()
+            .map(|on| seqpar_runtime::SpecDep {
+                on,
+                violated: misspec,
+            })
+            .collect();
+        let tb = g.add_task(1, i, b % 500 + 1, &[ta], &spec);
+        let deps_c: Vec<TaskId> = [Some(tb), prev_c].into_iter().flatten().collect();
+        let tc = g.add_task(2, i, c % 50, &deps_c, &[]);
+        prev_a = Some(ta);
+        prev_b = Some(tb);
+        prev_c = Some(tc);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fundamental lower bounds: the makespan can never beat the critical
+    /// resource (total work / cores) nor the largest single task.
+    #[test]
+    fn makespan_respects_lower_bounds(
+        costs in proptest::collection::vec((0..100u64, 0..500u64, 0..50u64, any::<bool>()), 1..80),
+        cores in 3usize..16
+    ) {
+        let g = build_graph(&costs);
+        let sim = Simulator::new(SimConfig { cores, comm_latency: 0, ..SimConfig::default() });
+        let r = sim.run(&g, &ExecutionPlan::three_phase(cores)).expect("valid");
+        let max_task = g.tasks().iter().map(|t| t.cost).max().unwrap_or(0);
+        prop_assert!(r.makespan >= max_task);
+        prop_assert!(r.makespan >= g.serial_cycles().div_ceil(cores as u64));
+        prop_assert!(r.speedup() <= cores as f64 + 1e-9);
+    }
+
+    /// Work conservation: busy cycles across cores equal total task cost,
+    /// regardless of schedule.
+    #[test]
+    fn busy_cycles_are_conserved(
+        costs in proptest::collection::vec((0..100u64, 0..500u64, 0..50u64, any::<bool>()), 1..60),
+        cores in 3usize..12
+    ) {
+        let g = build_graph(&costs);
+        let sim = Simulator::new(SimConfig { cores, comm_latency: 7, ..SimConfig::default() });
+        let r = sim.run(&g, &ExecutionPlan::three_phase(cores)).expect("valid");
+        prop_assert_eq!(r.core_busy.iter().sum::<u64>(), g.serial_cycles());
+        prop_assert!(r.utilization() <= 1.0 + 1e-9);
+    }
+
+    /// Placements never overlap on a core and cover every task exactly
+    /// once, for any input.
+    #[test]
+    fn placements_partition_core_time(
+        costs in proptest::collection::vec((0..100u64, 0..500u64, 0..50u64, any::<bool>()), 1..50)
+    ) {
+        let g = build_graph(&costs);
+        let cores = 6;
+        let sim = Simulator::new(SimConfig { cores, comm_latency: 3, ..SimConfig::default() });
+        let (_, placements) = sim
+            .run_traced(&g, &ExecutionPlan::three_phase(cores))
+            .expect("valid");
+        prop_assert_eq!(placements.len(), g.len());
+        let mut by_core: Vec<Vec<(u64, u64)>> = vec![Vec::new(); cores];
+        for p in &placements {
+            by_core[p.core].push((p.start, p.end));
+        }
+        for spans in &mut by_core {
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0);
+            }
+        }
+    }
+
+    /// Violated speculation can only slow a schedule down relative to the
+    /// identical graph with the speculation surviving.
+    #[test]
+    fn violations_never_speed_things_up(
+        costs in proptest::collection::vec((0..100u64, 0..500u64, 0..50u64), 2..60)
+    ) {
+        let clean: Vec<(u64, u64, u64, bool)> =
+            costs.iter().map(|&(a, b, c)| (a, b, c, false)).collect();
+        let dirty: Vec<(u64, u64, u64, bool)> =
+            costs.iter().map(|&(a, b, c)| (a, b, c, true)).collect();
+        let sim = Simulator::new(SimConfig { cores: 8, comm_latency: 0, ..SimConfig::default() });
+        let plan = ExecutionPlan::three_phase(8);
+        let rc = sim.run(&build_graph(&clean), &plan).expect("valid");
+        let rd = sim.run(&build_graph(&dirty), &plan).expect("valid");
+        prop_assert!(rd.makespan >= rc.makespan);
+    }
+
+    /// Every schedule the simulator emits passes the independent
+    /// constraint checker, for arbitrary graphs and machine shapes.
+    #[test]
+    fn simulator_schedules_always_validate(
+        costs in proptest::collection::vec((0..100u64, 0..500u64, 0..50u64, any::<bool>()), 1..60),
+        cores in 3usize..12,
+        lat in 0u64..60,
+        cap in 1usize..64
+    ) {
+        let g = build_graph(&costs);
+        let cfg = SimConfig { cores, comm_latency: lat, queue_capacity: cap, ..SimConfig::default() };
+        let plan = ExecutionPlan::three_phase(cores);
+        let (_, placements) = Simulator::new(cfg)
+            .run_traced(&g, &plan)
+            .expect("valid plan");
+        let violations = seqpar_runtime::check_schedule(&g, &plan, &cfg, &placements);
+        prop_assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    /// The TLS single-stage plan obeys the same fundamental bounds.
+    #[test]
+    fn tls_plan_bounds_hold(
+        costs in proptest::collection::vec((1..500u64, any::<bool>()), 1..60),
+        cores in 2usize..16
+    ) {
+        let mut g = TaskGraph::new(1);
+        let mut prev: Option<TaskId> = None;
+        for (i, &(c, violated)) in costs.iter().enumerate() {
+            let spec: Vec<seqpar_runtime::SpecDep> = prev
+                .into_iter()
+                .map(|on| seqpar_runtime::SpecDep { on, violated })
+                .collect();
+            prev = Some(g.add_task(0, i as u64, c, &[], &spec));
+        }
+        let sim = Simulator::new(SimConfig { cores, comm_latency: 0, ..SimConfig::default() });
+        let r = sim.run(&g, &ExecutionPlan::tls(cores)).expect("valid");
+        prop_assert!(r.makespan >= g.serial_cycles().div_ceil(cores as u64));
+        // All-violated chains degenerate to at least the serial sum of
+        // the violated suffix.
+        if costs.iter().all(|(_, v)| *v) && costs.len() > 1 {
+            prop_assert_eq!(r.makespan, g.serial_cycles());
+        }
+    }
+}

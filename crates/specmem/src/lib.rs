@@ -1,0 +1,53 @@
+//! Versioned speculative memory — the TLS-style hardware substrate.
+//!
+//! The paper's framework assumes "a versioned memory hardware subsystem
+//! \[33\], allowing for privatization of data and memory alias
+//! speculation" (§3.1), with two refinements called out in §2.1: **silent
+//! stores** must not trigger alias misspeculation, and stored values are
+//! **eagerly forwarded** to later threads to avoid misspeculation.
+//!
+//! [`VersionedMemory`] models that subsystem in software:
+//!
+//! * each speculative task opens a [`VersionId`]-ordered *version* holding
+//!   a private write buffer (privatization comes for free: writes are
+//!   invisible to earlier versions),
+//! * reads search the newest write among versions at or before the reader
+//!   (eager forwarding), falling back to committed state,
+//! * a non-silent write that invalidates a later version's already-taken
+//!   read squashes that version (eager conflict detection),
+//! * versions commit strictly in order, publishing their buffers.
+//!
+//! The *Commutative* annotation's escape hatch (§2.3.2) is modelled by
+//! [`undo::UndoLog`]: commutative functions execute in non-transactional
+//! memory and register rollback actions (e.g. `free` undoes `malloc`).
+//!
+//! # Example
+//!
+//! ```
+//! use seqpar_specmem::{Addr, VersionId, VersionedMemory};
+//!
+//! let mut vm = VersionedMemory::new();
+//! let a = Addr(0x10);
+//! let (v0, v1) = (VersionId(0), VersionId(1));
+//! vm.begin(v0);
+//! vm.begin(v1);
+//! vm.write(v0, a, 7);
+//! // Eager forwarding: the later version sees the uncommitted store.
+//! assert_eq!(vm.read(v1, a), 7);
+//! vm.try_commit(v0).unwrap();
+//! vm.try_commit(v1).unwrap();
+//! assert_eq!(vm.committed(a), Some(7));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod memory;
+pub mod predictor;
+pub mod stats;
+pub mod undo;
+
+pub use memory::{Addr, CommitError, VersionId, VersionedMemory};
+pub use predictor::{Confident, LastValue, Predictor, PredictorStats, Stride};
+pub use stats::MemStats;
+pub use undo::UndoLog;

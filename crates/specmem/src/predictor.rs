@@ -1,0 +1,262 @@
+//! Value predictors backing value speculation (paper §2.1, citing
+//! Lipasti & Shen).
+//!
+//! Value speculation breaks a dependence by *predicting* the value a
+//! consumer would read and validating later. The paper's cases are
+//! last-value shaped — 253.perlbmk's `PL_stack_sp` holds the same value
+//! at every statement boundary, 186.crafty's search state is restored by
+//! `UnMakeMove` — but stride patterns (induction variables, allocation
+//! cursors) matter for TLS too. This module provides the standard
+//! predictor zoo with confidence estimation, plus accuracy accounting so
+//! speculation policies can be tuned against real streams.
+
+use serde::{Deserialize, Serialize};
+
+/// A value predictor: guesses the next value of one stream.
+pub trait Predictor {
+    /// The prediction for the next observation, or `None` before warmup.
+    fn predict(&self) -> Option<u64>;
+
+    /// Feeds the actually observed value, updating internal state.
+    fn observe(&mut self, value: u64);
+
+    /// Convenience: predicts, then observes, then reports whether the
+    /// prediction was correct (`None` during warmup counts as incorrect).
+    fn predict_and_observe(&mut self, value: u64) -> bool {
+        let hit = self.predict() == Some(value);
+        self.observe(value);
+        hit
+    }
+}
+
+/// Predicts the last seen value (perlbmk's `PL_stack_sp` pattern).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LastValue {
+    last: Option<u64>,
+}
+
+impl LastValue {
+    /// Creates an empty predictor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Predictor for LastValue {
+    fn predict(&self) -> Option<u64> {
+        self.last
+    }
+
+    fn observe(&mut self, value: u64) {
+        self.last = Some(value);
+    }
+}
+
+/// Predicts `last + stride` (induction variables, allocation cursors).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stride {
+    last: Option<u64>,
+    stride: Option<u64>,
+}
+
+impl Stride {
+    /// Creates an empty predictor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Predictor for Stride {
+    fn predict(&self) -> Option<u64> {
+        match (self.last, self.stride) {
+            (Some(l), Some(s)) => Some(l.wrapping_add(s)),
+            _ => None,
+        }
+    }
+
+    fn observe(&mut self, value: u64) {
+        if let Some(l) = self.last {
+            self.stride = Some(value.wrapping_sub(l));
+        }
+        self.last = Some(value);
+    }
+}
+
+/// Wraps a predictor with a saturating confidence counter: predictions
+/// are only *offered* once the inner predictor has proven itself, which
+/// is how hardware avoids speculating on noisy streams.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Confident<P> {
+    inner: P,
+    confidence: u8,
+    threshold: u8,
+    max: u8,
+}
+
+impl<P: Predictor> Confident<P> {
+    /// Wraps `inner`, offering predictions only after `threshold`
+    /// consecutive-ish hits (2-bit-counter style, saturating at `max`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero or exceeds `max`.
+    pub fn new(inner: P, threshold: u8, max: u8) -> Self {
+        assert!(
+            threshold > 0 && threshold <= max,
+            "0 < threshold <= max required"
+        );
+        Self {
+            inner,
+            confidence: 0,
+            threshold,
+            max,
+        }
+    }
+
+    /// Current confidence level.
+    pub fn confidence(&self) -> u8 {
+        self.confidence
+    }
+}
+
+impl<P: Predictor> Predictor for Confident<P> {
+    fn predict(&self) -> Option<u64> {
+        if self.confidence >= self.threshold {
+            self.inner.predict()
+        } else {
+            None
+        }
+    }
+
+    fn observe(&mut self, value: u64) {
+        if self.inner.predict() == Some(value) {
+            self.confidence = (self.confidence + 1).min(self.max);
+        } else {
+            self.confidence = self.confidence.saturating_sub(1);
+        }
+        self.inner.observe(value);
+    }
+}
+
+/// Accuracy accounting over a stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictorStats {
+    /// Predictions offered and correct.
+    pub hits: u64,
+    /// Predictions offered and wrong (would have misspeculated).
+    pub misses: u64,
+    /// Observations with no prediction offered (no speculation).
+    pub abstained: u64,
+}
+
+impl PredictorStats {
+    /// Hit rate over offered predictions, or `None` if none were offered.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let offered = self.hits + self.misses;
+        (offered > 0).then(|| self.hits as f64 / offered as f64)
+    }
+}
+
+/// Runs a predictor over a stream, collecting accuracy statistics.
+pub fn evaluate<P: Predictor>(
+    predictor: &mut P,
+    stream: impl IntoIterator<Item = u64>,
+) -> PredictorStats {
+    let mut stats = PredictorStats::default();
+    for v in stream {
+        match predictor.predict() {
+            Some(p) if p == v => stats.hits += 1,
+            Some(_) => stats.misses += 1,
+            None => stats.abstained += 1,
+        }
+        predictor.observe(v);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_value_nails_constant_streams() {
+        let mut p = LastValue::new();
+        let stats = evaluate(&mut p, std::iter::repeat_n(42u64, 100));
+        assert_eq!(stats.hits, 99);
+        assert_eq!(stats.abstained, 1);
+        assert!(stats.hit_rate().unwrap() > 0.99);
+    }
+
+    #[test]
+    fn stride_nails_induction_variables() {
+        let mut p = Stride::new();
+        let stats = evaluate(&mut p, (0..100u64).map(|i| 16 + 8 * i));
+        // Two warmup observations, then perfect.
+        assert_eq!(stats.abstained, 2);
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.hits, 98);
+    }
+
+    #[test]
+    fn last_value_fails_on_strides_and_vice_versa() {
+        let mut lv = LastValue::new();
+        let lv_stats = evaluate(&mut lv, (0..50u64).map(|i| i * 4));
+        assert_eq!(lv_stats.hits, 0);
+        let mut st = Stride::new();
+        // Alternating values defeat the stride predictor.
+        let st_stats = evaluate(&mut st, (0..50u64).map(|i| (i % 2) * 100));
+        assert!(st_stats.hit_rate().unwrap() < 0.1);
+    }
+
+    #[test]
+    fn confidence_gates_noisy_streams() {
+        // A stream that is constant 80% of the time, random otherwise.
+        let mut state = 7u64;
+        let stream: Vec<u64> = (0..500)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if state.is_multiple_of(5) {
+                    state
+                } else {
+                    42
+                }
+            })
+            .collect();
+        let mut raw = LastValue::new();
+        let raw_stats = evaluate(&mut raw, stream.iter().copied());
+        let mut gated = Confident::new(LastValue::new(), 2, 3);
+        let gated_stats = evaluate(&mut gated, stream.iter().copied());
+        // Gating trades coverage for accuracy: fewer misses offered.
+        assert!(gated_stats.misses < raw_stats.misses);
+        assert!(gated_stats.hit_rate().unwrap() > raw_stats.hit_rate().unwrap());
+    }
+
+    #[test]
+    fn confidence_counter_saturates_and_recovers() {
+        let mut p = Confident::new(LastValue::new(), 2, 3);
+        for _ in 0..10 {
+            p.observe(5);
+        }
+        assert_eq!(p.confidence(), 3);
+        assert_eq!(p.predict(), Some(5));
+        // A burst of noise drains confidence.
+        p.observe(9);
+        p.observe(1);
+        p.observe(7);
+        assert!(p.predict().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn confident_rejects_zero_threshold() {
+        let _ = Confident::new(LastValue::new(), 0, 3);
+    }
+
+    #[test]
+    fn predict_and_observe_reports_hits() {
+        let mut p = LastValue::new();
+        assert!(!p.predict_and_observe(3));
+        assert!(p.predict_and_observe(3));
+        assert!(!p.predict_and_observe(4));
+    }
+}

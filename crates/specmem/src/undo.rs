@@ -1,0 +1,141 @@
+//! Undo logging for *Commutative* functions.
+//!
+//! A Commutative function executes in non-transactional memory (its
+//! internal dependences must not trigger versioning conflicts), so when a
+//! speculative task that called it is squashed, its effects must be
+//! unwound explicitly. The paper requires "a rollback function ... to
+//! undo the effects of calls to the Commutative function — for example,
+//! the rollback function for `malloc` was `free`" (§2.3.2).
+//!
+//! [`UndoLog`] records such rollback actions per speculative version and
+//! replays them in reverse order on squash.
+
+use crate::memory::VersionId;
+use std::collections::HashMap;
+use std::fmt;
+
+type Action = Box<dyn FnOnce() + Send>;
+
+/// A per-version log of rollback actions.
+#[derive(Default)]
+pub struct UndoLog {
+    actions: HashMap<VersionId, Vec<Action>>,
+}
+
+impl fmt::Debug for UndoLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut counts: Vec<(VersionId, usize)> =
+            self.actions.iter().map(|(v, a)| (*v, a.len())).collect();
+        counts.sort();
+        f.debug_struct("UndoLog").field("pending", &counts).finish()
+    }
+}
+
+impl UndoLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the rollback action for one commutative call made by
+    /// version `v`.
+    pub fn record(&mut self, v: VersionId, rollback: impl FnOnce() + Send + 'static) {
+        self.actions.entry(v).or_default().push(Box::new(rollback));
+    }
+
+    /// Number of pending actions for `v`.
+    pub fn pending(&self, v: VersionId) -> usize {
+        self.actions.get(&v).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Unwinds version `v`: runs its rollback actions newest-first.
+    /// Returns how many actions ran.
+    pub fn unwind(&mut self, v: VersionId) -> usize {
+        let Some(actions) = self.actions.remove(&v) else {
+            return 0;
+        };
+        let n = actions.len();
+        for action in actions.into_iter().rev() {
+            action();
+        }
+        n
+    }
+
+    /// Discards the actions of a successfully committed version: its
+    /// commutative effects are now permanent.
+    pub fn retire(&mut self, v: VersionId) {
+        self.actions.remove(&v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn unwind_runs_actions_in_reverse_order() {
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut log = UndoLog::new();
+        for i in 0..3 {
+            let order = Arc::clone(&order);
+            log.record(VersionId(0), move || order.lock().push(i));
+        }
+        assert_eq!(log.pending(VersionId(0)), 3);
+        assert_eq!(log.unwind(VersionId(0)), 3);
+        assert_eq!(*order.lock(), vec![2, 1, 0]);
+        assert_eq!(log.pending(VersionId(0)), 0);
+    }
+
+    #[test]
+    fn retire_discards_without_running() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let mut log = UndoLog::new();
+        let r = Arc::clone(&ran);
+        log.record(VersionId(1), move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        log.retire(VersionId(1));
+        assert_eq!(log.unwind(VersionId(1)), 0);
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn versions_are_independent() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let mut log = UndoLog::new();
+        for v in [VersionId(0), VersionId(1)] {
+            let c = Arc::clone(&count);
+            log.record(v, move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        log.unwind(VersionId(0));
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+        assert_eq!(log.pending(VersionId(1)), 1);
+    }
+
+    #[test]
+    fn malloc_free_pairing_models_the_paper_example() {
+        // A tiny allocator whose undo action is `free`.
+        #[derive(Default)]
+        struct Arena {
+            live: Vec<usize>,
+        }
+        let arena = Arc::new(parking_lot::Mutex::new(Arena::default()));
+        let mut log = UndoLog::new();
+        // Speculative task allocates two blocks commutatively.
+        for block in [10usize, 11] {
+            arena.lock().live.push(block);
+            let a = Arc::clone(&arena);
+            log.record(VersionId(3), move || {
+                a.lock().live.retain(|b| *b != block);
+            });
+        }
+        assert_eq!(arena.lock().live.len(), 2);
+        // The task misspeculates: unwinding frees the blocks.
+        log.unwind(VersionId(3));
+        assert!(arena.lock().live.is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the workload kernels: the real algorithms
+//! must be correct on arbitrary inputs, not just the benchmark inputs.
+
+use proptest::prelude::*;
+use seqpar_workloads::common::WorkMeter;
+use seqpar_workloads::{bzip2, gcc, gzip, mcf, parser, perlbmk, vortex};
+use std::collections::BTreeMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gzip_round_trips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..4000)) {
+        let mut m = WorkMeter::new();
+        let tokens = gzip::deflate_block(&data, &mut m);
+        prop_assert_eq!(gzip::inflate(&tokens), data);
+    }
+
+    #[test]
+    fn gzip_primed_round_trips(
+        dict in proptest::collection::vec(any::<u8>(), 0..512),
+        data in proptest::collection::vec(any::<u8>(), 0..2000)
+    ) {
+        let mut m = WorkMeter::new();
+        let tokens = gzip::deflate_block_primed(&dict, &data, &mut m);
+        prop_assert_eq!(gzip::inflate_primed(&dict, &tokens), data);
+    }
+
+    #[test]
+    fn bzip2_bwt_round_trips(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
+        let mut m = WorkMeter::new();
+        let (last, row) = bzip2::bwt(&data, &mut m);
+        prop_assert_eq!(bzip2::inverse_bwt(&last, row), data);
+    }
+
+    #[test]
+    fn bzip2_mtf_round_trips(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
+        let mut m = WorkMeter::new();
+        let codes = bzip2::mtf_encode(&data, &mut m);
+        prop_assert_eq!(bzip2::mtf_decode(&codes), data);
+    }
+
+    #[test]
+    fn bzip2_huffman_round_trips(data in proptest::collection::vec(any::<u8>(), 1..2000)) {
+        let mut m = WorkMeter::new();
+        let (bits, lengths, count) = bzip2::huffman_encode(&data, &mut m);
+        prop_assert_eq!(bzip2::huffman_decode(&bits, &lengths, count), data);
+    }
+
+    #[test]
+    fn btree_agrees_with_reference_map(
+        ops in proptest::collection::vec((0..3u8, 0..200u64), 1..400)
+    ) {
+        let mut tree = vortex::BTree::new();
+        let mut reference = BTreeMap::new();
+        let mut m = WorkMeter::new();
+        for (kind, key) in ops {
+            match kind {
+                0 => {
+                    tree.insert(key, key * 3, &mut m);
+                    reference.insert(key, key * 3);
+                }
+                1 => {
+                    let got = tree.delete(key, &mut m) == vortex::Status::Normal;
+                    prop_assert_eq!(got, reference.remove(&key).is_some());
+                }
+                _ => {
+                    prop_assert_eq!(tree.lookup(key, &mut m), reference.get(&key).copied());
+                }
+            }
+        }
+        prop_assert_eq!(tree.check_invariants(), reference.len());
+    }
+
+    #[test]
+    fn mini_compiler_passes_preserve_semantics(seed in any::<u64>(), count in 1usize..12) {
+        let unit = gcc::generate_unit(count, seed);
+        let mut m = WorkMeter::new();
+        for f in &unit {
+            let mut ops = f.ops.clone();
+            let before = gcc::interpret(&ops);
+            gcc::const_prop(&mut ops, &mut m);
+            gcc::cse(&mut ops, &mut m);
+            gcc::copy_prop(&mut ops, &mut m);
+            gcc::const_prop(&mut ops, &mut m);
+            gcc::dce(&mut ops, &mut m);
+            prop_assert_eq!(gcc::interpret(&ops), before);
+        }
+    }
+
+    #[test]
+    fn generated_vm_programs_never_underflow(seed in any::<u64>(), count in 1usize..80) {
+        // The interpreter panics on stack underflow; generated programs
+        // must be well-formed and stack-balanced at every NextState.
+        let program = perlbmk::generate_program(count, seed);
+        let mut vm = perlbmk::Vm::new();
+        let mut m = WorkMeter::new();
+        for &op in &program {
+            vm.step(op, &mut m);
+            if op == perlbmk::Op::NextState {
+                prop_assert_eq!(vm.stack_depth(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn grammatical_batches_parse_deterministically(seed in any::<u64>()) {
+        let a = parser::generate_batch(50, seed);
+        let b = parser::generate_batch(50, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mcf_flow_respects_capacity_and_conservation(seed in any::<u64>()) {
+        let net = mcf::generate_network(4, 5, seed);
+        let r = mcf::solve(&net, |_| {});
+        // Flow is bounded by the source arcs' total capacity.
+        let source_cap: i64 = net.arcs.iter().filter(|a| a.from == 0).map(|a| a.cap).sum();
+        prop_assert!(r.flow <= source_cap);
+        prop_assert!(r.flow >= 0);
+        prop_assert!(r.cost >= 0, "layered networks have non-negative costs");
+    }
+}
+
+// Deleting keys in any order leaves the tree consistent with set
+// difference (a targeted shrinker-friendly case for the B-tree).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn btree_bulk_insert_then_delete(
+        keys in proptest::collection::btree_set(0..500u64, 1..120),
+        delete_mask in any::<u64>()
+    ) {
+        let mut tree = vortex::BTree::new();
+        let mut m = WorkMeter::new();
+        for &k in &keys {
+            tree.insert(k, k, &mut m);
+        }
+        let mut remaining = 0usize;
+        for (i, &k) in keys.iter().enumerate() {
+            if delete_mask >> (i % 64) & 1 == 1 {
+                prop_assert_eq!(tree.delete(k, &mut m), vortex::Status::Normal);
+            } else {
+                remaining += 1;
+            }
+        }
+        prop_assert_eq!(tree.check_invariants(), remaining);
+    }
+}

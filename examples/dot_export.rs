@@ -1,0 +1,30 @@
+//! Exports stage-colored dependence graphs (Graphviz DOT) for benchmark
+//! loop models — the visual counterpart of the PS-DSWP partition.
+//!
+//! Run with `cargo run --example dot_export`; pipe a block into `dot`:
+//!
+//! ```text
+//! cargo run --example dot_export | dot -Tsvg > twolf_pdg.svg
+//! ```
+
+use seqpar::{partition_to_dot, Parallelizer};
+use seqpar_workloads::workload_by_name;
+
+fn main() {
+    for id in ["300.twolf", "256.bzip2"] {
+        let w = workload_by_name(id).expect("known benchmark");
+        let model = w.ir_model();
+        let result = Parallelizer::new(&model.program)
+            .profile(model.profile.clone())
+            .parallelize_outermost(model.func)
+            .expect("benchmark model parallelizes");
+        eprintln!(
+            "// {id}: {} (gold = phase A, green = phase B, blue = phase C)",
+            result.report()
+        );
+        println!(
+            "{}",
+            partition_to_dot(&model.program, result.pdg(), result.partition())
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Runs the whole SPEC CINT2000-style suite and prints the paper's
+//! summary tables, plus the per-benchmark compiler reports.
+//!
+//! Run with `cargo run --release --example suite_report`.
+
+use seqpar::Parallelizer;
+use seqpar_bench::{render_table1, render_table2, sweep_workload, table2, PlanKind};
+use seqpar_workloads::{all_workloads, InputSize};
+
+fn main() {
+    let size = InputSize::Test;
+    let suite = all_workloads();
+
+    println!(
+        "{}",
+        render_table1(&suite.iter().map(|w| w.meta()).collect::<Vec<_>>())
+    );
+
+    println!("## Compiler pipeline on each benchmark's loop model");
+    for w in &suite {
+        let model = w.ir_model();
+        let result = Parallelizer::new(&model.program)
+            .profile(model.profile.clone())
+            .parallelize_outermost(model.func)
+            .expect("every benchmark model parallelizes");
+        println!("{:<14}{}", w.meta().spec_id, result.report());
+    }
+    println!();
+
+    let sweeps: Vec<_> = suite
+        .iter()
+        .map(|w| (w.meta(), sweep_workload(w.as_ref(), size, PlanKind::Dswp)))
+        .collect();
+    println!("{}", render_table2(&table2(&sweeps)));
+}

@@ -1,0 +1,174 @@
+//! Integration tests for the sequential-model extensions: the annotations
+//! must be the difference between serial and parallel extraction, end to
+//! end, and their runtime halves (undo logs, versioned memory) must
+//! compose.
+
+use seqpar::{Parallelizer, Technique};
+use seqpar_ir::{CommGroupId, ExternEffect, FunctionBuilder, Opcode, Program, YBranchHint};
+use seqpar_specmem::{Addr, UndoLog, VersionId, VersionedMemory};
+use std::sync::Mutex;
+
+/// Figure 2 shape: RNG feeding heavy pure work, schedule-driven control.
+fn rng_loop(commutative: bool) -> (Program, seqpar_ir::FuncId) {
+    let mut p = Program::new("fig2");
+    let seed = p.add_global("seed", 1);
+    p.declare_extern(
+        "rng",
+        ExternEffect {
+            reads: vec![seed],
+            writes: vec![seed],
+            ..Default::default()
+        },
+    );
+    p.declare_extern("work", ExternEffect::pure_fn());
+    p.declare_extern("schedule", ExternEffect::pure_fn());
+    let mut b = FunctionBuilder::new("uloop");
+    let header = b.add_block("header");
+    let exit = b.add_block("exit");
+    b.jump(header);
+    b.switch_to(header);
+    let s = b.call_ext("schedule", &[], None);
+    let r = b.call_ext("rng", &[], commutative.then_some(CommGroupId(0)));
+    let _w = b.call_ext("work", &[r], None);
+    let done = b.binop(Opcode::CmpLe, s, s);
+    b.cond_branch(done, exit, header);
+    b.switch_to(exit);
+    b.ret(None);
+    let f = b.finish(&mut p);
+    (p, f)
+}
+
+#[test]
+fn commutative_annotation_moves_the_rng_into_the_parallel_stage() {
+    let (p0, f0) = rng_loop(false);
+    let (p1, f1) = rng_loop(true);
+    let without = Parallelizer::new(&p0).parallelize_outermost(f0).unwrap();
+    let with = Parallelizer::new(&p1).parallelize_outermost(f1).unwrap();
+    assert!(
+        with.report().parallel_fraction() > without.report().parallel_fraction(),
+        "annotation must grow the parallel stage: {} vs {}",
+        with.report(),
+        without.report()
+    );
+    assert!(with.report().uses(Technique::Commutative));
+    assert!(!without.report().uses(Technique::Commutative));
+}
+
+/// Figure 1 shape: dictionary compression with an annotated reset branch.
+fn dict_loop(annotated: bool) -> (Program, seqpar_ir::FuncId) {
+    let mut p = Program::new("fig1");
+    let dict = p.add_global("dict", 1);
+    p.declare_extern("read", ExternEffect::pure_fn());
+    p.declare_extern(
+        "compress",
+        ExternEffect {
+            reads: vec![dict],
+            writes: vec![dict],
+            ..Default::default()
+        },
+    );
+    let mut b = FunctionBuilder::new("deflate");
+    let header = b.add_block("header");
+    let reset = b.add_block("reset");
+    let latch = b.add_block("latch");
+    let exit = b.add_block("exit");
+    b.jump(header);
+    b.switch_to(header);
+    let ch = b.call_ext("read", &[], None);
+    let profitable = b.call_ext("compress", &[ch], None);
+    if annotated {
+        b.ybranch(profitable, reset, latch, YBranchHint::new(0.00001));
+    } else {
+        b.cond_branch(profitable, reset, latch);
+    }
+    b.switch_to(reset);
+    let a = b.global_addr(dict);
+    let z = b.const_(0);
+    b.store(a, z);
+    b.jump(latch);
+    b.switch_to(latch);
+    let done = b.binop(Opcode::CmpEq, ch, ch);
+    b.cond_branch(done, exit, header);
+    b.switch_to(exit);
+    b.ret(None);
+    let f = b.finish(&mut p);
+    (p, f)
+}
+
+#[test]
+fn ybranch_annotation_unlocks_block_parallel_compression() {
+    let (p0, f0) = dict_loop(false);
+    let (p1, f1) = dict_loop(true);
+    let without = Parallelizer::new(&p0).parallelize_outermost(f0).unwrap();
+    let with = Parallelizer::new(&p1).parallelize_outermost(f1).unwrap();
+    assert!(with.report().uses(Technique::YBranch));
+    assert!(!without.report().uses(Technique::YBranch));
+    assert!(
+        with.report().parallel_fraction() > without.report().parallel_fraction(),
+        "Y-branch must grow the parallel stage: {} vs {}",
+        with.report(),
+        without.report()
+    );
+}
+
+#[test]
+fn ybranch_probability_controls_the_forced_interval() {
+    assert_eq!(YBranchHint::new(0.00001).interval(), 100_000);
+    assert_eq!(YBranchHint::new(0.5).interval(), 2);
+    assert_eq!(YBranchHint::new(0.0).interval(), u64::MAX);
+}
+
+#[test]
+fn commutative_calls_unwind_through_the_undo_log_on_squash() {
+    // A speculative task calls malloc (commutative, non-transactional),
+    // then misspeculates: the undo log frees the block while versioned
+    // memory discards the task's speculative writes.
+    let mut vm = VersionedMemory::new();
+    let mut undo = UndoLog::new();
+    let allocations = std::sync::Arc::new(Mutex::new(Vec::<u64>::new()));
+
+    let (v0, v1) = (VersionId(0), VersionId(1));
+    vm.begin(v0);
+    vm.begin(v1);
+    // v1 reads speculatively, then "mallocs" commutatively.
+    assert_eq!(vm.read(v1, Addr(100)), 0);
+    allocations.lock().unwrap().push(0xA110C);
+    let allocs = std::sync::Arc::clone(&allocations);
+    undo.record(v1, move || {
+        allocs.lock().unwrap().pop();
+    });
+    vm.write(v1, Addr(200), 7);
+    // v0 now writes the address v1 read: v1 squashes.
+    let squashed = vm.write(v0, Addr(100), 9);
+    assert_eq!(squashed, vec![v1]);
+    // Recovery: roll back v1's versioned writes and unwind its
+    // commutative effects.
+    vm.rollback(v1);
+    assert_eq!(undo.unwind(v1), 1);
+    assert!(
+        allocations.lock().unwrap().is_empty(),
+        "malloc undone by free"
+    );
+    // v0 commits normally.
+    vm.try_commit(v0).unwrap();
+    assert_eq!(vm.committed(Addr(100)), Some(9));
+    assert_eq!(vm.committed(Addr(200)), None, "squashed write never lands");
+}
+
+#[test]
+fn committed_commutative_effects_are_retired_not_undone() {
+    let mut vm = VersionedMemory::new();
+    let mut undo = UndoLog::new();
+    let v = VersionId(0);
+    vm.begin(v);
+    let count = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let c = std::sync::Arc::clone(&count);
+    undo.record(v, move || {
+        c.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    });
+    vm.write(v, Addr(1), 5);
+    vm.try_commit(v).unwrap();
+    undo.retire(v);
+    assert_eq!(undo.unwind(v), 0);
+    assert_eq!(count.load(std::sync::atomic::Ordering::SeqCst), 0);
+}

@@ -1,0 +1,176 @@
+//! Validates the performance simulator against closed-form models on
+//! traces whose optimal schedules are known analytically.
+
+use seqpar::{IterationRecord, IterationTrace};
+use seqpar_runtime::{ExecutionPlan, SimConfig, SimResult, Simulator, StageAssignment, TaskGraph};
+
+fn run(trace: &IterationTrace, cores: usize, cfg_mod: impl Fn(&mut SimConfig)) -> SimResult {
+    let mut cfg = SimConfig {
+        cores,
+        comm_latency: 0,
+        ..SimConfig::default()
+    };
+    cfg_mod(&mut cfg);
+    Simulator::new(cfg)
+        .run(&trace.task_graph(), &ExecutionPlan::three_phase(cores))
+        .expect("valid plan")
+}
+
+fn uniform_trace(n: u64, a: u64, b: u64, c: u64) -> IterationTrace {
+    (0..n).map(|_| IterationRecord::new(a, b, c)).collect()
+}
+
+#[test]
+fn steady_state_throughput_matches_the_bottleneck_stage() {
+    // With B spread over (cores-2) workers, the pipeline's steady-state
+    // throughput is governed by max(A, B/(cores-2), C) per iteration.
+    let n = 4000u64;
+    let (a, b, c) = (10u64, 200u64, 10u64);
+    for cores in [4usize, 8, 12, 22] {
+        let r = run(&uniform_trace(n, a, b, c), cores, |_| {});
+        let pool = (cores - 2) as u64;
+        let bottleneck = a.max(b.div_ceil(pool)).max(c);
+        let predicted = n * bottleneck;
+        let ratio = r.makespan as f64 / predicted as f64;
+        assert!(
+            (0.95..1.35).contains(&ratio),
+            "{cores} cores: makespan {} vs predicted {predicted} (ratio {ratio})",
+            r.makespan
+        );
+    }
+}
+
+#[test]
+fn serial_stage_bound_caps_speedup() {
+    // Amdahl over the pipeline: when A is huge, adding cores stops
+    // helping at total / A_total.
+    let trace = uniform_trace(1000, 100, 100, 1);
+    let bound = trace.total_cycles() as f64 / (1000.0 * 100.0);
+    let r = run(&trace, 32, |_| {});
+    assert!(
+        r.speedup() <= bound * 1.01,
+        "speedup {} bound {bound}",
+        r.speedup()
+    );
+    assert!(
+        r.speedup() >= bound * 0.9,
+        "should reach the bound: {}",
+        r.speedup()
+    );
+}
+
+#[test]
+fn fully_violated_speculation_degenerates_to_serial_phase_b() {
+    let mut trace = IterationTrace::speculative();
+    for i in 0..500u64 {
+        let mut rec = IterationRecord::new(0, 100, 0);
+        if i > 0 {
+            rec = rec.with_misspec_on(i - 1);
+        }
+        trace.push(rec);
+    }
+    let r = run(&trace, 16, |_| {});
+    // Every B chains to its predecessor: makespan = sum of B costs.
+    assert_eq!(r.makespan, 500 * 100);
+    assert_eq!(r.violations, 499);
+}
+
+#[test]
+fn queue_capacity_one_forces_lockstep() {
+    // With a single-entry queue, an iteration's B task cannot start
+    // before the previous iteration's C consumed its slot: the parallel
+    // stage degenerates to near-serial execution.
+    let trace = uniform_trace(500, 5, 200, 5);
+    let tight = run(&trace, 6, |cfg| cfg.queue_capacity = 1);
+    let wide = run(&trace, 6, |cfg| cfg.queue_capacity = 512);
+    assert!(
+        tight.makespan > wide.makespan,
+        "{} vs {}",
+        tight.makespan,
+        wide.makespan
+    );
+    assert!(tight.queue_stall_cycles > 0);
+    assert_eq!(wide.queue_stall_cycles, 0);
+}
+
+#[test]
+fn makespan_is_monotone_in_comm_latency() {
+    let trace = uniform_trace(300, 5, 40, 5);
+    let mut last = 0u64;
+    for lat in [0u64, 20, 100, 400] {
+        let r = run(&trace, 8, |cfg| cfg.comm_latency = lat);
+        assert!(r.makespan >= last, "latency {lat} decreased makespan");
+        last = r.makespan;
+    }
+}
+
+#[test]
+fn adding_cores_never_slows_the_sweep() {
+    let trace = uniform_trace(800, 2, 100, 2);
+    let mut last = 0.0f64;
+    for cores in [4usize, 8, 16, 32] {
+        let r = run(&trace, cores, |_| {});
+        assert!(
+            r.speedup() >= last - 1e-9,
+            "{cores} cores slower: {} < {last}",
+            r.speedup()
+        );
+        last = r.speedup();
+    }
+}
+
+#[test]
+fn conservation_of_work_across_cores() {
+    let trace = uniform_trace(200, 7, 31, 3);
+    let r = run(&trace, 10, |_| {});
+    assert_eq!(r.core_busy.iter().sum::<u64>(), trace.total_cycles());
+    assert_eq!(r.serial_cycles, trace.total_cycles());
+    assert!(r.utilization() <= 1.0);
+}
+
+#[test]
+fn custom_plans_match_manual_schedules() {
+    // Two serial stages on two cores with zero latency: makespan equals
+    // the max stage total plus one pipeline fill of the other stage.
+    let mut g = TaskGraph::new(2);
+    for i in 0..100u64 {
+        let p = g.add_task(0, i, 10, &[], &[]);
+        g.add_task(1, i, 10, &[p], &[]);
+    }
+    let plan = ExecutionPlan::new(vec![StageAssignment::serial(0), StageAssignment::serial(1)]);
+    let sim = Simulator::new(SimConfig {
+        cores: 2,
+        comm_latency: 0,
+        ..SimConfig::default()
+    });
+    let r = sim.run(&g, &plan).expect("valid");
+    assert_eq!(r.makespan, 100 * 10 + 10);
+}
+
+#[test]
+fn tls_and_dswp_plans_agree_on_clean_workloads() {
+    // §3.2: "similar parallelizations and results could be obtained with
+    // execution plans that more closely resemble TLS". For a workload
+    // with no misspeculation and negligible serial phases, both plans
+    // should land in the same ballpark.
+    let mut trace = IterationTrace::speculative();
+    for _ in 0..1000u64 {
+        trace.push(IterationRecord::new(1, 120, 1));
+    }
+    let cores = 16;
+    let dswp = run(&trace, cores, |_| {});
+    let tls = Simulator::new(SimConfig {
+        cores,
+        comm_latency: 0,
+        ..SimConfig::default()
+    })
+    .run(&trace.tls_task_graph(), &ExecutionPlan::tls(cores))
+    .expect("valid");
+    let ratio = dswp.speedup() / tls.speedup();
+    assert!(
+        (0.7..1.3).contains(&ratio),
+        "dswp {} tls {}",
+        dswp.speedup(),
+        tls.speedup()
+    );
+}
