@@ -3,8 +3,15 @@
 //! Usage:
 //!
 //! ```text
-//! figures [--size test|train|ref] [fig4|fig5|fig6|fig7|table1|table2|ablations|gantt|all]
+//! figures [--size test|train|ref] [--native] \
+//!     [fig4|fig5|fig6|fig7|table1|table2|ablations|gantt|all]
 //! ```
+//!
+//! With `--native`, targets name benchmarks (`164.gzip`, ... or `all`)
+//! and each is run on real OS threads via the native executor; the
+//! tables gain wall-clock and wall-clock-speedup columns next to the
+//! simulator's estimate. Native runs default to the `test` input size
+//! (real wall time, not simulated cycles) unless `--size` is given.
 //!
 //! Absolute numbers differ from the paper (our substrate is a simulator
 //! over work-unit traces, not an Itanium 2), but the *shapes* — which
@@ -12,34 +19,44 @@
 //! reference — are the reproduction target (see EXPERIMENTS.md).
 
 use seqpar_bench::{
-    render_curves, render_table1, render_table2, sweep_workload, table2, PlanKind, SweepResult,
+    native_sweep, render_curves, render_native_curve, render_table1, render_table2, sweep_workload,
+    table2, PlanKind, SweepResult, NATIVE_THREAD_SWEEP,
 };
 use seqpar_workloads::{all_workloads, workload_by_name, InputSize, Workload};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut size = InputSize::Train;
+    let mut size = None;
+    let mut native = false;
     let mut targets = Vec::new();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--size" => {
                 size = match iter.next().map(String::as_str) {
-                    Some("test") => InputSize::Test,
-                    Some("train") => InputSize::Train,
-                    Some("ref") => InputSize::Ref,
+                    Some("test") => Some(InputSize::Test),
+                    Some("train") => Some(InputSize::Train),
+                    Some("ref") => Some(InputSize::Ref),
                     other => {
                         eprintln!("unknown size {other:?} (use test|train|ref)");
                         std::process::exit(2);
                     }
                 }
             }
+            "--native" => native = true,
             other => targets.push(other.to_string()),
         }
     }
     if targets.is_empty() {
         targets.push("all".to_string());
     }
+    if native {
+        // Real threads measure real seconds: default to the small input so
+        // `--native all` stays interactive.
+        run_native(size.unwrap_or(InputSize::Test), &targets);
+        return;
+    }
+    let size = size.unwrap_or(InputSize::Train);
     for t in &targets {
         match t.as_str() {
             "fig4" => fig(
@@ -88,6 +105,33 @@ fn main() {
                 eprintln!("unknown target {other}");
                 std::process::exit(2);
             }
+        }
+    }
+}
+
+/// `--native` mode: each target is a benchmark id (or `all`); every
+/// benchmark is executed on real OS threads and its wall-clock columns
+/// printed next to the simulator's estimate at the same thread count.
+fn run_native(size: InputSize, targets: &[String]) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("## Native execution (real OS threads; host exposes {cores} CPU(s))");
+    println!("wall-clock speedup is bounded by host parallelism; the simulator");
+    println!("column models the paper's 32-core machine at the same thread count\n");
+    let workloads = all_workloads();
+    for t in targets {
+        let selected: Vec<&dyn Workload> = if t == "all" {
+            workloads.iter().map(|w| w.as_ref()).collect()
+        } else if let Some(w) = workloads.iter().find(|w| w.meta().spec_id == t.as_str()) {
+            vec![w.as_ref()]
+        } else {
+            eprintln!("unknown benchmark {t} (use a SPEC id like 164.gzip, or all)");
+            std::process::exit(2);
+        };
+        for w in selected {
+            let curve = native_sweep(w, size, PlanKind::Dswp, NATIVE_THREAD_SWEEP);
+            println!("{}", render_native_curve(&curve));
         }
     }
 }

@@ -8,11 +8,16 @@
 #![warn(missing_docs)]
 
 use seqpar::IterationTrace;
-use seqpar_runtime::{ExecutionPlan, SimConfig, SimResult, Simulator};
+use seqpar_runtime::{ExecConfig, ExecutionPlan, SimConfig, SimResult, Simulator};
 use seqpar_workloads::{InputSize, Workload, WorkloadMeta};
 
 /// The thread counts used throughout the paper's figures.
 pub const THREAD_SWEEP: &[usize] = &[1, 2, 4, 6, 8, 10, 12, 15, 16, 20, 24, 28, 32];
+
+/// The thread counts used for native (real OS thread) runs. Wall-clock
+/// scaling is bounded by the host's physical cores, so the sweep stays
+/// within commodity core counts.
+pub const NATIVE_THREAD_SWEEP: &[usize] = &[1, 2, 4, 8];
 
 /// How iterations are scheduled in a sweep.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,6 +39,12 @@ pub struct SweepPoint {
     pub misspec_rate: f64,
     /// Core utilization.
     pub utilization: f64,
+    /// Wall-clock time of the native (real-thread) run, in milliseconds.
+    /// `None` for simulator-only sweeps.
+    pub native_wall_ms: Option<f64>,
+    /// Wall-clock speedup of the native run over the sequential native
+    /// run. `None` for simulator-only sweeps.
+    pub native_speedup: Option<f64>,
 }
 
 /// A full speedup curve for one benchmark.
@@ -106,6 +117,8 @@ pub fn sweep_trace(
                     r.violations as f64 / total_spec as f64
                 },
                 utilization: r.utilization(),
+                native_wall_ms: None,
+                native_speedup: None,
             }
         })
         .collect();
@@ -119,6 +132,87 @@ pub fn sweep_trace(
 pub fn sweep_workload(w: &dyn Workload, size: InputSize, kind: PlanKind) -> SweepResult {
     let trace = w.trace(size);
     sweep_trace(w.meta().spec_id, &trace, THREAD_SWEEP, kind)
+}
+
+/// Sweeps one workload on *real OS threads* via the native executor,
+/// filling the wall-clock columns of [`SweepPoint`] alongside the
+/// simulator's estimate at the same thread count.
+///
+/// Every native run's output is checked byte-for-byte against the
+/// sequential run — the sweep panics on a mismatch rather than report
+/// timings for an execution that broke sequential semantics.
+pub fn native_sweep(
+    w: &dyn Workload,
+    size: InputSize,
+    kind: PlanKind,
+    threads: &[usize],
+) -> SweepResult {
+    let job = w.native_job(size);
+    let seq = job.sequential();
+    let trace = job.trace().clone();
+    let points = threads
+        .iter()
+        .map(|&t| {
+            let plan = match kind {
+                PlanKind::Dswp => ExecutionPlan::three_phase(t),
+                PlanKind::Tls => ExecutionPlan::tls(t),
+            };
+            let report = job
+                .execute(&plan, ExecConfig::default())
+                .expect("plan matches machine");
+            assert_eq!(
+                report.output,
+                seq.output,
+                "{}: native output diverged from sequential at {t} threads",
+                w.meta().spec_id
+            );
+            let sim = simulate(&trace, t, kind);
+            SweepPoint {
+                threads: t,
+                speedup: sim.speedup(),
+                misspec_rate: report.misspec_rate(),
+                utilization: sim.utilization(),
+                native_wall_ms: Some(report.wall.as_secs_f64() * 1e3),
+                native_speedup: Some(report.speedup_vs(seq.wall)),
+            }
+        })
+        .collect();
+    SweepResult {
+        spec_id: w.meta().spec_id.to_string(),
+        points,
+    }
+}
+
+/// Renders a native sweep as an ASCII table with the wall-clock columns:
+/// simulator speedup, native wall time, and native wall-clock speedup.
+pub fn render_native_curve(curve: &SweepResult) -> String {
+    // wall * wall-speedup recovers the sequential wall time any point
+    // was normalized against.
+    let seq_wall_ms = curve
+        .points
+        .iter()
+        .find_map(|p| Some(p.native_wall_ms? * p.native_speedup?))
+        .unwrap_or(f64::NAN);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "## {}: native execution (sequential {seq_wall_ms:.2} ms)\n",
+        curve.spec_id
+    ));
+    out.push_str(&format!(
+        "{:>8}{:>14}{:>14}{:>14}{:>10}\n",
+        "threads", "sim-speedup", "wall(ms)", "wall-speedup", "misspec"
+    ));
+    for p in &curve.points {
+        out.push_str(&format!(
+            "{:>8}{:>14.2}{:>14.3}{:>14.2}{:>10.3}\n",
+            p.threads,
+            p.speedup,
+            p.native_wall_ms.unwrap_or(f64::NAN),
+            p.native_speedup.unwrap_or(f64::NAN),
+            p.misspec_rate
+        ));
+    }
+    out
 }
 
 /// Renders a set of curves as an ASCII table (threads × benchmarks), the

@@ -1,0 +1,129 @@
+//! The in-order commit unit: a reorder buffer over worker completions.
+//!
+//! Outputs are released strictly in task order — the original
+//! sequential program order — which is what makes the executor's output
+//! byte-identical to sequential execution no matter how threads
+//! interleave. The commit point is also where misspeculation is
+//! resolved: a speculative first attempt of a task whose speculated
+//! dependence manifested (a violated [`SpecDep`](crate::SpecDep)) is
+//! squashed here, its output discarded, and the task sent back for
+//! re-execution. Because every earlier task has already committed by
+//! then, the re-execution observes fully committed state — the native
+//! analogue of a TLS restart reading committed memory versions.
+
+use super::metrics::{NativeReport, WorkerStat};
+use super::stage::{WorkItem, WorkerDone};
+use crate::task::{TaskGraph, TaskId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A read-only, thread-safe view of the commit frontier, handed to task
+/// bodies via [`TaskCtx`](super::TaskCtx).
+#[derive(Clone, Debug)]
+pub struct CommitView {
+    watermark: Arc<AtomicU64>,
+}
+
+impl CommitView {
+    pub(super) fn new(watermark: Arc<AtomicU64>) -> Self {
+        Self { watermark }
+    }
+
+    /// How many tasks have committed, in task order.
+    pub fn committed_tasks(&self) -> u64 {
+        self.watermark.load(Ordering::Acquire)
+    }
+
+    /// Whether `task` has committed.
+    pub fn is_committed(&self, task: TaskId) -> bool {
+        (task.0 as u64) < self.committed_tasks()
+    }
+}
+
+/// The commit-side state: reorder buffer, counters, and the growing
+/// output stream.
+pub(super) struct CommitUnit<'g> {
+    graph: &'g TaskGraph,
+    watermark: Arc<AtomicU64>,
+    /// Index of the next task to commit.
+    next: usize,
+    /// Finished-but-uncommitted results, keyed by task index.
+    buffer: HashMap<u32, WorkerDone>,
+    output: Vec<u8>,
+    attempts: u64,
+    squashes: u64,
+    violations: u64,
+    speculations_survived: u64,
+    work: u64,
+}
+
+impl<'g> CommitUnit<'g> {
+    pub(super) fn new(graph: &'g TaskGraph, watermark: Arc<AtomicU64>) -> Self {
+        Self {
+            graph,
+            watermark,
+            next: 0,
+            buffer: HashMap::new(),
+            output: Vec::new(),
+            attempts: 0,
+            squashes: 0,
+            violations: 0,
+            speculations_survived: 0,
+            work: 0,
+        }
+    }
+
+    /// Tasks committed so far.
+    pub(super) fn committed_tasks(&self) -> usize {
+        self.next
+    }
+
+    /// Buffers one completion, then commits as far in task order as the
+    /// buffer allows. Returns the re-dispatches for any squashed
+    /// attempts encountered at the commit point.
+    pub(super) fn absorb(&mut self, done: WorkerDone) -> Vec<WorkItem> {
+        self.attempts += 1;
+        self.buffer.insert(done.task, done);
+        let mut redispatch = Vec::new();
+        while let Some(done) = self.buffer.remove(&(self.next as u32)) {
+            let task = self.graph.task(TaskId(done.task));
+            let violated = task.spec_deps.iter().filter(|d| d.violated).count() as u64;
+            if violated > 0 && done.attempt == 0 {
+                // The speculated dependence manifested and this attempt
+                // ran ahead of it: squash. The violation tally matches
+                // the simulator's (one per violated dependence, charged
+                // once per task).
+                self.squashes += 1;
+                self.violations += violated;
+                redispatch.push(WorkItem {
+                    task: done.task,
+                    attempt: done.attempt + 1,
+                });
+                continue;
+            }
+            self.speculations_survived +=
+                task.spec_deps.iter().filter(|d| !d.violated).count() as u64;
+            self.output.extend_from_slice(&done.output.bytes);
+            self.work += done.output.work;
+            self.next += 1;
+            self.watermark.store(self.next as u64, Ordering::Release);
+        }
+        redispatch
+    }
+
+    pub(super) fn into_report(self, wall: Duration, workers: Vec<WorkerStat>) -> NativeReport {
+        NativeReport {
+            wall,
+            output: self.output,
+            tasks_committed: self.next as u64,
+            attempts: self.attempts,
+            squashes: self.squashes,
+            violations: self.violations,
+            speculations_survived: self.speculations_survived,
+            work: self.work,
+            workers,
+        }
+    }
+}

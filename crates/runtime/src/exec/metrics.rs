@@ -1,0 +1,96 @@
+//! What a native run reports: the committed output stream, speculation
+//! counters that line up one-for-one with the simulator's, and real
+//! wall-clock / per-worker timing.
+
+use crate::task::StageId;
+use std::time::Duration;
+
+/// Timing for one worker thread (one core of the plan).
+#[derive(Clone, Debug)]
+pub struct WorkerStat {
+    /// The plan core this worker modelled.
+    pub core: usize,
+    /// The stage it served.
+    pub stage: StageId,
+    /// Total time spent inside task bodies.
+    pub busy: Duration,
+    /// Executions performed (including squashed attempts).
+    pub tasks: u64,
+}
+
+/// The result of one [`NativeExecutor::run`](super::NativeExecutor::run).
+///
+/// `violations` and `speculations_survived` are defined identically to
+/// [`SimResult`](crate::SimResult)'s fields — one count per speculated
+/// dependence, charged once per task — so differential tests can
+/// compare them directly.
+#[derive(Clone, Debug)]
+pub struct NativeReport {
+    /// Wall-clock time for the whole run.
+    pub wall: Duration,
+    /// The committed output stream, in task (= sequential program)
+    /// order.
+    pub output: Vec<u8>,
+    /// Tasks committed (equals the graph size on success).
+    pub tasks_committed: u64,
+    /// Body executions, including squashed attempts.
+    pub attempts: u64,
+    /// Attempts discarded by misspeculation rollback.
+    pub squashes: u64,
+    /// Violated speculated dependences (squash causes), matching
+    /// `SimResult::violations`.
+    pub violations: u64,
+    /// Speculated dependences that did not manifest, matching
+    /// `SimResult::speculations_survived`.
+    pub speculations_survived: u64,
+    /// Deterministic work units metered by committed attempts.
+    pub work: u64,
+    /// Per-worker timing, one entry per plan core.
+    pub workers: Vec<WorkerStat>,
+}
+
+impl NativeReport {
+    pub(super) fn empty(wall: Duration) -> Self {
+        Self {
+            wall,
+            output: Vec::new(),
+            tasks_committed: 0,
+            attempts: 0,
+            squashes: 0,
+            violations: 0,
+            speculations_survived: 0,
+            work: 0,
+            workers: Vec::new(),
+        }
+    }
+
+    /// Worker threads used.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Fraction of worker wall time spent inside task bodies.
+    pub fn utilization(&self) -> f64 {
+        if self.workers.is_empty() || self.wall.is_zero() {
+            return 0.0;
+        }
+        let busy: f64 = self.workers.iter().map(|w| w.busy.as_secs_f64()).sum();
+        busy / (self.wall.as_secs_f64() * self.workers.len() as f64)
+    }
+
+    /// Wall-clock speedup against a measured sequential run.
+    pub fn speedup_vs(&self, sequential: Duration) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        sequential.as_secs_f64() / self.wall.as_secs_f64()
+    }
+
+    /// Fraction of attempts that were squashed.
+    pub fn misspec_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            return 0.0;
+        }
+        self.squashes as f64 / self.attempts as f64
+    }
+}

@@ -1,0 +1,304 @@
+//! The real-thread pipelined executor.
+//!
+//! [`Simulator`](crate::Simulator) *estimates* what a plan would do on
+//! the paper's modelled hardware; [`NativeExecutor`] actually *runs* the
+//! plan on OS threads. It consumes the same inputs — an
+//! [`ExecutionPlan`] and a [`TaskGraph`] — plus a [`NativeBody`] that
+//! supplies each task's real computation, and enforces the paper's
+//! execution model with real concurrency primitives:
+//!
+//! * **Bounded queues** (§3.1's 32-entry core-to-core queues): each
+//!   stage's input is a bounded channel of [`ExecConfig::queue_capacity`]
+//!   entries; a producer stage that runs too far ahead blocks.
+//! * **Replicated parallel stages** (§3.2's dynamic least-loaded
+//!   assignment): a `Parallel` stage's workers share one MPMC channel,
+//!   so the next task goes to whichever worker frees up first — the
+//!   runnable equivalent of "least work enqueued". `RoundRobin` stages
+//!   get per-worker queues fed statically by iteration number.
+//! * **In-order commit**: a reorder buffer releases task outputs in
+//!   task order (the sequential program order), exactly the commit
+//!   discipline the paper's versioned memory enforces.
+//! * **Misspeculation rollback**: the dynamic dependence events recorded
+//!   in the task graph drive squashes. A task's first attempt is
+//!   dispatched without waiting for its speculated producers — that is
+//!   what makes it speculative — so when a speculated dependence
+//!   *manifested* (a violated [`SpecDep`](crate::SpecDep)), the commit
+//!   unit rejects the attempt, discards its output, and re-dispatches
+//!   the task. The re-execution starts only after every earlier task
+//!   has committed (commit is in-order), mirroring how a TLS restart
+//!   re-reads committed memory versions.
+//!
+//! Because commit order is fixed and squash decisions depend only on the
+//! recorded dependence events — not on thread timing — the output byte
+//! stream, the squash count, and the per-task work counters are fully
+//! deterministic across runs and thread interleavings. The differential
+//! suite (`tests/differential_native.rs`) checks both properties against
+//! the simulator for every workload.
+
+mod commit;
+mod metrics;
+mod stage;
+
+pub use commit::CommitView;
+pub use metrics::{NativeReport, WorkerStat};
+
+use crate::plan::ExecutionPlan;
+use crate::sim::SimError;
+use crate::task::{StageId, TaskGraph, TaskId};
+use commit::CommitUnit;
+use stage::{StageQueues, WorkItem, WorkerDone};
+use std::collections::VecDeque;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Machine parameters for native execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Entries per stage input queue (the paper models 32-entry
+    /// hardware queues; [`crate::SimConfig::queue_capacity`] is the
+    /// simulated twin of this knob).
+    pub queue_capacity: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self { queue_capacity: 32 }
+    }
+}
+
+impl ExecConfig {
+    /// A config whose queues hold `queue_capacity` entries.
+    pub fn with_queue_capacity(queue_capacity: usize) -> Self {
+        Self {
+            queue_capacity: queue_capacity.max(1),
+        }
+    }
+}
+
+/// What one task produced: the bytes it contributes to the in-order
+/// output stream plus the work units it really performed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TaskOutput {
+    /// Bytes appended to the committed output stream (commit order =
+    /// task order). Most stages of most workloads emit nothing; the
+    /// transform stage emits its iteration's output.
+    pub bytes: Vec<u8>,
+    /// Work units performed (a deterministic cost meter, the native
+    /// twin of simulated task cost).
+    pub work: u64,
+}
+
+impl TaskOutput {
+    /// An output with `bytes` and no metered work.
+    pub fn bytes(bytes: Vec<u8>) -> Self {
+        Self { bytes, work: 0 }
+    }
+
+    /// An empty output.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+}
+
+/// Execution context handed to [`NativeBody::run`].
+#[derive(Debug)]
+pub struct TaskCtx<'a> {
+    /// The stage this task belongs to.
+    pub stage: StageId,
+    /// The loop iteration this task came from.
+    pub iter: u64,
+    /// 0 for the original (speculative) dispatch; incremented by each
+    /// rollback re-execution.
+    pub attempt: u32,
+    /// Live view of the in-order commit frontier.
+    pub commits: &'a CommitView,
+}
+
+impl TaskCtx<'_> {
+    /// Whether this execution is the speculative first attempt.
+    ///
+    /// A first attempt is dispatched without waiting for the task's
+    /// speculated producers, so a body whose trace recorded a
+    /// manifested dependence must produce its *stale* result here (the
+    /// value speculation would really have computed); re-executions
+    /// (`attempt > 0`) run after every earlier task committed and must
+    /// produce the true result. Branching on this flag rather than on
+    /// the racy commit watermark keeps outputs deterministic.
+    pub fn speculative(&self) -> bool {
+        self.attempt == 0
+    }
+}
+
+/// The real computation behind a task graph: the executor calls
+/// [`NativeBody::run`] on worker threads, one call per dispatch (so a
+/// squashed task's body runs again for the re-execution).
+pub trait NativeBody: Send + Sync {
+    /// Executes `task` and returns its output.
+    fn run(&self, task: TaskId, ctx: &TaskCtx<'_>) -> TaskOutput;
+}
+
+impl<F> NativeBody for F
+where
+    F: Fn(TaskId, &TaskCtx<'_>) -> TaskOutput + Send + Sync,
+{
+    fn run(&self, task: TaskId, ctx: &TaskCtx<'_>) -> TaskOutput {
+        self(task, ctx)
+    }
+}
+
+/// The real-thread pipelined executor.
+#[derive(Clone, Debug, Default)]
+pub struct NativeExecutor {
+    config: ExecConfig,
+}
+
+impl NativeExecutor {
+    /// Creates an executor with the given queue parameters.
+    pub fn new(config: ExecConfig) -> Self {
+        Self { config }
+    }
+
+    /// The queue parameters in use.
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// Runs `graph` under `plan`, with `body` supplying each task's
+    /// computation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::StageMismatch`] when the plan and graph
+    /// disagree on stage count — the same validation the simulator
+    /// performs (core- and queue-count limits are physical-machine
+    /// model parameters and do not constrain native execution).
+    pub fn run(
+        &self,
+        graph: &TaskGraph,
+        plan: &ExecutionPlan,
+        body: &dyn NativeBody,
+    ) -> Result<NativeReport, SimError> {
+        if plan.stage_count() != graph.stage_count() {
+            return Err(SimError::StageMismatch {
+                plan: plan.stage_count(),
+                graph: graph.stage_count(),
+            });
+        }
+        let started = Instant::now();
+        if graph.is_empty() {
+            return Ok(NativeReport::empty(started.elapsed()));
+        }
+
+        let n = graph.len();
+        // Dependence bookkeeping: outstanding synchronized deps per task
+        // and the reverse edges to decrement when a task finishes.
+        // Speculated deps deliberately do NOT gate dispatch — running
+        // ahead of them is what speculation means.
+        let mut deps_left: Vec<usize> = vec![0; n];
+        let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (idx, task) in graph.tasks().iter().enumerate() {
+            deps_left[idx] = task.deps.len();
+            for d in &task.deps {
+                dependents[d.0 as usize].push(idx as u32);
+            }
+        }
+        // Per-stage release cursors: tasks enter their stage queue in
+        // iteration order, like the simulator's list scheduling.
+        let stage_count = graph.stage_count() as usize;
+        let mut stage_tasks: Vec<VecDeque<u32>> = vec![VecDeque::new(); stage_count];
+        for (idx, task) in graph.tasks().iter().enumerate() {
+            stage_tasks[task.stage.0 as usize].push_back(idx as u32);
+        }
+        // Squashed tasks re-enter at the front of the release order.
+        let mut requeue: Vec<VecDeque<WorkItem>> = vec![VecDeque::new(); stage_count];
+
+        let watermark = Arc::new(AtomicU64::new(0));
+        let view = CommitView::new(Arc::clone(&watermark));
+        let mut commit = CommitUnit::new(graph, watermark);
+
+        let mut queues = StageQueues::new(graph, plan, self.config.queue_capacity);
+        let (done_tx, done_rx) = crossbeam::channel::unbounded::<WorkerDone>();
+
+        let report = std::thread::scope(|scope| {
+            let workers = queues.spawn_workers(scope, graph, body, &view, &done_tx);
+            drop(done_tx);
+
+            // Seed: release every stage's dep-free prefix.
+            for s in 0..stage_count {
+                Self::release_ready(s, &mut stage_tasks, &mut requeue, &deps_left, &queues);
+            }
+
+            let mut committed = 0usize;
+            while committed < n {
+                let done = done_rx.recv().expect("workers alive while tasks remain");
+                if done.panicked {
+                    // Abort dispatch; joining the worker below re-raises
+                    // the body's panic.
+                    break;
+                }
+                // Propagate readiness on first completion only: a
+                // re-execution's dependents were released long ago.
+                if done.attempt == 0 {
+                    for &dep in &dependents[done.task as usize] {
+                        deps_left[dep as usize] -= 1;
+                    }
+                }
+                for squashed in commit.absorb(done) {
+                    // Rollback: discard the speculative output and
+                    // re-dispatch the task to its stage, ahead of any
+                    // not-yet-released work.
+                    let stage = graph.task(TaskId(squashed.task)).stage.0 as usize;
+                    requeue[stage].push_back(squashed);
+                }
+                committed = commit.committed_tasks();
+                for s in 0..stage_count {
+                    Self::release_ready(s, &mut stage_tasks, &mut requeue, &deps_left, &queues);
+                }
+            }
+
+            queues.close();
+            let worker_stats = workers
+                .into_iter()
+                .map(|w| match w.join() {
+                    Ok(stat) => stat,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect();
+            commit.into_report(started.elapsed(), worker_stats)
+        });
+        Ok(report)
+    }
+
+    /// Pushes released-but-unqueued work into stage `s`'s queue without
+    /// blocking; anything that does not fit stays pending for the next
+    /// event. Requeued (squashed) tasks go first.
+    fn release_ready(
+        s: usize,
+        stage_tasks: &mut [VecDeque<u32>],
+        requeue: &mut [VecDeque<WorkItem>],
+        deps_left: &[usize],
+        queues: &StageQueues,
+    ) {
+        while let Some(&item) = requeue[s].front() {
+            if queues.try_send(s, item) {
+                requeue[s].pop_front();
+            } else {
+                return;
+            }
+        }
+        while let Some(&task) = stage_tasks[s].front() {
+            if deps_left[task as usize] > 0 {
+                return;
+            }
+            if queues.try_send(s, WorkItem { task, attempt: 0 }) {
+                stage_tasks[s].pop_front();
+            } else {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,214 @@
+//! Stage queues and worker threads.
+//!
+//! Each pipeline stage gets real bounded channels sized to
+//! [`ExecConfig::queue_capacity`](super::ExecConfig::queue_capacity) and
+//! one OS thread per core the plan assigns it. `Serial` stages own a
+//! single queue and worker; `Parallel` stages share one MPMC queue
+//! between their workers, so work lands on whichever core frees up
+//! first (the dynamic least-loaded discipline of paper §3.2);
+//! `RoundRobin` stages get one queue per worker, fed statically by
+//! iteration number.
+
+use super::commit::CommitView;
+use super::metrics::WorkerStat;
+use super::{NativeBody, TaskCtx, TaskOutput};
+use crate::plan::{ExecutionPlan, StageAssignment};
+use crate::task::{TaskGraph, TaskId};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::thread::{Scope, ScopedJoinHandle};
+use std::time::{Duration, Instant};
+
+/// One dispatch of one task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(super) struct WorkItem {
+    /// Index of the task in the graph.
+    pub task: u32,
+    /// 0 for the speculative first attempt; >0 for rollback
+    /// re-executions.
+    pub attempt: u32,
+}
+
+/// A finished execution, reported back to the commit unit.
+#[derive(Debug)]
+pub(super) struct WorkerDone {
+    pub task: u32,
+    pub attempt: u32,
+    pub output: TaskOutput,
+    /// Set when the body panicked; the executor aborts and the panic
+    /// propagates when the worker is joined.
+    pub panicked: bool,
+}
+
+/// How released work reaches a stage's workers.
+enum Route {
+    /// One queue, drained by the stage's worker(s): `Serial` and
+    /// `Parallel` assignments.
+    Shared(Sender<WorkItem>),
+    /// One queue per worker, selected by `iter % workers`: the
+    /// `RoundRobin` ablation.
+    PerWorker(Vec<Sender<WorkItem>>),
+}
+
+/// An unstarted worker: the core it models, its stage, and the queue it
+/// drains.
+struct WorkerSeat {
+    stage: u8,
+    core: usize,
+    rx: Receiver<WorkItem>,
+}
+
+/// All stage queues plus the not-yet-started worker seats.
+pub(super) struct StageQueues<'g> {
+    graph: &'g TaskGraph,
+    routes: Vec<Route>,
+    seats: Vec<WorkerSeat>,
+}
+
+impl<'g> StageQueues<'g> {
+    /// Builds the queue fabric `plan` describes, each queue bounded to
+    /// `capacity` entries.
+    pub(super) fn new(graph: &'g TaskGraph, plan: &ExecutionPlan, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let mut routes = Vec::new();
+        let mut seats = Vec::new();
+        for stage in 0..plan.stage_count() {
+            match plan.stage(stage) {
+                StageAssignment::Serial { core } => {
+                    let (tx, rx) = bounded(capacity);
+                    routes.push(Route::Shared(tx));
+                    seats.push(WorkerSeat {
+                        stage,
+                        core: *core,
+                        rx,
+                    });
+                }
+                StageAssignment::Parallel { cores } => {
+                    let (tx, rx) = bounded(capacity);
+                    routes.push(Route::Shared(tx));
+                    for &core in cores {
+                        seats.push(WorkerSeat {
+                            stage,
+                            core,
+                            rx: rx.clone(),
+                        });
+                    }
+                }
+                StageAssignment::RoundRobin { cores } => {
+                    let mut txs = Vec::with_capacity(cores.len());
+                    for &core in cores {
+                        let (tx, rx) = bounded(capacity);
+                        txs.push(tx);
+                        seats.push(WorkerSeat { stage, core, rx });
+                    }
+                    routes.push(Route::PerWorker(txs));
+                }
+            }
+        }
+        Self {
+            graph,
+            routes,
+            seats,
+        }
+    }
+
+    /// Non-blocking enqueue of `item` on its stage's queue. Returns
+    /// `false` when the queue is full (backpressure: the dispatcher
+    /// retries after the next completion event).
+    pub(super) fn try_send(&self, stage: usize, item: WorkItem) -> bool {
+        let result = match &self.routes[stage] {
+            Route::Shared(tx) => tx.try_send(item),
+            Route::PerWorker(txs) => {
+                let iter = self.graph.task(TaskId(item.task)).iter;
+                txs[iter as usize % txs.len()].try_send(item)
+            }
+        };
+        match result {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) => false,
+            Err(TrySendError::Disconnected(_)) => {
+                unreachable!("stage workers outlive the dispatcher")
+            }
+        }
+    }
+
+    /// Starts one thread per seat. Each worker drains its queue, runs
+    /// the body, and reports completions until the queue disconnects.
+    pub(super) fn spawn_workers<'scope>(
+        &mut self,
+        scope: &'scope Scope<'scope, '_>,
+        graph: &'scope TaskGraph,
+        body: &'scope dyn NativeBody,
+        view: &'scope CommitView,
+        done_tx: &Sender<WorkerDone>,
+    ) -> Vec<ScopedJoinHandle<'scope, WorkerStat>> {
+        std::mem::take(&mut self.seats)
+            .into_iter()
+            .map(|seat| {
+                let done_tx = done_tx.clone();
+                scope.spawn(move || worker_loop(seat, graph, body, view, done_tx))
+            })
+            .collect()
+    }
+
+    /// Drops every stage sender, disconnecting the queues so idle
+    /// workers exit their receive loops.
+    pub(super) fn close(self) {}
+}
+
+fn worker_loop(
+    seat: WorkerSeat,
+    graph: &TaskGraph,
+    body: &dyn NativeBody,
+    view: &CommitView,
+    done_tx: Sender<WorkerDone>,
+) -> WorkerStat {
+    let mut busy = Duration::ZERO;
+    let mut tasks = 0u64;
+    while let Ok(item) = seat.rx.recv() {
+        let task = graph.task(TaskId(item.task));
+        let ctx = TaskCtx {
+            stage: task.stage,
+            iter: task.iter,
+            attempt: item.attempt,
+            commits: view,
+        };
+        let started = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| body.run(TaskId(item.task), &ctx)));
+        busy += started.elapsed();
+        tasks += 1;
+        match result {
+            Ok(output) => {
+                if done_tx
+                    .send(WorkerDone {
+                        task: item.task,
+                        attempt: item.attempt,
+                        output,
+                        panicked: false,
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            Err(payload) => {
+                // Tell the dispatcher to abort, then re-raise so the
+                // join in the executor surfaces the original panic.
+                let _ = done_tx.send(WorkerDone {
+                    task: item.task,
+                    attempt: item.attempt,
+                    output: TaskOutput::empty(),
+                    panicked: true,
+                });
+                drop(done_tx);
+                resume_unwind(payload);
+            }
+        }
+    }
+    WorkerStat {
+        core: seat.core,
+        stage: crate::task::StageId(seat.stage),
+        busy,
+        tasks,
+    }
+}

@@ -1,0 +1,164 @@
+use super::*;
+use crate::plan::ExecutionPlan;
+use crate::task::{SpecDep, TaskGraph, TaskId};
+
+/// The canonical three-phase graph: A serial, B parallel, C serial with
+/// a loop-carried chain; B_i speculates on B_{i-1} with violations at
+/// the given iterations.
+fn three_phase_graph(iters: u64, violate_at: &[u64]) -> TaskGraph {
+    let mut graph = TaskGraph::new(3);
+    let mut prev_a = None;
+    let mut prev_b: Option<TaskId> = None;
+    let mut prev_c = None;
+    for i in 0..iters {
+        let a_deps: Vec<TaskId> = prev_a.into_iter().collect();
+        let a = graph.add_task(0, i, 10, &a_deps, &[]);
+        let spec: Vec<SpecDep> = prev_b
+            .map(|on| SpecDep {
+                on,
+                violated: violate_at.contains(&i),
+            })
+            .into_iter()
+            .collect();
+        let b = graph.add_task(1, i, 40, &[a], &spec);
+        let mut c_deps = vec![b];
+        if let Some(c) = prev_c {
+            c_deps.push(c);
+        }
+        let c = graph.add_task(2, i, 10, &c_deps, &[]);
+        prev_a = Some(a);
+        prev_b = Some(b);
+        prev_c = Some(c);
+    }
+    graph
+}
+
+/// A body that emits each B task's iteration tag — and a deliberately
+/// corrupt tag while speculative, so a missed squash or a phantom
+/// squash both corrupt the output stream.
+fn tagging_body(violate_at: Vec<u64>) -> impl NativeBody {
+    move |task: TaskId, ctx: &TaskCtx<'_>| {
+        if ctx.stage.0 != 1 {
+            return TaskOutput::empty();
+        }
+        let mut bytes = ctx.iter.to_le_bytes().to_vec();
+        if ctx.speculative() && violate_at.contains(&ctx.iter) {
+            bytes[0] ^= 0xFF; // stale value speculation would produce
+        }
+        TaskOutput {
+            bytes,
+            work: task.0 as u64 + 1,
+        }
+    }
+}
+
+fn expected_stream(iters: u64) -> Vec<u8> {
+    (0..iters).flat_map(|i| i.to_le_bytes()).collect()
+}
+
+#[test]
+fn pipeline_output_matches_sequential_order() {
+    let graph = three_phase_graph(50, &[]);
+    let plan = ExecutionPlan::three_phase(4);
+    let report = NativeExecutor::default()
+        .run(&graph, &plan, &tagging_body(vec![]))
+        .unwrap();
+    assert_eq!(report.output, expected_stream(50));
+    assert_eq!(report.tasks_committed, 150);
+    assert_eq!(report.attempts, 150);
+    assert_eq!(report.squashes, 0);
+    assert_eq!(report.violations, 0);
+    assert_eq!(report.speculations_survived, 49);
+}
+
+#[test]
+fn violated_speculation_squashes_and_reexecutes() {
+    let violate = vec![3, 7, 20];
+    let graph = three_phase_graph(30, &violate);
+    let plan = ExecutionPlan::three_phase(4);
+    let report = NativeExecutor::default()
+        .run(&graph, &plan, &tagging_body(violate.clone()))
+        .unwrap();
+    // Rollback is load-bearing: the speculative attempts wrote corrupt
+    // bytes, so the stream is clean only if each violation squashed and
+    // re-executed exactly once.
+    assert_eq!(report.output, expected_stream(30));
+    assert_eq!(report.squashes, violate.len() as u64);
+    assert_eq!(report.violations, violate.len() as u64);
+    assert_eq!(report.speculations_survived, 29 - violate.len() as u64);
+    assert_eq!(report.attempts, 90 + violate.len() as u64);
+}
+
+#[test]
+fn single_core_plan_still_completes() {
+    let graph = three_phase_graph(20, &[5]);
+    let plan = ExecutionPlan::three_phase(1);
+    let report = NativeExecutor::default()
+        .run(&graph, &plan, &tagging_body(vec![5]))
+        .unwrap();
+    assert_eq!(report.output, expected_stream(20));
+    assert_eq!(report.threads(), 3); // one worker per stage, all core 0
+}
+
+#[test]
+fn round_robin_assignment_matches_shared_queue_output() {
+    let graph = three_phase_graph(40, &[2, 9]);
+    let body = tagging_body(vec![2, 9]);
+    let dynamic = NativeExecutor::default()
+        .run(&graph, &ExecutionPlan::three_phase(6), &body)
+        .unwrap();
+    let static_rr = NativeExecutor::default()
+        .run(&graph, &ExecutionPlan::three_phase_static(6), &body)
+        .unwrap();
+    assert_eq!(dynamic.output, static_rr.output);
+    assert_eq!(dynamic.squashes, static_rr.squashes);
+}
+
+#[test]
+fn tiny_queues_apply_backpressure_without_deadlock() {
+    let graph = three_phase_graph(200, &[17, 90, 91]);
+    let plan = ExecutionPlan::three_phase(4);
+    let exec = NativeExecutor::new(ExecConfig::with_queue_capacity(1));
+    let report = exec
+        .run(&graph, &plan, &tagging_body(vec![17, 90, 91]))
+        .unwrap();
+    assert_eq!(report.output, expected_stream(200));
+    assert_eq!(report.squashes, 3);
+}
+
+#[test]
+fn stage_mismatch_is_rejected() {
+    let graph = three_phase_graph(4, &[]);
+    let plan = ExecutionPlan::tls(4); // 1-stage plan vs 3-stage graph
+    let err = NativeExecutor::default()
+        .run(&graph, &plan, &tagging_body(vec![]))
+        .unwrap_err();
+    assert!(matches!(err, SimError::StageMismatch { .. }));
+}
+
+#[test]
+fn empty_graph_commits_nothing() {
+    let graph = TaskGraph::new(3);
+    let plan = ExecutionPlan::three_phase(4);
+    let report = NativeExecutor::default()
+        .run(&graph, &plan, &tagging_body(vec![]))
+        .unwrap();
+    assert!(report.output.is_empty());
+    assert_eq!(report.tasks_committed, 0);
+}
+
+#[test]
+fn repeated_runs_are_deterministic() {
+    let violate = vec![1, 4, 11, 12];
+    let graph = three_phase_graph(60, &violate);
+    let plan = ExecutionPlan::three_phase(8);
+    let body = tagging_body(violate);
+    let first = NativeExecutor::default().run(&graph, &plan, &body).unwrap();
+    for _ in 0..5 {
+        let again = NativeExecutor::default().run(&graph, &plan, &body).unwrap();
+        assert_eq!(again.output, first.output);
+        assert_eq!(again.squashes, first.squashes);
+        assert_eq!(again.violations, first.violations);
+        assert_eq!(again.work, first.work);
+    }
+}

@@ -44,11 +44,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod exec;
 pub mod plan;
 pub mod sim;
 pub mod task;
 pub mod validate;
 
+pub use exec::{
+    CommitView, ExecConfig, NativeBody, NativeExecutor, NativeReport, TaskCtx, TaskOutput,
+    WorkerStat,
+};
 pub use plan::{ExecutionPlan, StageAssignment};
 pub use sim::{ChannelStat, SimConfig, SimError, SimResult, Simulator, TaskPlacement};
 pub use task::{SpecDep, StageId, Task, TaskGraph, TaskId};

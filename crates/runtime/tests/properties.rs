@@ -1,8 +1,11 @@
-//! Property-based tests for the simulator: scheduling invariants that
-//! must hold for any task graph.
+//! Property-based tests for the simulator and the native executor:
+//! scheduling invariants that must hold for any task graph.
 
 use proptest::prelude::*;
-use seqpar_runtime::{ExecutionPlan, SimConfig, Simulator, TaskGraph, TaskId};
+use seqpar_runtime::{
+    ExecConfig, ExecutionPlan, NativeExecutor, NativeReport, SimConfig, Simulator, TaskCtx,
+    TaskGraph, TaskId, TaskOutput,
+};
 
 /// Builds a three-stage pipeline graph from arbitrary per-iteration
 /// costs and misspeculation flags.
@@ -30,6 +33,37 @@ fn build_graph(costs: &[(u64, u64, u64, bool)]) -> TaskGraph {
         prev_c = Some(tc);
     }
     g
+}
+
+/// Runs `graph` on the native executor with a body that emits each
+/// B-stage iteration's number (and deliberately garbage bytes on a
+/// to-be-squashed speculative attempt, which in-order commit must
+/// discard).
+fn run_native(graph: &TaskGraph, threads: usize, queue_capacity: usize) -> NativeReport {
+    let body = |task: TaskId, ctx: &TaskCtx<'_>| {
+        let t = graph.task(task);
+        if t.stage.0 != 1 {
+            return TaskOutput::empty();
+        }
+        if ctx.speculative() && t.spec_deps.iter().any(|d| d.violated) {
+            // The misspeculated attempt: whatever it produces must never
+            // reach the output stream.
+            return TaskOutput::bytes(vec![0xEE; 5]);
+        }
+        TaskOutput {
+            bytes: ctx.iter.to_le_bytes().to_vec(),
+            work: 1,
+        }
+    };
+    NativeExecutor::new(ExecConfig::with_queue_capacity(queue_capacity))
+        .run(graph, &ExecutionPlan::three_phase(threads), &body)
+        .expect("plan matches graph")
+}
+
+/// The byte stream a correct in-order commit must produce for
+/// [`run_native`]: every iteration number once, in ascending order.
+fn expected_stream(iterations: usize) -> Vec<u8> {
+    (0..iterations as u64).flat_map(u64::to_le_bytes).collect()
 }
 
 proptest! {
@@ -124,6 +158,68 @@ proptest! {
             .expect("valid plan");
         let violations = seqpar_runtime::check_schedule(&g, &plan, &cfg, &placements);
         prop_assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    /// In-order commit never reorders: whatever the thread interleaving
+    /// and misspeculation pattern, the native executor's output stream is
+    /// every iteration's bytes in ascending iteration order, and squashed
+    /// speculative attempts never leak garbage into it.
+    #[test]
+    fn native_commit_never_reorders(
+        costs in proptest::collection::vec((0..100u64, 0..500u64, 0..50u64, any::<bool>()), 1..40),
+        threads in 1usize..9
+    ) {
+        let g = build_graph(&costs);
+        let r = run_native(&g, threads, 32);
+        prop_assert_eq!(r.output, expected_stream(costs.len()));
+        prop_assert_eq!(r.tasks_committed, g.len() as u64);
+    }
+
+    /// Bounded queues never deadlock: even capacity-1 queues with
+    /// backpressure and squash re-dispatch drain every task. The run is
+    /// raced against a timeout so a deadlock fails fast instead of
+    /// hanging the suite.
+    #[test]
+    fn native_bounded_queues_never_deadlock(
+        costs in proptest::collection::vec((0..100u64, 0..500u64, 0..50u64, any::<bool>()), 1..40),
+        threads in 1usize..9,
+        cap in 1usize..5
+    ) {
+        let n = costs.len();
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let g = build_graph(&costs);
+            let r = run_native(&g, threads, cap);
+            tx.send(r).ok();
+        });
+        let r = rx
+            .recv_timeout(std::time::Duration::from_secs(60))
+            .expect("native run deadlocked");
+        prop_assert_eq!(r.output, expected_stream(n));
+    }
+
+    /// Squash accounting is deterministic and trace-driven: two runs of
+    /// the same graph agree exactly, and the counts match what the
+    /// dependence events predict (one squash per task whose speculation
+    /// was violated, one extra attempt per squash).
+    #[test]
+    fn native_squash_count_is_deterministic(
+        costs in proptest::collection::vec((0..100u64, 0..500u64, 0..50u64, any::<bool>()), 2..40),
+        threads in 2usize..9
+    ) {
+        let g = build_graph(&costs);
+        let a = run_native(&g, threads, 32);
+        let b = run_native(&g, threads, 32);
+        prop_assert_eq!(a.squashes, b.squashes);
+        prop_assert_eq!(a.violations, b.violations);
+        prop_assert_eq!(a.attempts, b.attempts);
+        prop_assert_eq!(&a.output, &b.output);
+        // build_graph attaches one spec dep to every B task after the
+        // first, violated when the iteration's flag is set.
+        let expected = costs[1..].iter().filter(|(_, _, _, m)| *m).count() as u64;
+        prop_assert_eq!(a.squashes, expected);
+        prop_assert_eq!(a.violations, expected);
+        prop_assert_eq!(a.attempts, g.len() as u64 + expected);
     }
 
     /// The TLS single-stage plan obeys the same fundamental bounds.

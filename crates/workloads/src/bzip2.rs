@@ -12,6 +12,7 @@
 
 use crate::common::{fnv1a, synthetic_text, InputSize, IrModel, WorkMeter, Workload};
 use crate::meta::WorkloadMeta;
+use crate::native::NativeJob;
 use seqpar::{IterationRecord, IterationTrace, Technique};
 use seqpar_analysis::profile::LoopProfile;
 use seqpar_ir::{ExternEffect, FunctionBuilder, Opcode, Program};
@@ -386,6 +387,20 @@ impl Workload for Bzip2 {
             out.extend(compress_block(block, &mut m));
         }
         fnv1a(out)
+    }
+
+    fn native_job(&self, size: InputSize) -> NativeJob {
+        let data = self.input(size);
+        let block_size = self.block_size(size);
+        NativeJob::new(self.trace(size), move |iter, _stale| {
+            let start = iter as usize * block_size;
+            let end = (start + block_size).min(data.len());
+            let mut meter = WorkMeter::new();
+            (
+                compress_block(&data[start..end], &mut meter),
+                meter.take().max(1),
+            )
+        })
     }
 
     fn ir_model(&self) -> IrModel {

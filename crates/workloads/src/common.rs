@@ -2,9 +2,11 @@
 //! randomness, input sizing, and the [`Workload`] trait.
 
 use crate::meta::WorkloadMeta;
+use crate::native::NativeJob;
 use seqpar::IterationTrace;
 use seqpar_analysis::profile::LoopProfile;
 use seqpar_ir::{FuncId, Program};
+use seqpar_runtime::{ExecConfig, ExecutionPlan, NativeReport, SimError};
 use std::fmt;
 
 /// Input scale, mirroring SPEC's `test` / `train` / `ref` sets.
@@ -155,6 +157,28 @@ pub trait Workload: fmt::Debug {
 
     /// The IR model of the hot loop for the compiler pipeline.
     fn ir_model(&self) -> IrModel;
+
+    /// The kernel packaged for real-thread execution: the same run as
+    /// [`Workload::trace`], with every iteration re-executable on worker
+    /// threads (see [`crate::native`]).
+    fn native_job(&self, size: InputSize) -> NativeJob;
+
+    /// Runs the kernel natively on OS threads under `plan`, committing
+    /// iteration outputs in order. The committed stream is byte-identical
+    /// to a sequential run (`native_job(size).sequential()`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::StageMismatch`] when the plan's stage count
+    /// does not fit the workload's task graph.
+    fn run_native(
+        &self,
+        size: InputSize,
+        plan: &ExecutionPlan,
+        config: ExecConfig,
+    ) -> Result<NativeReport, SimError> {
+        self.native_job(size).execute(plan, config)
+    }
 }
 
 /// FNV-1a, used by kernels to build output checksums.

@@ -48,6 +48,7 @@ pub mod gcc;
 pub mod gzip;
 pub mod mcf;
 pub mod meta;
+pub mod native;
 pub mod parser;
 pub mod perlbmk;
 pub mod twolf;
@@ -56,6 +57,7 @@ pub mod vpr;
 
 pub use common::{InputSize, Prng, WorkMeter, Workload};
 pub use meta::WorkloadMeta;
+pub use native::{misspec_targets, NativeJob, SequentialRun};
 
 /// All eleven workloads, in SPEC numbering order.
 pub fn all_workloads() -> Vec<Box<dyn Workload>> {

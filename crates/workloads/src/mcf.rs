@@ -21,6 +21,7 @@
 
 use crate::common::{fnv1a, InputSize, IrModel, Prng, Workload};
 use crate::meta::WorkloadMeta;
+use crate::native::NativeJob;
 use seqpar::{IterationRecord, IterationTrace, Technique};
 use seqpar_analysis::profile::LoopProfile;
 use seqpar_ir::{ExternEffect, FunctionBuilder, Opcode, Program};
@@ -82,33 +83,57 @@ pub struct IterationCosts {
     pub potentials_changed: bool,
 }
 
-/// Solves min-cost max-flow from node 0 to node `nodes-1`, reporting
-/// per-iteration phase costs through `on_iteration`.
-pub fn solve(net: &Network, mut on_iteration: impl FnMut(IterationCosts)) -> FlowResult {
-    let n = net.nodes;
-    let mut graph: Vec<Vec<Edge>> = vec![Vec::new(); n];
-    for a in &net.arcs {
-        let (u, v) = (a.from, a.to);
-        let ru = graph[u].len();
-        let rv = graph[v].len();
-        graph[u].push(Edge {
-            to: v,
-            cap: a.cap,
-            cost: a.cost,
-            rev: rv,
-        });
-        graph[v].push(Edge {
-            to: u,
-            cap: 0,
-            cost: -a.cost,
-            rev: ru,
-        });
+/// Incremental min-cost-flow solver state: the residual network plus
+/// running totals. Cloneable, so native tasks can snapshot the solver
+/// before any iteration and re-run that iteration in isolation.
+#[derive(Clone, Debug)]
+pub struct Solver {
+    graph: Vec<Vec<Edge>>,
+    n: usize,
+    total_flow: i64,
+    total_cost: i64,
+    iterations: u64,
+}
+
+impl Solver {
+    /// Builds the residual network for `net` (flow from node 0 to node
+    /// `nodes - 1`).
+    pub fn new(net: &Network) -> Self {
+        let n = net.nodes;
+        let mut graph: Vec<Vec<Edge>> = vec![Vec::new(); n];
+        for a in &net.arcs {
+            let (u, v) = (a.from, a.to);
+            let ru = graph[u].len();
+            let rv = graph[v].len();
+            graph[u].push(Edge {
+                to: v,
+                cap: a.cap,
+                cost: a.cost,
+                rev: rv,
+            });
+            graph[v].push(Edge {
+                to: u,
+                cap: 0,
+                cost: -a.cost,
+                rev: ru,
+            });
+        }
+        Self {
+            graph,
+            n,
+            total_flow: 0,
+            total_cost: 0,
+            iterations: 0,
+        }
     }
-    let (source, sink) = (0, n - 1);
-    let mut total_flow = 0i64;
-    let mut total_cost = 0i64;
-    let mut iterations = 0u64;
-    loop {
+
+    /// Runs one augmenting iteration: a Bellman-Ford pricing sweep, path
+    /// extraction, and augmentation. Returns the phase costs plus the
+    /// flow and cost shipped by this augmentation, or `None` when no
+    /// augmenting path remains.
+    pub fn step(&mut self) -> Option<(IterationCosts, i64, i64)> {
+        let n = self.n;
+        let (source, sink) = (0, n - 1);
         // Bellman-Ford over the residual network.
         let mut costs = IterationCosts::default();
         let mut dist = vec![i64::MAX; n];
@@ -121,7 +146,7 @@ pub fn solve(net: &Network, mut on_iteration: impl FnMut(IterationCosts)) -> Flo
                 if dist[u] == i64::MAX {
                     continue;
                 }
-                for (ei, e) in graph[u].iter().enumerate() {
+                for (ei, e) in self.graph[u].iter().enumerate() {
                     // The arc scan: this is the parallelizable pricing
                     // work (each arc's reduced cost is independent).
                     costs.parallel += 1;
@@ -139,38 +164,54 @@ pub fn solve(net: &Network, mut on_iteration: impl FnMut(IterationCosts)) -> Flo
         }
         costs.potentials_changed = last_pass_relaxed;
         if dist[sink] == i64::MAX {
-            break;
+            return None;
         }
         // Serial: extract the path and find the bottleneck.
         let mut bottleneck = i64::MAX;
         let mut v = sink;
         while let Some((u, ei)) = prev[v] {
             costs.serial += 2;
-            bottleneck = bottleneck.min(graph[u][ei].cap);
+            bottleneck = bottleneck.min(self.graph[u][ei].cap);
             v = u;
         }
         // Apply: augment along the path.
+        let mut cost_delta = 0i64;
         let mut v = sink;
         while let Some((u, ei)) = prev[v] {
             costs.apply += 2;
-            let rev = graph[u][ei].rev;
-            graph[u][ei].cap -= bottleneck;
-            graph[v][rev].cap += bottleneck;
-            total_cost += bottleneck * graph[u][ei].cost;
+            let rev = self.graph[u][ei].rev;
+            self.graph[u][ei].cap -= bottleneck;
+            self.graph[v][rev].cap += bottleneck;
+            cost_delta += bottleneck * self.graph[u][ei].cost;
             v = u;
         }
-        total_flow += bottleneck;
-        iterations += 1;
+        self.total_flow += bottleneck;
+        self.total_cost += cost_delta;
+        self.iterations += 1;
+        Some((costs, bottleneck, cost_delta))
+    }
+
+    /// The totals so far.
+    pub fn result(&self) -> FlowResult {
+        FlowResult {
+            flow: self.total_flow,
+            cost: self.total_cost,
+            iterations: self.iterations,
+        }
+    }
+}
+
+/// Solves min-cost max-flow from node 0 to node `nodes-1`, reporting
+/// per-iteration phase costs through `on_iteration`.
+pub fn solve(net: &Network, mut on_iteration: impl FnMut(IterationCosts)) -> FlowResult {
+    let mut solver = Solver::new(net);
+    while let Some((costs, _, _)) = solver.step() {
         on_iteration(costs);
-        if iterations > 10_000 {
+        if solver.result().iterations > 10_000 {
             break; // defensive bound for malformed instances
         }
     }
-    FlowResult {
-        flow: total_flow,
-        cost: total_cost,
-        iterations,
-    }
+    solver.result()
 }
 
 /// Generates a layered transportation network (the vehicle-scheduling
@@ -283,6 +324,48 @@ impl Workload for Mcf {
         let net = self.network(size);
         let r = solve(&net, |_| {});
         fnv1a(r.cost.to_le_bytes()) ^ r.flow as u64
+    }
+
+    fn native_job(&self, size: InputSize) -> NativeJob {
+        let net = self.network(size);
+        // Snapshot the solver before each augmenting iteration; a task
+        // clones its snapshot and runs the iteration's real Bellman-Ford
+        // sweep, path extraction, and augmentation.
+        let mut snaps = Vec::new();
+        let mut solver = Solver::new(&net);
+        loop {
+            let before = solver.clone();
+            if solver.step().is_none() {
+                break;
+            }
+            snaps.push(before);
+            if solver.result().iterations > 10_000 {
+                break;
+            }
+        }
+        let trace = self.trace(size);
+        let misspec = crate::native::misspec_targets(&trace);
+        NativeJob::new(trace, move |iter, stale| {
+            let i = iter as usize;
+            // Stale: run the iteration against the residual network as it
+            // stood before the previous augmentation (the potentials the
+            // refresh_potential speculation wrongly assumed stable).
+            let target = if stale {
+                misspec[i].expect("stale implies a violated producer") as usize
+            } else {
+                i
+            };
+            let mut solver = snaps[target].clone();
+            let (costs, flow_delta, cost_delta) = solver
+                .step()
+                .expect("snapshots precede augmenting iterations");
+            let mut bytes = Vec::with_capacity(17);
+            bytes.extend(flow_delta.to_le_bytes());
+            bytes.extend(cost_delta.to_le_bytes());
+            bytes.push(u8::from(costs.potentials_changed));
+            let work = (costs.serial + costs.parallel + costs.apply).max(1);
+            (bytes, work)
+        })
     }
 
     fn ir_model(&self) -> IrModel {

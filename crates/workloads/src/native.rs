@@ -1,0 +1,157 @@
+//! Native (real-thread) execution of workload kernels.
+//!
+//! [`Workload::trace`](crate::Workload::trace) captures *what happened*
+//! in a sequential run; a [`NativeJob`] packages the same run so each
+//! iteration can be **re-executed for real** on the
+//! [`NativeExecutor`](seqpar_runtime::NativeExecutor)'s worker threads.
+//! The job owns whatever prefix state the kernel needs (input spans,
+//! interpreter snapshots, annealer checkpoints, …) plus a body closure
+//! `(iteration, stale) -> (bytes, work)`:
+//!
+//! * `stale = false` re-runs the iteration against the exact sequential
+//!   prefix state, so the committed byte stream is identical to a
+//!   sequential run's;
+//! * `stale = true` models the squashed speculative attempt: the
+//!   iteration runs against the state *before its violated producer*
+//!   executed — the value a maximally-runahead speculative thread would
+//!   really have computed. The executor discards these bytes at
+//!   rollback; emitting genuinely different bytes is what makes the
+//!   differential tests prove the rollback path works.
+//!
+//! Determinism: each body call depends only on `(iteration, stale)` —
+//! never on thread timing — so the executor's in-order commit yields the
+//! same output stream, squash counts, and work totals on every run.
+
+use seqpar::IterationTrace;
+use seqpar_runtime::{
+    ExecConfig, ExecutionPlan, NativeExecutor, NativeReport, SimError, TaskCtx, TaskId, TaskOutput,
+};
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The signature of a job body: re-execute one iteration, fresh or
+/// stale, returning its output bytes and metered work.
+pub type IterationBody = dyn Fn(u64, bool) -> (Vec<u8>, u64) + Send + Sync;
+
+/// A workload packaged for native execution: the recorded trace plus a
+/// real re-executable body for every iteration.
+#[derive(Clone)]
+pub struct NativeJob {
+    trace: IterationTrace,
+    body: Arc<IterationBody>,
+}
+
+impl fmt::Debug for NativeJob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NativeJob")
+            .field("iterations", &self.trace.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A timed sequential reference run of a [`NativeJob`].
+#[derive(Clone, Debug)]
+pub struct SequentialRun {
+    /// Concatenated per-iteration output bytes, in program order.
+    pub output: Vec<u8>,
+    /// Total metered work.
+    pub work: u64,
+    /// Wall-clock time of the run.
+    pub wall: Duration,
+}
+
+impl NativeJob {
+    /// Packages `trace` with its re-execution body.
+    pub fn new(
+        trace: IterationTrace,
+        body: impl Fn(u64, bool) -> (Vec<u8>, u64) + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            trace,
+            body: Arc::new(body),
+        }
+    }
+
+    /// The recorded iteration trace (also the source of the task graph
+    /// native execution runs).
+    pub fn trace(&self) -> &IterationTrace {
+        &self.trace
+    }
+
+    /// Number of loop iterations.
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Whether the job has no iterations.
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+
+    /// Re-executes one iteration. `stale` asks for the squashed
+    /// speculative attempt's result instead of the committed one.
+    pub fn run_iteration(&self, iter: u64, stale: bool) -> (Vec<u8>, u64) {
+        (self.body)(iter, stale)
+    }
+
+    /// Runs every iteration in order on the calling thread — the
+    /// reference against which native output must be byte-identical.
+    pub fn sequential(&self) -> SequentialRun {
+        let started = Instant::now();
+        let mut output = Vec::new();
+        let mut work = 0u64;
+        for i in 0..self.trace.len() as u64 {
+            let (bytes, w) = (self.body)(i, false);
+            output.extend(bytes);
+            work += w;
+        }
+        SequentialRun {
+            output,
+            work,
+            wall: started.elapsed(),
+        }
+    }
+
+    /// Runs the job on real threads under `plan`.
+    ///
+    /// One-stage plans execute the TLS task graph; multi-stage plans the
+    /// three-phase DSWP graph. In both, the transform stage (the single
+    /// TLS stage, or phase B) carries the iteration body; A and C model
+    /// read/write phases and emit nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::StageMismatch`] from the executor.
+    pub fn execute(
+        &self,
+        plan: &ExecutionPlan,
+        config: ExecConfig,
+    ) -> Result<NativeReport, SimError> {
+        let graph = if plan.stage_count() == 1 {
+            self.trace.tls_task_graph()
+        } else {
+            self.trace.task_graph()
+        };
+        let emit_stage = if graph.stage_count() == 1 { 0u8 } else { 1u8 };
+        let body = |task: TaskId, ctx: &TaskCtx<'_>| {
+            if ctx.stage.0 != emit_stage {
+                return TaskOutput::empty();
+            }
+            // A first attempt whose recorded dependence manifested is the
+            // one speculation would have gotten wrong: produce the stale
+            // value so rollback is observable.
+            let stale = ctx.speculative() && graph.task(task).spec_deps.iter().any(|d| d.violated);
+            let (bytes, work) = (self.body)(ctx.iter, stale);
+            TaskOutput { bytes, work }
+        };
+        NativeExecutor::new(config).run(&graph, plan, &body)
+    }
+}
+
+/// Looks up each record's violated-producer index, the iteration a stale
+/// re-execution must rewind to. `None` for iterations that never
+/// misspeculate.
+pub fn misspec_targets(trace: &IterationTrace) -> Vec<Option<u64>> {
+    trace.records().iter().map(|r| r.misspec_on).collect()
+}

@@ -19,6 +19,7 @@
 
 use crate::common::{fnv1a, InputSize, IrModel, Prng, WorkMeter, Workload};
 use crate::meta::WorkloadMeta;
+use crate::native::NativeJob;
 use seqpar::{IterationRecord, IterationTrace, Technique};
 use seqpar_analysis::profile::LoopProfile;
 use seqpar_ir::{ExternEffect, FunctionBuilder, Opcode as IrOp, Program};
@@ -76,6 +77,22 @@ impl Vm {
     /// The current stack depth (`PL_stack_sp`).
     pub fn stack_depth(&self) -> usize {
         self.stack.len()
+    }
+
+    /// The variable file — the cross-statement state a native task must
+    /// snapshot to re-execute a statement out of order.
+    pub fn vars(&self) -> [i64; 64] {
+        self.vars
+    }
+
+    /// Creates a VM whose variables start from a snapshot (empty stack
+    /// and output, as at any statement boundary).
+    pub fn with_vars(vars: [i64; 64]) -> Self {
+        Self {
+            stack: Vec::new(),
+            vars,
+            output: Vec::new(),
+        }
     }
 
     /// Executes one op, accruing work.
@@ -258,6 +275,46 @@ impl Workload for Perlbmk {
         let mut meter = WorkMeter::new();
         let vm = run(&program, &mut meter);
         fnv1a(vm.output().iter().flat_map(|x| x.to_le_bytes()))
+    }
+
+    fn native_job(&self, size: InputSize) -> NativeJob {
+        let program = generate_program(self.statement_count(size), 0x253);
+        let stmts: Vec<Vec<Op>> = statements(&program)
+            .into_iter()
+            .map(|s| s.to_vec())
+            .collect();
+        // Sequential prepass: the variable file before each statement.
+        // A statement re-executed on a fresh VM seeded with its prefix
+        // snapshot reproduces the sequential run exactly (the stack is
+        // empty at every statement boundary).
+        let mut vars_before = Vec::with_capacity(stmts.len());
+        let mut vm = Vm::new();
+        let mut prepass = WorkMeter::new();
+        for stmt in &stmts {
+            vars_before.push(vm.vars());
+            for &op in stmt {
+                vm.step(op, &mut prepass);
+            }
+        }
+        let trace = self.trace(size);
+        let misspec = crate::native::misspec_targets(&trace);
+        NativeJob::new(trace, move |iter, stale| {
+            let i = iter as usize;
+            // Stale: the speculative attempt read the variable file as it
+            // stood *before the violated writer* ran.
+            let seed = if stale {
+                vars_before[misspec[i].expect("stale implies a violated producer") as usize]
+            } else {
+                vars_before[i]
+            };
+            let mut vm = Vm::with_vars(seed);
+            let mut meter = WorkMeter::new();
+            for &op in &stmts[i] {
+                vm.step(op, &mut meter);
+            }
+            let bytes = vm.output().iter().flat_map(|x| x.to_le_bytes()).collect();
+            (bytes, meter.take().max(1))
+        })
     }
 
     fn ir_model(&self) -> IrModel {

@@ -18,6 +18,7 @@
 
 use crate::common::{fnv1a, InputSize, IrModel, Prng, WorkMeter, Workload};
 use crate::meta::WorkloadMeta;
+use crate::native::NativeJob;
 use seqpar::{IterationRecord, IterationTrace, Technique};
 use seqpar_analysis::profile::LoopProfile;
 use seqpar_ir::{CommGroupId, ExternEffect, FunctionBuilder, Opcode, Program};
@@ -126,6 +127,21 @@ impl CellPlacement {
         (0..self.nets.len()).map(|n| self.net_cost(n, meter)).sum()
     }
 
+    /// Overwrites every cell's coordinates from a snapshot, rebuilding
+    /// the slot map. Used by native re-execution to rewind the placement
+    /// to an earlier state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` does not have one entry per cell.
+    pub fn set_positions(&mut self, pos: &[(u16, u16)]) {
+        assert_eq!(pos.len(), self.pos.len(), "one coordinate per cell");
+        self.pos.copy_from_slice(pos);
+        for (c, &(r, col)) in pos.iter().enumerate() {
+            self.slot[r as usize * self.cols + col as usize] = c;
+        }
+    }
+
     fn swap_cells(&mut self, a: usize, b: usize) {
         let (pa, pb) = (self.pos[a], self.pos[b]);
         self.pos.swap(a, b);
@@ -190,6 +206,13 @@ pub fn uloop_iter(
     }
 }
 
+/// The cooling schedule of `uloop`: 30.0, ×0.75 per outer iteration,
+/// down to 0.3. Shared between [`uloop`] and the native prepass so the
+/// two can never drift apart.
+pub fn schedule() -> impl Iterator<Item = f64> {
+    std::iter::successors(Some(30.0), |t| Some(t * 0.75)).take_while(|t| *t > 0.3)
+}
+
 /// Runs the full annealing schedule, reporting each iteration.
 pub fn uloop(
     place: &mut CellPlacement,
@@ -198,14 +221,12 @@ pub fn uloop(
     mut on_iter: impl FnMut(&ExchangeOutcome, u64),
 ) -> i64 {
     let mut rng = YacmRandom::new(seed);
-    let mut temperature = 30.0;
-    while temperature > 0.3 {
+    for temperature in schedule() {
         for _ in 0..iters_per_temp {
             let mut m = WorkMeter::new();
             let outcome = uloop_iter(place, &mut rng, temperature, &mut m);
             on_iter(&outcome, m.total().max(1));
         }
-        temperature *= 0.75;
     }
     let mut m = WorkMeter::new();
     place.total_cost(&mut m)
@@ -287,6 +308,46 @@ impl Workload for Twolf {
         let mut place = self.instance();
         let cost = uloop(&mut place, self.iters_per_temp(size), 0x300_5EED, |_, _| {});
         fnv1a(cost.to_le_bytes())
+    }
+
+    fn native_job(&self, size: InputSize) -> NativeJob {
+        let base = self.instance();
+        let iters_per_temp = self.iters_per_temp(size);
+        // Sequential prepass mirroring `uloop`: before each exchange,
+        // record the cell coordinates, the RNG state, and the
+        // temperature. A task replays its exchange bit-exactly.
+        type Snapshot = (Vec<(u16, u16)>, YacmRandom, f64);
+        let mut snaps: Vec<Snapshot> = Vec::new();
+        let mut place = base.clone();
+        let mut rng = YacmRandom::new(0x300_5EED);
+        for temperature in schedule() {
+            for _ in 0..iters_per_temp {
+                snaps.push((place.pos.clone(), rng.clone(), temperature));
+                let mut m = WorkMeter::new();
+                uloop_iter(&mut place, &mut rng, temperature, &mut m);
+            }
+        }
+        let trace = self.trace(size);
+        let misspec = crate::native::misspec_targets(&trace);
+        NativeJob::new(trace, move |iter, stale| {
+            let i = iter as usize;
+            // Stale: evaluate this exchange against the placement as it
+            // stood before the colliding accepted exchange.
+            let state = if stale {
+                misspec[i].expect("stale implies a violated producer") as usize
+            } else {
+                i
+            };
+            let mut place = base.clone();
+            place.set_positions(&snaps[state].0);
+            let (_, ref rng0, temperature) = snaps[i];
+            let mut rng = rng0.clone();
+            let mut meter = WorkMeter::new();
+            let outcome = uloop_iter(&mut place, &mut rng, temperature, &mut meter);
+            let mut bytes = vec![u8::from(outcome.accepted)];
+            bytes.extend((outcome.nets_touched.len() as u32).to_le_bytes());
+            (bytes, meter.take().max(1))
+        })
     }
 
     fn ir_model(&self) -> IrModel {

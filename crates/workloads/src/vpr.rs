@@ -18,6 +18,7 @@
 
 use crate::common::{fnv1a, InputSize, IrModel, Prng, WorkMeter, Workload};
 use crate::meta::WorkloadMeta;
+use crate::native::NativeJob;
 use seqpar::{IterationRecord, IterationTrace, Technique};
 use seqpar_analysis::profile::LoopProfile;
 use seqpar_ir::{CommGroupId, ExternEffect, FunctionBuilder, Opcode, Program};
@@ -103,6 +104,23 @@ impl Placement {
         y as usize * self.grid + x as usize
     }
 
+    /// Overwrites every block's coordinates from a snapshot, rebuilding
+    /// the occupancy grid. Used by native re-execution to rewind the
+    /// placement to an earlier state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` does not have one entry per block.
+    pub fn set_positions(&mut self, pos: &[(u16, u16)]) {
+        assert_eq!(pos.len(), self.pos.len(), "one coordinate per block");
+        self.pos.copy_from_slice(pos);
+        self.cell.fill(usize::MAX);
+        for (b, &(x, y)) in pos.iter().enumerate() {
+            let c = self.cell_index(x, y);
+            self.cell[c] = b;
+        }
+    }
+
     /// Moves block `b` to `(x, y)`, swapping with any occupant. Returns
     /// the other block if one was swapped.
     fn apply_move(&mut self, b: usize, x: u16, y: u16) -> Option<usize> {
@@ -134,6 +152,13 @@ pub struct SwapOutcome {
     pub nets_touched: Vec<u32>,
 }
 
+/// The cooling schedule of `try_place`: 40.0, ×0.8 per outer iteration,
+/// down to 0.01. Shared between [`anneal`] and the native prepass so the
+/// two can never drift apart.
+pub fn schedule() -> impl Iterator<Item = f64> {
+    std::iter::successors(Some(40.0), |t| Some(t * 0.8)).take_while(|t| *t > 0.01)
+}
+
 /// The annealing schedule driver (vpr's `try_place`).
 ///
 /// Calls `on_swap(outer_iteration, outcome)` for every inner `try_swap`.
@@ -145,16 +170,12 @@ pub fn anneal(
 ) -> i64 {
     let mut rng = Prng::new(seed);
     let mut meter = WorkMeter::new();
-    let mut temperature = 40.0;
-    let mut outer = 0usize;
-    while temperature > 0.01 {
+    for (outer, temperature) in schedule().enumerate() {
         for _ in 0..moves_per_temp {
             let mut m = WorkMeter::new();
             let outcome = try_swap(place, &mut rng, temperature, &mut m);
             on_swap(outer, &outcome, m.total().max(1));
         }
-        temperature *= 0.8;
-        outer += 1;
     }
     place.total_cost(&mut meter)
 }
@@ -298,6 +319,46 @@ impl Workload for Vpr {
         let mut place = self.instance();
         let final_cost = anneal(&mut place, self.moves_per_temp(size), 0xABCD, |_, _, _| {});
         fnv1a(final_cost.to_le_bytes())
+    }
+
+    fn native_job(&self, size: InputSize) -> NativeJob {
+        let base = self.instance();
+        let moves_per_temp = self.moves_per_temp(size);
+        // Sequential prepass mirroring `anneal`: before each move, record
+        // the block coordinates, the RNG state, and the temperature. A
+        // task replays its move bit-exactly from that state.
+        type Snapshot = (Vec<(u16, u16)>, Prng, f64);
+        let mut snaps: Vec<Snapshot> = Vec::new();
+        let mut place = base.clone();
+        let mut rng = Prng::new(0xABCD);
+        for temperature in schedule() {
+            for _ in 0..moves_per_temp {
+                snaps.push((place.pos.clone(), rng.clone(), temperature));
+                let mut m = WorkMeter::new();
+                try_swap(&mut place, &mut rng, temperature, &mut m);
+            }
+        }
+        let trace = self.trace(size);
+        let misspec = crate::native::misspec_targets(&trace);
+        NativeJob::new(trace, move |iter, stale| {
+            let i = iter as usize;
+            // Stale: evaluate move i's swap against the placement as it
+            // stood before the colliding accepted swap.
+            let state = if stale {
+                misspec[i].expect("stale implies a violated producer") as usize
+            } else {
+                i
+            };
+            let mut place = base.clone();
+            place.set_positions(&snaps[state].0);
+            let (_, ref rng0, temperature) = snaps[i];
+            let mut rng = rng0.clone();
+            let mut meter = WorkMeter::new();
+            let outcome = try_swap(&mut place, &mut rng, temperature, &mut meter);
+            let mut bytes = vec![u8::from(outcome.accepted)];
+            bytes.extend(outcome.delta.to_le_bytes());
+            (bytes, meter.take().max(1))
+        })
     }
 
     fn ir_model(&self) -> IrModel {

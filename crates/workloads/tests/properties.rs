@@ -3,8 +3,70 @@
 
 use proptest::prelude::*;
 use seqpar_workloads::common::WorkMeter;
-use seqpar_workloads::{bzip2, gcc, gzip, mcf, parser, perlbmk, vortex};
+use seqpar_workloads::parser::Tag;
+use seqpar_workloads::{bzip2, gcc, gzip, mcf, parser, perlbmk, twolf, vortex};
 use std::collections::BTreeMap;
+
+/// Reference recognizer for the parser's CNF grammar, written as naive
+/// exponential recursion — an independent oracle for the CKY kernel.
+/// Nonterminals: 0=S, 1=Np, 2=Vp, 3=Pp, 4=Nom.
+fn ref_derives(nt: u8, t: &[Tag]) -> bool {
+    match nt {
+        // S -> Np Vp
+        0 => (1..t.len()).any(|k| ref_derives(1, &t[..k]) && ref_derives(2, &t[k..])),
+        // Np -> Det Nom | Np Pp, plus the unary promotion Nom => Np.
+        1 => {
+            ref_derives(4, t)
+                || (t.len() >= 2 && t[0] == Tag::Det && ref_derives(4, &t[1..]))
+                || (1..t.len()).any(|k| ref_derives(1, &t[..k]) && ref_derives(3, &t[k..]))
+        }
+        // Vp -> Verb Np | Vp Pp
+        2 => {
+            (t.len() >= 2 && t[0] == Tag::Verb && ref_derives(1, &t[1..]))
+                || (1..t.len()).any(|k| ref_derives(2, &t[..k]) && ref_derives(3, &t[k..]))
+        }
+        // Pp -> Prep Np
+        3 => t.len() >= 2 && t[0] == Tag::Prep && ref_derives(1, &t[1..]),
+        // Nom -> Noun | Adj Nom
+        4 => t == [Tag::Noun] || (t.len() >= 2 && t[0] == Tag::Adj && ref_derives(4, &t[1..])),
+        _ => unreachable!("unknown nonterminal"),
+    }
+}
+
+/// Exhaustive differential oracle: the CKY parser agrees with the naive
+/// reference recognizer on *every* tag sequence up to length 6
+/// (5^1 + ... + 5^6 = 19 530 sequences).
+#[test]
+fn parser_matches_reference_recognizer_exhaustively() {
+    const TAGS: [Tag; 5] = [Tag::Det, Tag::Noun, Tag::Verb, Tag::Adj, Tag::Prep];
+    let mut m = WorkMeter::new();
+    for len in 1..=6usize {
+        let mut idx = vec![0usize; len];
+        loop {
+            let tags: Vec<Tag> = idx.iter().map(|&i| TAGS[i]).collect();
+            assert_eq!(
+                parser::parse(&tags, &mut m),
+                ref_derives(0, &tags),
+                "CKY and reference disagree on {tags:?}"
+            );
+            // Odometer increment.
+            let mut carry = true;
+            for d in idx.iter_mut() {
+                if carry {
+                    *d += 1;
+                    carry = *d == TAGS.len();
+                    if carry {
+                        *d = 0;
+                    }
+                }
+            }
+            if carry {
+                break;
+            }
+        }
+    }
+    assert!(!parser::parse(&[], &mut m), "empty input is not a sentence");
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -110,6 +172,44 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 
+    /// Structurally grammatical sentences — NP Verb NP with optional
+    /// adjectives and trailing prepositional phrases — always parse.
+    #[test]
+    fn parser_accepts_constructed_grammatical_sentences(
+        adjs in proptest::collection::vec(0usize..3, 2..6),
+        pps in 0usize..3
+    ) {
+        let np = |tags: &mut Vec<Tag>, n_adj: usize| {
+            tags.push(Tag::Det);
+            tags.extend(std::iter::repeat_n(Tag::Adj, n_adj));
+            tags.push(Tag::Noun);
+        };
+        let mut tags = Vec::new();
+        np(&mut tags, adjs[0]);
+        tags.push(Tag::Verb);
+        np(&mut tags, adjs[1]);
+        for i in 0..pps.min(adjs.len().saturating_sub(2)) {
+            tags.push(Tag::Prep);
+            np(&mut tags, adjs[2 + i]);
+        }
+        let mut m = WorkMeter::new();
+        prop_assert!(parser::parse(&tags, &mut m));
+    }
+
+    /// A sentence needs a verb: no verbless tag sequence ever derives S.
+    #[test]
+    fn parser_rejects_verbless_sequences(
+        tags in proptest::collection::vec(
+            prop_oneof![
+                Just(Tag::Det), Just(Tag::Noun), Just(Tag::Adj), Just(Tag::Prep)
+            ],
+            0..12
+        )
+    ) {
+        let mut m = WorkMeter::new();
+        prop_assert!(!parser::parse(&tags, &mut m));
+    }
+
     #[test]
     fn mcf_flow_respects_capacity_and_conservation(seed in any::<u64>()) {
         let net = mcf::generate_network(4, 5, seed);
@@ -119,6 +219,94 @@ proptest! {
         prop_assert!(r.flow <= source_cap);
         prop_assert!(r.flow >= 0);
         prop_assert!(r.cost >= 0, "layered networks have non-negative costs");
+    }
+}
+
+// Oracle tests for the twolf placement kernel: an independent
+// half-perimeter wirelength implementation, exchange reversibility, and
+// snapshot/rewind round-trips (the machinery native re-execution leans on).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `net_cost` agrees with an independently-written half-perimeter
+    /// wirelength (rows weighted double) on arbitrary instances.
+    #[test]
+    fn twolf_net_cost_matches_reference_hpwl(seed in any::<u64>()) {
+        let place = twolf::CellPlacement::generate(4, 6, 30, seed);
+        let mut m = WorkMeter::new();
+        let mut total = 0i64;
+        for (n, net) in place.nets.iter().enumerate() {
+            let rows: Vec<i64> = net.iter().map(|&c| place.pos[c as usize].0 as i64).collect();
+            let cols: Vec<i64> = net.iter().map(|&c| place.pos[c as usize].1 as i64).collect();
+            let reference = 2 * (rows.iter().max().unwrap() - rows.iter().min().unwrap())
+                + (cols.iter().max().unwrap() - cols.iter().min().unwrap());
+            prop_assert_eq!(place.net_cost(n, &mut m), reference);
+            total += reference;
+        }
+        prop_assert_eq!(place.total_cost(&mut m), total);
+    }
+
+    /// A rejected exchange restores the placement exactly; an accepted
+    /// one swaps exactly two cells' coordinates.
+    #[test]
+    fn twolf_exchange_is_reversible(seed in any::<u64>(), temp in 1u64..100) {
+        let mut place = twolf::CellPlacement::generate(4, 6, 30, seed);
+        let mut rng = twolf::YacmRandom::new(seed ^ 0xACE);
+        let mut m = WorkMeter::new();
+        for _ in 0..20 {
+            let before = place.pos.clone();
+            let out = twolf::uloop_iter(&mut place, &mut rng, temp as f64 / 10.0, &mut m);
+            let moved: Vec<usize> =
+                (0..before.len()).filter(|&c| place.pos[c] != before[c]).collect();
+            if out.accepted {
+                // 0 moves happen when the swap was a no-op cost-wise but
+                // positions always change for distinct cells.
+                prop_assert_eq!(moved.len(), 2, "accepted exchange moves exactly two cells");
+                prop_assert_eq!(place.pos[moved[0]], before[moved[1]]);
+                prop_assert_eq!(place.pos[moved[1]], before[moved[0]]);
+            } else {
+                prop_assert!(moved.is_empty(), "rejected exchange must restore the placement");
+            }
+        }
+    }
+
+    /// `set_positions` rewinds: after arbitrary annealing steps, restoring
+    /// a snapshot reproduces the snapshot's cost and coordinates exactly,
+    /// and the slot map stays consistent (further exchanges still work).
+    #[test]
+    fn twolf_snapshot_rewind_round_trips(seed in any::<u64>()) {
+        let mut place = twolf::CellPlacement::generate(4, 6, 30, seed);
+        let mut m = WorkMeter::new();
+        let snapshot = place.pos.clone();
+        let cost_at_snapshot = place.total_cost(&mut m);
+        let mut rng = twolf::YacmRandom::new(seed ^ 0xF00D);
+        for _ in 0..15 {
+            twolf::uloop_iter(&mut place, &mut rng, 25.0, &mut m);
+        }
+        place.set_positions(&snapshot);
+        prop_assert_eq!(&place.pos, &snapshot);
+        prop_assert_eq!(place.total_cost(&mut m), cost_at_snapshot);
+        // The rebuilt slot map must support further exchanges without
+        // corrupting the bijection.
+        twolf::uloop_iter(&mut place, &mut rng, 25.0, &mut m);
+        let mut seen = vec![false; place.cell_count()];
+        for &(r, c) in &place.pos {
+            let i = r as usize * 6 + c as usize;
+            prop_assert!(!seen[i], "two cells share a slot");
+            seen[i] = true;
+        }
+    }
+
+    /// The full annealer is deterministic in its seed and only ever
+    /// improves or keeps the cost when the temperature floor is cold.
+    #[test]
+    fn twolf_uloop_is_seed_deterministic(seed in any::<u64>()) {
+        let mut a = twolf::CellPlacement::generate(3, 5, 20, seed);
+        let mut b = twolf::CellPlacement::generate(3, 5, 20, seed);
+        let ca = twolf::uloop(&mut a, 8, seed ^ 1, |_, _| {});
+        let cb = twolf::uloop(&mut b, 8, seed ^ 1, |_, _| {});
+        prop_assert_eq!(ca, cb);
+        prop_assert_eq!(a.pos, b.pos);
     }
 }
 

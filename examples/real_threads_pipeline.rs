@@ -1,110 +1,56 @@
-//! The extracted plan on *real* threads: an A/B/C pipeline over OS
-//! threads compressing blocks with the real LZ77 kernel.
+//! Every benchmark's extracted plan on *real* OS threads.
 //!
-//! The simulator estimates what the hardware would do; this example
-//! demonstrates that the three-phase plan (§3.2) is a real, runnable
-//! schedule: phase A reads blocks in order on one thread, phase B workers
-//! compress them concurrently (blocks are independent thanks to the
-//! Y-branch fixed boundaries + dictionary priming), and phase C
-//! reassembles outputs in iteration order — exactly the commit discipline
-//! the paper's versioned memory enforces.
+//! Earlier revisions hand-rolled a gzip-only pipeline here. The native
+//! executor (`seqpar_runtime::exec`) now runs the same A/B/C three-phase
+//! plan the simulator schedules — bounded channels as the hardware
+//! queues, replicated phase-B workers, an in-order commit unit, and
+//! squash-and-replay on misspeculation — so this example is a thin
+//! caller: all eleven benchmarks execute natively at several thread
+//! counts, and each output is checked byte-for-byte against the
+//! sequential run (the commit discipline the paper's versioned memory
+//! enforces).
 //!
 //! Run with `cargo run --release --example real_threads_pipeline`.
 
-use crossbeam::channel;
-use seqpar_workloads::common::{synthetic_text, WorkMeter};
-use seqpar_workloads::gzip::{deflate_block_primed, encode};
-use std::collections::BTreeMap;
-use std::time::Instant;
-
-const BLOCK: usize = 32 * 1024;
-const WINDOW: usize = 2 * 1024;
-
-fn sequential(data: &[u8]) -> Vec<u8> {
-    let mut out = Vec::new();
-    let mut consumed = 0usize;
-    for block in data.chunks(BLOCK) {
-        let dict = &data[consumed.saturating_sub(WINDOW)..consumed];
-        consumed += block.len();
-        let mut m = WorkMeter::new();
-        out.extend(encode(&deflate_block_primed(dict, block, &mut m)));
-    }
-    out
-}
-
-fn pipelined(data: &[u8], workers: usize) -> Vec<u8> {
-    // Bounded channels play the role of the 32-entry hardware queues.
-    let (a_tx, a_rx) = channel::bounded::<(usize, &[u8], &[u8])>(32);
-    let (b_tx, b_rx) = channel::bounded::<(usize, Vec<u8>)>(32);
-    let mut out = Vec::new();
-    crossbeam::scope(|s| {
-        // Phase A: the sequential reader hands out (iteration, dict, block).
-        s.spawn(|_| {
-            let mut consumed = 0usize;
-            for (i, block) in data.chunks(BLOCK).enumerate() {
-                let dict = &data[consumed.saturating_sub(WINDOW)..consumed];
-                consumed += block.len();
-                a_tx.send((i, dict, block)).expect("phase B alive");
-            }
-            drop(a_tx);
-        });
-        // Phase B: replicated compressors, dynamically load balanced by
-        // the shared channel (the paper's least-loaded assignment).
-        for _ in 0..workers {
-            let a_rx = a_rx.clone();
-            let b_tx = b_tx.clone();
-            s.spawn(move |_| {
-                for (i, dict, block) in a_rx.iter() {
-                    let mut m = WorkMeter::new();
-                    let bytes = encode(&deflate_block_primed(dict, block, &mut m));
-                    b_tx.send((i, bytes)).expect("phase C alive");
-                }
-            });
-        }
-        drop(a_rx);
-        drop(b_tx);
-        // Phase C: commit in iteration order (a reorder buffer).
-        let mut pending: BTreeMap<usize, Vec<u8>> = BTreeMap::new();
-        let mut next = 0usize;
-        for (i, bytes) in b_rx.iter() {
-            pending.insert(i, bytes);
-            while let Some(bytes) = pending.remove(&next) {
-                out.extend(bytes);
-                next += 1;
-            }
-        }
-        assert!(pending.is_empty(), "all blocks committed in order");
-    })
-    .expect("no worker panicked");
-    out
-}
+use seqpar_runtime::{ExecConfig, ExecutionPlan};
+use seqpar_workloads::{all_workloads, InputSize};
 
 fn main() {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     println!("host exposes {cores} CPU(s); wall-clock speedup is bounded by that");
-    let data = synthetic_text(8 * 1024 * 1024, 0x164);
-    let t0 = Instant::now();
-    let seq = sequential(&data);
-    let seq_time = t0.elapsed();
     println!(
-        "sequential: {:?} ({} blocks, {:.3} compression ratio)",
-        seq_time,
-        data.len().div_ceil(BLOCK),
-        seq.len() as f64 / data.len() as f64
+        "{:<14}{:>9}{:>9}{:>10}{:>10}{:>9}{:>9}",
+        "benchmark", "threads", "seq(ms)", "wall(ms)", "speedup", "squash", "output"
     );
-    for workers in [1usize, 2, 4, 8] {
-        let t0 = Instant::now();
-        let par = pipelined(&data, workers);
-        let t = t0.elapsed();
-        assert_eq!(par, seq, "pipelined output must be byte-identical");
-        println!(
-            "pipelined with {workers} B-workers: {:?} (speedup {:.2}x, output identical)",
-            t,
-            seq_time.as_secs_f64() / t.as_secs_f64()
-        );
+    for w in all_workloads() {
+        let job = w.native_job(InputSize::Test);
+        let seq = job.sequential();
+        for threads in [2usize, 4, 8] {
+            let plan = ExecutionPlan::three_phase(threads);
+            let r = job
+                .execute(&plan, ExecConfig::default())
+                .expect("plan matches machine");
+            assert_eq!(
+                r.output,
+                seq.output,
+                "{}: native output must be byte-identical to sequential",
+                w.meta().spec_id
+            );
+            println!(
+                "{:<14}{:>9}{:>9.2}{:>10.2}{:>9.2}x{:>9}{:>9}",
+                w.meta().spec_id,
+                threads,
+                seq.wall.as_secs_f64() * 1e3,
+                r.wall.as_secs_f64() * 1e3,
+                r.speedup_vs(seq.wall),
+                r.squashes,
+                "ok"
+            );
+        }
     }
+    println!("\nall benchmarks byte-identical to sequential under native execution");
     if cores == 1 {
         println!(
             "note: this host has a single CPU, so the demonstration here is \

@@ -1,0 +1,153 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! the slice of criterion's API the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`, `iter`, `iter_batched`, and `BatchSize` — with a
+//! deliberately simple measurement loop: each benchmark is warmed up
+//! once and then timed over a fixed number of iterations, reporting the
+//! mean per-iteration time. That is enough to (a) keep `cargo bench`
+//! compiling and running offline and (b) give coarse relative numbers;
+//! it makes no statistical claims the way real criterion does.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` routines receive their setup value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// The measurement driver handed to each bench closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        std::hint::black_box(routine()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with a fresh `setup` value per call; setup time
+    /// is excluded from the reported duration.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        std::hint::black_box(routine(setup()));
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each bench runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+        println!(
+            "{}/{}: {:>12.3} µs/iter ({} iters)",
+            self.name,
+            id,
+            per_iter * 1e6,
+            b.iters
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness object.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size.max(50);
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Re-export matching criterion's; prefer `std::hint::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

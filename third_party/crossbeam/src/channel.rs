@@ -1,0 +1,350 @@
+//! Bounded and unbounded MPMC channels with crossbeam-compatible
+//! surface: cloneable senders *and* receivers, blocking `send`/`recv`,
+//! disconnection errors, and draining iteration.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    capacity: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Error returned by [`Sender::send`] when every receiver is gone; the
+/// unsent message is returned inside.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// every sender is gone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty, disconnected channel")
+    }
+}
+
+impl Error for RecvError {}
+
+/// Error returned by [`Sender::try_send`]; the unsent message is
+/// returned inside.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity.
+    Full(T),
+    /// Every receiver has been dropped.
+    Disconnected(T),
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("sending on a full channel"),
+            TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T> Error for TrySendError<T> {}
+
+/// The sending half of a channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a channel holding at most `capacity` in-flight messages.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(capacity.max(1)))
+}
+
+/// Creates a channel with no capacity bound.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            capacity,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+fn lock<'a, T>(shared: &'a Shared<T>) -> std::sync::MutexGuard<'a, State<T>> {
+    shared
+        .state
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl<T> Sender<T> {
+    /// Blocks until there is queue space, then enqueues `msg`. Fails
+    /// only when every receiver has been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut state = lock(&self.shared);
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            let full = state.capacity.is_some_and(|cap| state.queue.len() >= cap);
+            if !full {
+                state.queue.push_back(msg);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self
+                .shared
+                .not_full
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Enqueues `msg` if there is space, without blocking.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut state = lock(&self.shared);
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        let full = state.capacity.is_some_and(|cap| state.queue.len() >= cap);
+        if full {
+            return Err(TrySendError::Full(msg));
+        }
+        state.queue.push_back(msg);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        lock(&self.shared).senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = lock(&self.shared);
+        state.senders -= 1;
+        if state.senders == 0 {
+            // Wake receivers so they observe the disconnect.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender(..)")
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives. Fails when the channel is empty
+    /// and every sender has been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = lock(&self.shared);
+        loop {
+            if let Some(msg) = state.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self
+                .shared
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// A blocking iterator that drains the channel until disconnection.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        lock(&self.shared).receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = lock(&self.shared);
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            // Wake senders so they observe the disconnect.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver(..)")
+    }
+}
+
+/// Borrowing iterator over received messages (see [`Receiver::iter`]).
+#[derive(Debug)]
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_send_recv_round_trips() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..4).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn recv_fails_after_all_senders_drop() {
+        let (tx, rx) = bounded::<u8>(1);
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_after_all_receivers_drop() {
+        let (tx, rx) = bounded::<u8>(1);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn full_channel_blocks_until_drained() {
+        let (tx, rx) = bounded(2);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            for v in rx.iter() {
+                got.push(v);
+            }
+            assert_eq!(got, (0..100).collect::<Vec<i32>>());
+        });
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = bounded(1);
+        assert!(tx.try_send(1).is_ok());
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        assert_eq!(rx.recv(), Ok(1));
+        drop(rx);
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Disconnected(3))));
+    }
+
+    #[test]
+    fn mpmc_delivers_every_message_once() {
+        let (tx, rx) = bounded(8);
+        let total: u64 = std::thread::scope(|s| {
+            for t in 0..3u64 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        tx.send(t * 1000 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut handles = Vec::new();
+            for _ in 0..3 {
+                let rx = rx.clone();
+                handles.push(s.spawn(move || rx.iter().count() as u64));
+            }
+            drop(rx);
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total, 150);
+    }
+}

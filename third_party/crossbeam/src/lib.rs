@@ -1,0 +1,62 @@
+//! Offline stand-in for the `crossbeam` facade.
+//!
+//! The build environment cannot reach crates.io, so this crate
+//! reimplements the two pieces the workspace uses — bounded MPMC
+//! channels ([`channel`]) and scoped threads ([`scope`]) — on top of
+//! the standard library. The channel is a Mutex + Condvar ring with the
+//! same blocking semantics crossbeam's has (send blocks when full,
+//! recv blocks when empty, disconnection surfaces as `Err`); scoped
+//! threads delegate to `std::thread::scope`.
+
+pub mod channel;
+
+use std::marker::PhantomData;
+
+/// A scope handle mirroring `crossbeam::thread::Scope`.
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives the scope (to match
+    /// crossbeam's signature) and may borrow from the enclosing stack
+    /// frame.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+        'env: 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Join handle for a scoped thread.
+#[derive(Debug)]
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+    _marker: PhantomData<&'scope ()>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish.
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+/// Runs `f` with a scope in which borrowing threads can be spawned; all
+/// threads are joined before this returns. Matches `crossbeam::scope`'s
+/// `Result` wrapper (a child panic propagates as a panic here, so the
+/// `Err` arm is never constructed — callers' `.expect()` still works).
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}

@@ -1,0 +1,86 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Collection sizes: either an exact length or a half-open range.
+pub trait SizeRange {
+    /// Draws a concrete length.
+    fn sample(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        assert!(self.end > self.start, "empty size range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `S` and size `R`.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+/// Generates vectors whose elements come from `element` and whose
+/// length is drawn from `size`.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<T>`.
+#[derive(Clone, Debug)]
+pub struct BTreeSetStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+/// Generates ordered sets whose elements come from `element`; the
+/// target size is drawn from `size` (duplicates are redrawn a bounded
+/// number of times, so a narrow element domain may yield fewer items).
+pub fn btree_set<S, R>(element: S, size: R) -> BTreeSetStrategy<S, R>
+where
+    S: Strategy,
+    S::Value: Ord,
+    R: SizeRange,
+{
+    BTreeSetStrategy { element, size }
+}
+
+impl<S, R> Strategy for BTreeSetStrategy<S, R>
+where
+    S: Strategy,
+    S::Value: Ord,
+    R: SizeRange,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.sample(rng);
+        let mut out = BTreeSet::new();
+        let mut tries = 0usize;
+        while out.len() < target && tries < target * 10 + 100 {
+            out.insert(self.element.generate(rng));
+            tries += 1;
+        }
+        out
+    }
+}

@@ -1,0 +1,98 @@
+//! Offline stand-in for the `proptest` property-testing framework.
+//!
+//! The build environment has no network access to crates.io, so this
+//! crate reimplements the subset of proptest's API the workspace uses:
+//! the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`, integer
+//! range and tuple strategies, `any::<T>()`, `Just`, `prop_oneof!`,
+//! `prop_map`, and the `collection::{vec, btree_set}` builders.
+//!
+//! Differences from upstream are deliberate and small: cases are drawn
+//! from a deterministic per-test RNG (seeded from the test's module
+//! path, so failures reproduce exactly across runs and machines), and
+//! there is no shrinking — a failing case panics with the assertion
+//! message directly. The strategy combinators compose the same way, so
+//! swapping the real proptest back in requires no test changes.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a `use proptest::prelude::*;` test expects in scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Deterministic 64-bit seed derived from a test's fully-qualified name.
+pub fn rng_seed(name: &str) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash | 1
+}
+
+/// Declares property tests: an optional `#![proptest_config(..)]`
+/// attribute followed by `#[test] fn name(arg in strategy, ..) { .. }`
+/// items. Each test body runs once per case with freshly drawn inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let seed = $crate::rng_seed(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::new(
+                        seed ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Picks uniformly between several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(Box::new($arm) as $crate::strategy::BoxedStrategy<_>),+
+        ])
+    };
+}

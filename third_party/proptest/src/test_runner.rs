@@ -1,0 +1,54 @@
+//! The case runner: configuration and the deterministic RNG cases are
+//! drawn from.
+
+/// How many cases each property test runs.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to draw and run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// xorshift64* generator; deterministic and platform-independent so any
+/// failing case reproduces bit-for-bit.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a non-zero seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed.max(1) }
+    }
+
+    /// The next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// A uniform value in `0..bound` (`bound` must be positive).
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range in strategy");
+        self.next_u64() % bound
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment cannot reach crates.io, and the workspace uses
+//! serde only to *mark* types as serializable (`#[derive(Serialize,
+//! Deserialize)]`); no code path actually serializes. This crate keeps
+//! those declarations compiling: the traits are empty markers satisfied
+//! by blanket impls, and the derives (re-exported from the sibling
+//! `serde_derive` stub) expand to nothing. Swapping the real serde back
+//! in later only requires repointing the workspace dependency.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

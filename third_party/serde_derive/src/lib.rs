@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored `serde`
+//! facade (see `third_party/serde`). The build environment has no
+//! network access to crates.io, and nothing in this workspace actually
+//! serializes — the derives exist so types can declare the capability —
+//! so the derives expand to nothing and the traits are blanket-satisfied.
+
+use proc_macro::TokenStream;
+
+/// Derives the (empty) `serde::Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives the (empty) `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
