@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! figures [--size test|train|ref] [--native] \
+//! figures [--size test|train|ref] [--native] [--fault-seed N] \
 //!     [fig4|fig5|fig6|fig7|table1|table2|ablations|gantt|all]
 //! ```
 //!
@@ -12,6 +12,12 @@
 //! tables gain wall-clock and wall-clock-speedup columns next to the
 //! simulator's estimate. Native runs default to the `test` input size
 //! (real wall time, not simulated cycles) unless `--size` is given.
+//!
+//! `--fault-seed N` (native mode only) arms the deterministic fault
+//! injector with `FaultPlan::seeded(N)`: worker panics, corrupted
+//! outputs, stalls, and spurious squashes are injected and the
+//! supervisor must recover — output stays byte-identical and the table
+//! gains a `recovered` column counting absorbed faults.
 //!
 //! Absolute numbers differ from the paper (our substrate is a simulator
 //! over work-unit traces, not an Itanium 2), but the *shapes* — which
@@ -22,12 +28,14 @@ use seqpar_bench::{
     native_sweep, render_curves, render_native_curve, render_table1, render_table2, sweep_workload,
     table2, PlanKind, SweepResult, NATIVE_THREAD_SWEEP,
 };
+use seqpar_runtime::{ExecConfig, FaultPlan};
 use seqpar_workloads::{all_workloads, workload_by_name, InputSize, Workload};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut size = None;
     let mut native = false;
+    let mut fault_seed = None;
     let mut targets = Vec::new();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
@@ -44,6 +52,15 @@ fn main() {
                 }
             }
             "--native" => native = true,
+            "--fault-seed" => {
+                fault_seed = match iter.next().map(|s| s.parse::<u64>()) {
+                    Some(Ok(n)) => Some(n),
+                    other => {
+                        eprintln!("--fault-seed needs a u64, got {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => targets.push(other.to_string()),
         }
     }
@@ -53,8 +70,12 @@ fn main() {
     if native {
         // Real threads measure real seconds: default to the small input so
         // `--native all` stays interactive.
-        run_native(size.unwrap_or(InputSize::Test), &targets);
+        run_native(size.unwrap_or(InputSize::Test), &targets, fault_seed);
         return;
+    }
+    if fault_seed.is_some() {
+        eprintln!("--fault-seed only applies to --native runs");
+        std::process::exit(2);
     }
     let size = size.unwrap_or(InputSize::Train);
     for t in &targets {
@@ -112,13 +133,21 @@ fn main() {
 /// `--native` mode: each target is a benchmark id (or `all`); every
 /// benchmark is executed on real OS threads and its wall-clock columns
 /// printed next to the simulator's estimate at the same thread count.
-fn run_native(size: InputSize, targets: &[String]) {
+fn run_native(size: InputSize, targets: &[String], fault_seed: Option<u64>) {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     println!("## Native execution (real OS threads; host exposes {cores} CPU(s))");
     println!("wall-clock speedup is bounded by host parallelism; the simulator");
     println!("column models the paper's 32-core machine at the same thread count\n");
+    let config = match fault_seed {
+        Some(seed) => {
+            println!("fault injection armed: FaultPlan::seeded({seed}); the supervisor");
+            println!("must absorb every injected fault and keep output byte-identical\n");
+            ExecConfig::default().with_faults(FaultPlan::seeded(seed))
+        }
+        None => ExecConfig::default(),
+    };
     let workloads = all_workloads();
     for t in targets {
         let selected: Vec<&dyn Workload> = if t == "all" {
@@ -130,7 +159,7 @@ fn run_native(size: InputSize, targets: &[String]) {
             std::process::exit(2);
         };
         for w in selected {
-            let curve = native_sweep(w, size, PlanKind::Dswp, NATIVE_THREAD_SWEEP);
+            let curve = native_sweep(w, size, PlanKind::Dswp, NATIVE_THREAD_SWEEP, &config);
             println!("{}", render_native_curve(&curve));
         }
     }

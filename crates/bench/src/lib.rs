@@ -45,6 +45,9 @@ pub struct SweepPoint {
     /// Wall-clock speedup of the native run over the sequential native
     /// run. `None` for simulator-only sweeps.
     pub native_speedup: Option<f64>,
+    /// Faults recovered by the native supervisor (panics, corruptions,
+    /// spurious squashes). `None` for simulator-only sweeps.
+    pub faults_recovered: Option<u64>,
 }
 
 /// A full speedup curve for one benchmark.
@@ -119,6 +122,7 @@ pub fn sweep_trace(
                 utilization: r.utilization(),
                 native_wall_ms: None,
                 native_speedup: None,
+                faults_recovered: None,
             }
         })
         .collect();
@@ -140,12 +144,15 @@ pub fn sweep_workload(w: &dyn Workload, size: InputSize, kind: PlanKind) -> Swee
 ///
 /// Every native run's output is checked byte-for-byte against the
 /// sequential run — the sweep panics on a mismatch rather than report
-/// timings for an execution that broke sequential semantics.
+/// timings for an execution that broke sequential semantics. This holds
+/// even when `config` carries a [`FaultPlan`](seqpar_runtime::FaultPlan):
+/// supervised recovery must restore the sequential byte stream.
 pub fn native_sweep(
     w: &dyn Workload,
     size: InputSize,
     kind: PlanKind,
     threads: &[usize],
+    config: &ExecConfig,
 ) -> SweepResult {
     let job = w.native_job(size);
     let seq = job.sequential();
@@ -158,8 +165,8 @@ pub fn native_sweep(
                 PlanKind::Tls => ExecutionPlan::tls(t),
             };
             let report = job
-                .execute(&plan, ExecConfig::default())
-                .expect("plan matches machine");
+                .execute(&plan, config.clone())
+                .expect("plan matches machine and faults are recoverable");
             assert_eq!(
                 report.output,
                 seq.output,
@@ -174,6 +181,7 @@ pub fn native_sweep(
                 utilization: sim.utilization(),
                 native_wall_ms: Some(report.wall.as_secs_f64() * 1e3),
                 native_speedup: Some(report.speedup_vs(seq.wall)),
+                faults_recovered: Some(report.recovery.faults_recovered()),
             }
         })
         .collect();
@@ -199,17 +207,18 @@ pub fn render_native_curve(curve: &SweepResult) -> String {
         curve.spec_id
     ));
     out.push_str(&format!(
-        "{:>8}{:>14}{:>14}{:>14}{:>10}\n",
-        "threads", "sim-speedup", "wall(ms)", "wall-speedup", "misspec"
+        "{:>8}{:>14}{:>14}{:>14}{:>10}{:>11}\n",
+        "threads", "sim-speedup", "wall(ms)", "wall-speedup", "misspec", "recovered"
     ));
     for p in &curve.points {
         out.push_str(&format!(
-            "{:>8}{:>14.2}{:>14.3}{:>14.2}{:>10.3}\n",
+            "{:>8}{:>14.2}{:>14.3}{:>14.2}{:>10.3}{:>11}\n",
             p.threads,
             p.speedup,
             p.native_wall_ms.unwrap_or(f64::NAN),
             p.native_speedup.unwrap_or(f64::NAN),
-            p.misspec_rate
+            p.misspec_rate,
+            p.faults_recovered.unwrap_or(0)
         ));
     }
     out

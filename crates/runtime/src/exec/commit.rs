@@ -10,9 +10,25 @@
 //! re-execution. Because every earlier task has already committed by
 //! then, the re-execution observes fully committed state — the native
 //! analogue of a TLS restart reading committed memory versions.
+//!
+//! Fault supervision reuses the same squash machinery. Each attempt
+//! reaching the frontier passes a fixed decision ladder — worker panic
+//! → misspeculation squash → output validation → spurious squash →
+//! commit (the same ladder [`supervise_task`](super::faults::supervise_task)
+//! replays as a pure function) — and every recovery decision is made
+//! *here*, strictly in task order, from nothing but `(task, attempt)`
+//! and the [`FaultPlan`]. That is what keeps the recovery counters, the
+//! squash counts, and the output stream deterministic across thread
+//! interleavings even under injected chaos. Fault-recovery replays
+//! (unlike misspeculation replays, which are part of the normal
+//! protocol) are charged against a per-task retry budget; exhausting it
+//! makes [`CommitUnit::absorb`] demand the sequential fallback instead
+//! of aborting the run.
 
+use super::faults::{FaultKind, FaultPlan, RecoveryCounts};
 use super::metrics::{NativeReport, WorkerStat};
 use super::stage::{WorkItem, WorkerDone};
+use super::{ExecError, TaskOutput};
 use crate::task::{TaskGraph, TaskId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -42,6 +58,28 @@ impl CommitView {
     }
 }
 
+/// The recovery policy the commit unit applies at the frontier.
+pub(super) struct Supervisor<'p> {
+    /// The chaos schedule (consulted for commit-side spurious squashes;
+    /// the worker side consults it for panics, stalls, and corruption).
+    pub faults: &'p FaultPlan,
+    /// Fault-recovery replays allowed per task before the executor
+    /// falls back to sequential execution.
+    pub retry_budget: u32,
+    /// Whether committing attempts are checked against the sequential
+    /// oracle.
+    pub validate: bool,
+}
+
+/// What absorbing a completion asks the dispatcher to do next.
+pub(super) enum Absorbed {
+    /// Keep pipelining; re-dispatch these squashed attempts.
+    Continue(Vec<WorkItem>),
+    /// A task exhausted its retry budget: abandon worker dispatch and
+    /// commit the remaining tasks in order on the supervisor thread.
+    Fallback,
+}
+
 /// The commit-side state: reorder buffer, counters, and the growing
 /// output stream.
 pub(super) struct CommitUnit<'g> {
@@ -57,6 +95,9 @@ pub(super) struct CommitUnit<'g> {
     violations: u64,
     speculations_survived: u64,
     work: u64,
+    recovery: RecoveryCounts,
+    /// Fault-recovery replays charged so far, per task.
+    retries_by_task: HashMap<u32, u32>,
 }
 
 impl<'g> CommitUnit<'g> {
@@ -72,6 +113,8 @@ impl<'g> CommitUnit<'g> {
             violations: 0,
             speculations_survived: 0,
             work: 0,
+            recovery: RecoveryCounts::default(),
+            retries_by_task: HashMap::new(),
         }
     }
 
@@ -80,21 +123,66 @@ impl<'g> CommitUnit<'g> {
         self.next
     }
 
+    /// Charges one fault-recovery replay against `task`'s budget.
+    /// Returns `true` when the budget is exhausted (budget 0 exhausts
+    /// on the first fault).
+    fn charge(&mut self, task: u32, budget: u32) -> bool {
+        self.recovery.retries += 1;
+        let charged = self.retries_by_task.entry(task).or_insert(0);
+        *charged += 1;
+        *charged > budget
+    }
+
     /// Buffers one completion, then commits as far in task order as the
-    /// buffer allows. Returns the re-dispatches for any squashed
-    /// attempts encountered at the commit point.
-    pub(super) fn absorb(&mut self, done: WorkerDone) -> Vec<WorkItem> {
-        self.attempts += 1;
+    /// buffer allows, applying the recovery ladder to each attempt that
+    /// reaches the frontier. `oracle(task, attempt)` replays a task
+    /// body sequentially for output validation.
+    ///
+    /// The `attempts` counter is charged here — at frontier processing,
+    /// not at receipt — so it too depends only on the per-task attempt
+    /// sequences, never on arrival order.
+    pub(super) fn absorb(
+        &mut self,
+        done: WorkerDone,
+        sup: &Supervisor<'_>,
+        oracle: &mut dyn FnMut(u32, u32) -> Result<TaskOutput, ExecError>,
+    ) -> Result<Absorbed, ExecError> {
+        if (done.task as usize) < self.next {
+            // Stale completion for an already-committed task (cannot
+            // happen under the one-outstanding-attempt-per-task
+            // protocol; tolerated defensively).
+            return Ok(Absorbed::Continue(Vec::new()));
+        }
         self.buffer.insert(done.task, done);
         let mut redispatch = Vec::new();
         while let Some(done) = self.buffer.remove(&(self.next as u32)) {
+            self.attempts += 1;
+            if done.stalled {
+                self.recovery.stalls_absorbed += 1;
+            }
             let task = self.graph.task(TaskId(done.task));
             let violated = task.spec_deps.iter().filter(|d| d.violated).count() as u64;
+            // 1. Worker panic (injected or real): discard like a
+            // misspeculation and replay, charged against the budget.
+            if done.panicked {
+                self.recovery.panics_recovered += 1;
+                if self.charge(done.task, sup.retry_budget) {
+                    return Ok(Absorbed::Fallback);
+                }
+                redispatch.push(WorkItem {
+                    task: done.task,
+                    attempt: done.attempt + 1,
+                });
+                continue;
+            }
+            // 2. Misspeculation: the speculated dependence manifested
+            // and this attempt ran ahead of it. Part of the normal
+            // protocol — never charged against the retry budget. (If
+            // attempt 0 panicked instead, the replay is attempt ≥ 1 and
+            // no longer speculative, so this squash never fires and the
+            // task's violations go untallied — deterministically so;
+            // the simulated twin accounts identically.)
             if violated > 0 && done.attempt == 0 {
-                // The speculated dependence manifested and this attempt
-                // ran ahead of it: squash. The violation tally matches
-                // the simulator's (one per violated dependence, charged
-                // once per task).
                 self.squashes += 1;
                 self.violations += violated;
                 redispatch.push(WorkItem {
@@ -103,6 +191,38 @@ impl<'g> CommitUnit<'g> {
                 });
                 continue;
             }
+            // 3. Output validation: compare against the body's
+            // replayable sequential oracle (attempt ≥ 1 forces the
+            // non-speculative result); corrupted outputs are caught and
+            // replayed rather than committed.
+            if sup.validate {
+                let expected = oracle(done.task, done.attempt.max(1))?;
+                if done.output != expected {
+                    self.recovery.corruptions_caught += 1;
+                    if self.charge(done.task, sup.retry_budget) {
+                        return Ok(Absorbed::Fallback);
+                    }
+                    redispatch.push(WorkItem {
+                        task: done.task,
+                        attempt: done.attempt + 1,
+                    });
+                    continue;
+                }
+            }
+            // 4. Spurious squash: the fault plan discards a perfectly
+            // good attempt at the commit point.
+            if sup.faults.fault_at(done.task, done.attempt) == Some(FaultKind::SpuriousSquash) {
+                self.recovery.spurious_squashes += 1;
+                if self.charge(done.task, sup.retry_budget) {
+                    return Ok(Absorbed::Fallback);
+                }
+                redispatch.push(WorkItem {
+                    task: done.task,
+                    attempt: done.attempt + 1,
+                });
+                continue;
+            }
+            // 5. Commit.
             self.speculations_survived +=
                 task.spec_deps.iter().filter(|d| !d.violated).count() as u64;
             self.output.extend_from_slice(&done.output.bytes);
@@ -110,10 +230,29 @@ impl<'g> CommitUnit<'g> {
             self.next += 1;
             self.watermark.store(self.next as u64, Ordering::Release);
         }
-        redispatch
+        Ok(Absorbed::Continue(redispatch))
     }
 
-    pub(super) fn into_report(self, wall: Duration, workers: Vec<WorkerStat>) -> NativeReport {
+    /// Commits one task executed in-order on the supervisor thread —
+    /// the sequential fallback after budget exhaustion or a watchdog
+    /// trip. Speculation counters stay frozen at their pre-fallback
+    /// values; only `attempts` and `fallback_tasks` advance.
+    pub(super) fn commit_inline(&mut self, output: TaskOutput) {
+        self.attempts += 1;
+        self.recovery.fallback_tasks += 1;
+        self.output.extend_from_slice(&output.bytes);
+        self.work += output.work;
+        self.next += 1;
+        self.watermark.store(self.next as u64, Ordering::Release);
+    }
+
+    pub(super) fn into_report(
+        self,
+        wall: Duration,
+        workers: Vec<WorkerStat>,
+        watchdog_trips: u64,
+        fallback_activated: bool,
+    ) -> NativeReport {
         NativeReport {
             wall,
             output: self.output,
@@ -123,6 +262,9 @@ impl<'g> CommitUnit<'g> {
             violations: self.violations,
             speculations_survived: self.speculations_survived,
             work: self.work,
+            recovery: self.recovery,
+            watchdog_trips,
+            fallback_activated,
             workers,
         }
     }

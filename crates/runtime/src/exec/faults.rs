@@ -1,0 +1,435 @@
+//! Deterministic fault injection for the native executor.
+//!
+//! A [`FaultPlan`] decides, purely from a `u64` seed and a `(task,
+//! attempt)` pair, whether a dispatch is sabotaged and how: the worker
+//! panics, the task's output is corrupted, the worker stalls, or the
+//! commit unit squashes a perfectly good attempt. No wall-clock entropy
+//! is involved, so a chaos run is exactly reproducible from its seed —
+//! the property the chaos proptests and the 3-seed CI job rely on.
+//!
+//! The same plan drives both sides of the differential harness: the
+//! native executor consults it on worker threads and at the commit
+//! frontier, while [`supervise_task`] replays the identical commit-time
+//! decision procedure as a pure function so the simulator (and tests)
+//! can predict every recovery counter without spawning a thread.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// One class of injected fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The worker panics instead of running the task's body.
+    WorkerPanic,
+    /// The body runs, then its output bytes are mangled before they
+    /// reach the commit unit.
+    CorruptOutput,
+    /// The worker sleeps for [`FaultPlan::stall_duration`] before
+    /// running the body — an artificial stage stall the heartbeat
+    /// watchdog can observe.
+    StageStall,
+    /// The commit unit squashes the attempt even though no recorded
+    /// dependence was violated.
+    SpuriousSquash,
+}
+
+/// Deterministic per-task recovery counters.
+///
+/// Every field is decided at the commit frontier, where attempts are
+/// processed strictly in task order by a procedure that depends only on
+/// `(task, attempt)` and the [`FaultPlan`] — never on thread timing —
+/// so two runs with the same seed report identical counts. (The
+/// exceptions, `NativeReport::attempts` and `watchdog_trips`, are
+/// documented on their own fields.)
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryCounts {
+    /// Worker panics (injected or real) converted into squash-and-replay
+    /// re-dispatches instead of aborting the run.
+    pub panics_recovered: u64,
+    /// Corrupted outputs caught by commit-time validation against the
+    /// sequential oracle and replayed rather than committed.
+    pub corruptions_caught: u64,
+    /// Injected squashes of attempts that had no violated dependence.
+    pub spurious_squashes: u64,
+    /// Attempts that reached the commit frontier after an injected
+    /// stage stall (the stall itself recovers by finishing; this counts
+    /// how many the chaos plan inflicted).
+    pub stalls_absorbed: u64,
+    /// Fault-recovery re-dispatches charged against retry budgets
+    /// (misspeculation replays are part of the normal protocol and are
+    /// not charged).
+    pub retries: u64,
+    /// Tasks committed by the in-order sequential fallback after a
+    /// retry budget was exhausted or the watchdog tripped.
+    pub fallback_tasks: u64,
+}
+
+impl RecoveryCounts {
+    /// Total faults recovered from (panics + corruptions + spurious
+    /// squashes), the headline chaos number.
+    pub fn faults_recovered(&self) -> u64 {
+        self.panics_recovered + self.corruptions_caught + self.spurious_squashes
+    }
+
+    /// Accumulates `other` into `self`.
+    pub(crate) fn absorb(&mut self, other: &RecoveryCounts) {
+        self.panics_recovered += other.panics_recovered;
+        self.corruptions_caught += other.corruptions_caught;
+        self.spurious_squashes += other.spurious_squashes;
+        self.stalls_absorbed += other.stalls_absorbed;
+        self.retries += other.retries;
+        self.fallback_tasks += other.fallback_tasks;
+    }
+}
+
+/// A seeded, deterministic chaos schedule: which `(task, attempt)`
+/// dispatches are sabotaged, and how.
+///
+/// Each `(task, attempt)` pair gets at most one fault, drawn by hashing
+/// `(seed, task, attempt)` and partitioning the hash into per-class
+/// per-mille bands, plus an explicit `forced` list for targeted tests.
+/// The default plan ([`FaultPlan::none`]) injects nothing and costs one
+/// branch per dispatch.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    seed: u64,
+    panic_permille: u16,
+    corrupt_permille: u16,
+    stall_permille: u16,
+    spurious_permille: u16,
+    stall: Duration,
+    forced: Vec<(u32, u32, FaultKind)>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            panic_permille: 0,
+            corrupt_permille: 0,
+            stall_permille: 0,
+            spurious_permille: 0,
+            stall: Duration::from_micros(200),
+            forced: Vec::new(),
+        }
+    }
+
+    /// A moderate all-class chaos plan derived from `seed`: roughly 6%
+    /// of dispatches panic, 4% corrupt their output, 1% stall, and 4%
+    /// are spuriously squashed.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            panic_permille: 60,
+            corrupt_permille: 40,
+            stall_permille: 10,
+            spurious_permille: 40,
+            stall: Duration::from_micros(200),
+            forced: Vec::new(),
+        }
+    }
+
+    /// Sets the worker-panic rate in per-mille of dispatches.
+    pub fn with_panic_permille(mut self, permille: u16) -> Self {
+        self.panic_permille = permille;
+        self
+    }
+
+    /// Sets the output-corruption rate in per-mille of dispatches.
+    pub fn with_corrupt_permille(mut self, permille: u16) -> Self {
+        self.corrupt_permille = permille;
+        self
+    }
+
+    /// Sets the stage-stall rate in per-mille of dispatches.
+    pub fn with_stall_permille(mut self, permille: u16) -> Self {
+        self.stall_permille = permille;
+        self
+    }
+
+    /// Sets the spurious-squash rate in per-mille of dispatches.
+    pub fn with_spurious_permille(mut self, permille: u16) -> Self {
+        self.spurious_permille = permille;
+        self
+    }
+
+    /// Sets how long an injected stall sleeps.
+    pub fn with_stall_duration(mut self, stall: Duration) -> Self {
+        self.stall = stall;
+        self
+    }
+
+    /// Forces `kind` onto one exact `(task, attempt)` dispatch,
+    /// overriding the seeded draw — the targeted-injection hook for
+    /// unit tests.
+    pub fn with_forced(mut self, task: u32, attempt: u32, kind: FaultKind) -> Self {
+        self.forced.push((task, attempt, kind));
+        self
+    }
+
+    /// How long an injected [`FaultKind::StageStall`] sleeps.
+    pub fn stall_duration(&self) -> Duration {
+        self.stall
+    }
+
+    /// Whether the plan can never inject anything (the fast path).
+    pub fn is_inert(&self) -> bool {
+        self.forced.is_empty()
+            && self.panic_permille == 0
+            && self.corrupt_permille == 0
+            && self.stall_permille == 0
+            && self.spurious_permille == 0
+    }
+
+    /// Whether the plan can corrupt outputs — if so the executor turns
+    /// commit-time validation on regardless of
+    /// [`ExecConfig::validate_outputs`](super::ExecConfig::validate_outputs).
+    pub fn can_corrupt(&self) -> bool {
+        self.corrupt_permille > 0
+            || self
+                .forced
+                .iter()
+                .any(|(_, _, k)| *k == FaultKind::CorruptOutput)
+    }
+
+    /// The fault injected on dispatch `(task, attempt)`, if any.
+    pub fn fault_at(&self, task: u32, attempt: u32) -> Option<FaultKind> {
+        if let Some((_, _, kind)) = self
+            .forced
+            .iter()
+            .find(|(t, a, _)| *t == task && *a == attempt)
+        {
+            return Some(*kind);
+        }
+        let total = self.panic_permille as u64
+            + self.corrupt_permille as u64
+            + self.stall_permille as u64
+            + self.spurious_permille as u64;
+        if total == 0 {
+            return None;
+        }
+        let draw = splitmix64(
+            self.seed
+                ^ (task as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (attempt as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9),
+        ) % 1000;
+        let mut band = self.panic_permille as u64;
+        if draw < band {
+            return Some(FaultKind::WorkerPanic);
+        }
+        band += self.corrupt_permille as u64;
+        if draw < band {
+            return Some(FaultKind::CorruptOutput);
+        }
+        band += self.stall_permille as u64;
+        if draw < band {
+            return Some(FaultKind::StageStall);
+        }
+        band += self.spurious_permille as u64;
+        if draw < band {
+            return Some(FaultKind::SpuriousSquash);
+        }
+        None
+    }
+}
+
+/// Mangles a task output in a way commit-time validation always
+/// detects: every byte is flipped and a sentinel byte is appended (so
+/// even empty outputs become detectably wrong).
+pub(super) fn corrupt_output(output: &mut super::TaskOutput) {
+    for b in &mut output.bytes {
+        *b ^= 0xA5;
+    }
+    output.bytes.push(0x5A);
+}
+
+/// SplitMix64: the standard 64-bit finalizer, used as a stateless hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// What supervising one task at the commit frontier does, as predicted
+/// by replaying the supervisor's decision procedure as a pure function.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TaskSupervision {
+    /// Recovery counters charged while supervising this task (partial
+    /// counts up to budget exhaustion when `exhausted`).
+    pub counts: RecoveryCounts,
+    /// Whether the attempt-0 misspeculation squash fired (it does not
+    /// when attempt 0 panicked — the panic is handled first and the
+    /// replay is no longer speculative).
+    pub misspec_squashed: bool,
+    /// Total body dispatches the task consumed (including squashed and
+    /// panicked attempts), when not `exhausted`.
+    pub attempts: u32,
+    /// The task exhausted its retry budget: the executor abandons
+    /// worker dispatch and falls back to in-order sequential execution
+    /// of every remaining task.
+    pub exhausted: bool,
+}
+
+/// Replays the commit-frontier supervision protocol for one task as a
+/// pure function of the fault plan — the simulated twin of the native
+/// executor's recovery path, used by [`Simulator::run_with_faults`]
+/// (see [`crate::sim`]) and the differential chaos tests.
+///
+/// `violated` says whether the task has at least one violated
+/// speculated dependence (so its genuine attempt 0 gets the normal
+/// misspeculation squash). The decision order per attempt mirrors
+/// `CommitUnit::absorb` exactly: worker panic → misspeculation squash →
+/// output validation → spurious squash → commit.
+pub fn supervise_task(
+    plan: &FaultPlan,
+    retry_budget: u32,
+    task: u32,
+    violated: bool,
+) -> TaskSupervision {
+    let mut sup = TaskSupervision::default();
+    let mut attempt = 0u32;
+    let mut charged = 0u32;
+    let charge = |sup: &mut TaskSupervision, charged: &mut u32| -> bool {
+        sup.counts.retries += 1;
+        *charged += 1;
+        *charged > retry_budget
+    };
+    loop {
+        sup.attempts += 1;
+        let fault = plan.fault_at(task, attempt);
+        if fault == Some(FaultKind::StageStall) {
+            sup.counts.stalls_absorbed += 1;
+        }
+        if fault == Some(FaultKind::WorkerPanic) {
+            sup.counts.panics_recovered += 1;
+            if charge(&mut sup, &mut charged) {
+                sup.exhausted = true;
+                return sup;
+            }
+            attempt += 1;
+            continue;
+        }
+        if attempt == 0 && violated {
+            sup.misspec_squashed = true;
+            attempt += 1;
+            continue;
+        }
+        if fault == Some(FaultKind::CorruptOutput) {
+            sup.counts.corruptions_caught += 1;
+            if charge(&mut sup, &mut charged) {
+                sup.exhausted = true;
+                return sup;
+            }
+            attempt += 1;
+            continue;
+        }
+        if fault == Some(FaultKind::SpuriousSquash) {
+            sup.counts.spurious_squashes += 1;
+            if charge(&mut sup, &mut charged) {
+                sup.exhausted = true;
+                return sup;
+            }
+            attempt += 1;
+            continue;
+        }
+        return sup;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_draws_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::seeded(7);
+        let b = FaultPlan::seeded(7);
+        let c = FaultPlan::seeded(8);
+        let draws = |p: &FaultPlan| -> Vec<Option<FaultKind>> {
+            (0..200).map(|t| p.fault_at(t, 0)).collect()
+        };
+        assert_eq!(draws(&a), draws(&b));
+        assert_ne!(draws(&a), draws(&c), "different seeds draw differently");
+        assert!(
+            draws(&a).iter().any(Option::is_some),
+            "a seeded plan injects something over 200 tasks"
+        );
+    }
+
+    #[test]
+    fn inert_plan_never_injects() {
+        let p = FaultPlan::none();
+        assert!(p.is_inert());
+        assert!(!p.can_corrupt());
+        for t in 0..100 {
+            for a in 0..4 {
+                assert_eq!(p.fault_at(t, a), None);
+            }
+        }
+    }
+
+    #[test]
+    fn forced_faults_override_the_seeded_draw() {
+        let p = FaultPlan::none().with_forced(3, 1, FaultKind::CorruptOutput);
+        assert_eq!(p.fault_at(3, 1), Some(FaultKind::CorruptOutput));
+        assert_eq!(p.fault_at(3, 0), None);
+        assert_eq!(p.fault_at(4, 1), None);
+        assert!(p.can_corrupt());
+        assert!(!p.is_inert());
+    }
+
+    #[test]
+    fn corruption_changes_even_empty_outputs() {
+        let mut out = super::super::TaskOutput::empty();
+        corrupt_output(&mut out);
+        assert!(!out.bytes.is_empty());
+        let mut tagged = super::super::TaskOutput::bytes(vec![1, 2, 3]);
+        let original = tagged.clone();
+        corrupt_output(&mut tagged);
+        assert_ne!(tagged, original);
+    }
+
+    #[test]
+    fn supervision_terminates_and_respects_the_budget() {
+        // Panic on every attempt: budget 2 allows 2 charged replays and
+        // the third charge exhausts.
+        let p = FaultPlan::none().with_panic_permille(1000);
+        let sup = supervise_task(&p, 2, 0, false);
+        assert!(sup.exhausted);
+        assert_eq!(sup.counts.panics_recovered, 3);
+        assert_eq!(sup.counts.retries, 3);
+    }
+
+    #[test]
+    fn budget_zero_exhausts_on_the_first_fault() {
+        let p = FaultPlan::none().with_forced(5, 0, FaultKind::WorkerPanic);
+        let sup = supervise_task(&p, 0, 5, false);
+        assert!(sup.exhausted);
+        assert_eq!(sup.counts.panics_recovered, 1);
+        // A clean task is unaffected even at budget 0.
+        let clean = supervise_task(&p, 0, 6, false);
+        assert!(!clean.exhausted);
+        assert_eq!(clean.attempts, 1);
+    }
+
+    #[test]
+    fn panicked_first_attempt_skips_the_misspec_squash() {
+        let p = FaultPlan::none().with_forced(2, 0, FaultKind::WorkerPanic);
+        let sup = supervise_task(&p, 3, 2, true);
+        assert!(!sup.misspec_squashed, "replay after a panic is attempt 1");
+        assert_eq!(sup.counts.panics_recovered, 1);
+        assert_eq!(sup.attempts, 2);
+        // Without the panic the squash fires normally.
+        let normal = supervise_task(&FaultPlan::none(), 3, 2, true);
+        assert!(normal.misspec_squashed);
+        assert_eq!(normal.attempts, 2);
+    }
+}

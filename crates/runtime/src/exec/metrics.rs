@@ -2,6 +2,7 @@
 //! counters that line up one-for-one with the simulator's, and real
 //! wall-clock / per-worker timing.
 
+use super::faults::RecoveryCounts;
 use crate::task::StageId;
 use std::time::Duration;
 
@@ -24,6 +25,14 @@ pub struct WorkerStat {
 /// [`SimResult`](crate::SimResult)'s fields — one count per speculated
 /// dependence, charged once per task — so differential tests can
 /// compare them directly.
+///
+/// Every counter except `wall`, `workers`, and `watchdog_trips` is
+/// decided at the commit frontier from `(task, attempt)` and the
+/// [`FaultPlan`](super::FaultPlan) alone, so two runs with the same
+/// config report identical values — even under injected chaos, and even
+/// when a retry budget forced the sequential fallback. `watchdog_trips`
+/// is the one genuinely timing-dependent recovery counter: whether a
+/// stall outlasts the deadline depends on real elapsed time.
 #[derive(Clone, Debug)]
 pub struct NativeReport {
     /// Wall-clock time for the whole run.
@@ -45,6 +54,18 @@ pub struct NativeReport {
     pub speculations_survived: u64,
     /// Deterministic work units metered by committed attempts.
     pub work: u64,
+    /// Fault-recovery tallies (panics recovered, corruptions caught,
+    /// spurious squashes, stalls absorbed, budget-charged retries,
+    /// fallback-committed tasks). All zero on a fault-free run.
+    pub recovery: RecoveryCounts,
+    /// Times the heartbeat watchdog fired because no completion arrived
+    /// within [`ExecConfig::watchdog_deadline`](super::ExecConfig::watchdog_deadline)
+    /// (each trip activates the sequential fallback).
+    pub watchdog_trips: u64,
+    /// Whether the run finished under the in-order sequential fallback
+    /// (retry budget exhausted or watchdog tripped) rather than fully
+    /// pipelined. The output is byte-identical either way.
+    pub fallback_activated: bool,
     /// Per-worker timing, one entry per plan core.
     pub workers: Vec<WorkerStat>,
 }
@@ -60,6 +81,9 @@ impl NativeReport {
             violations: 0,
             speculations_survived: 0,
             work: 0,
+            recovery: RecoveryCounts::default(),
+            watchdog_trips: 0,
+            fallback_activated: false,
             workers: Vec::new(),
         }
     }

@@ -36,43 +36,181 @@
 //! the simulator for every workload.
 
 mod commit;
+mod faults;
 mod metrics;
 mod stage;
 
 pub use commit::CommitView;
+pub use faults::{supervise_task, FaultKind, FaultPlan, RecoveryCounts, TaskSupervision};
 pub use metrics::{NativeReport, WorkerStat};
 
 use crate::plan::ExecutionPlan;
 use crate::sim::SimError;
 use crate::task::{StageId, TaskGraph, TaskId};
-use commit::CommitUnit;
+use commit::{Absorbed, CommitUnit, Supervisor};
+use crossbeam::channel::RecvTimeoutError;
 use stage::{StageQueues, WorkItem, WorkerDone};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// Machine parameters for native execution.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// The attempt number the sequential fallback runs tasks at: far above
+/// any pipelined attempt, never speculative, never fault-injected.
+const FALLBACK_ATTEMPT: u32 = u32::MAX;
+
+/// Why a native run could not produce a report.
+///
+/// Recoverable failures (worker panics, corrupted outputs, stalls,
+/// spurious squashes) never surface here — the supervisor squashes and
+/// replays them, degrading to sequential execution when a retry budget
+/// runs out. `ExecError` is reserved for the cases where no legal
+/// sequential outcome can be produced at all.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// The plan failed validation against the graph (shared with the
+    /// simulator's checks).
+    Invalid(SimError),
+    /// A task body panicked where no replay is possible: on the
+    /// sequential fallback path or inside the validation oracle. The
+    /// body itself cannot produce the task's sequential result, so the
+    /// run has no legal outcome.
+    TaskFailed {
+        /// The task whose body failed.
+        task: TaskId,
+    },
+    /// Every worker exited while tasks remained uncommitted (a runtime
+    /// invariant violation, reported instead of hanging forever).
+    WorkersDisconnected {
+        /// Tasks committed before the workers vanished.
+        committed: u64,
+    },
+}
+
+impl From<SimError> for ExecError {
+    fn from(e: SimError) -> Self {
+        ExecError::Invalid(e)
+    }
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Invalid(e) => write!(f, "invalid plan: {e}"),
+            ExecError::TaskFailed { task } => write!(
+                f,
+                "task {} failed un-replayably (body panicked on the sequential path)",
+                task.0
+            ),
+            ExecError::WorkersDisconnected { committed } => write!(
+                f,
+                "all workers disconnected with only {committed} tasks committed"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Machine and supervision parameters for native execution.
+///
+/// Not `Copy` (the fault plan owns a forced-injection list); clone it
+/// to share across runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ExecConfig {
     /// Entries per stage input queue (the paper models 32-entry
     /// hardware queues; [`crate::SimConfig::queue_capacity`] is the
-    /// simulated twin of this knob).
+    /// simulated twin of this knob). Values below 1 are clamped to 1 —
+    /// a zero-capacity queue could never transfer an item under this
+    /// try-send/retry protocol, so capacity 0 behaves exactly like
+    /// capacity 1 (see [`ExecConfig::with_queue_capacity`]).
     pub queue_capacity: usize,
+    /// Fault-recovery replays allowed per task (worker panics,
+    /// corrupted outputs, spurious squashes — misspeculation replays
+    /// are part of the normal protocol and are not charged). When a
+    /// task exceeds the budget the executor degrades to in-order
+    /// sequential execution of the remaining tasks instead of
+    /// aborting; budget 0 falls back on the first fault.
+    pub retry_budget: u32,
+    /// Heartbeat deadline for the stall watchdog: when no completion
+    /// arrives for this long while tasks remain, the supervisor
+    /// declares the pipeline wedged and switches to the sequential
+    /// fallback.
+    pub watchdog_deadline: Duration,
+    /// The chaos schedule (default: [`FaultPlan::none`], which injects
+    /// nothing).
+    pub fault_plan: FaultPlan,
+    /// Validate every committing attempt against the body's sequential
+    /// oracle, even when the fault plan cannot corrupt outputs.
+    /// Validation runs each body once more on the supervisor thread,
+    /// so it is off by default; it turns itself on whenever
+    /// `fault_plan` can corrupt. Requires the body's committed output
+    /// to be attempt-independent for non-violated tasks (true of every
+    /// [`NativeBody`] built from a replayable sequential oracle).
+    pub validate_outputs: bool,
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        Self { queue_capacity: 32 }
+        Self {
+            queue_capacity: 32,
+            retry_budget: 3,
+            watchdog_deadline: Duration::from_secs(30),
+            fault_plan: FaultPlan::none(),
+            validate_outputs: false,
+        }
     }
 }
 
 impl ExecConfig {
-    /// A config whose queues hold `queue_capacity` entries.
+    /// A default config whose queues hold `queue_capacity` entries.
+    ///
+    /// `queue_capacity` is clamped to a minimum of 1 — **explicitly**:
+    /// a 0-capacity queue cannot transfer any item under the
+    /// dispatcher's non-blocking try-send protocol, so every dispatch
+    /// would be refused and the pipeline could never start. Capacity 0
+    /// therefore behaves exactly like capacity 1 (one in-flight item
+    /// per queue, maximum backpressure), which the regression test
+    /// `zero_capacity_clamps_to_one_and_both_drain_a_parallel_stage`
+    /// pins down.
     pub fn with_queue_capacity(queue_capacity: usize) -> Self {
         Self {
             queue_capacity: queue_capacity.max(1),
+            ..Self::default()
         }
+    }
+
+    /// Replaces the fault plan.
+    pub fn with_faults(mut self, fault_plan: FaultPlan) -> Self {
+        self.fault_plan = fault_plan;
+        self
+    }
+
+    /// Replaces the per-task retry budget.
+    pub fn with_retry_budget(mut self, retry_budget: u32) -> Self {
+        self.retry_budget = retry_budget;
+        self
+    }
+
+    /// Replaces the watchdog deadline.
+    pub fn with_watchdog_deadline(mut self, watchdog_deadline: Duration) -> Self {
+        self.watchdog_deadline = watchdog_deadline;
+        self
+    }
+
+    /// Forces commit-time output validation on (or off — though the
+    /// executor re-enables it whenever the fault plan can corrupt).
+    pub fn with_validation(mut self, validate_outputs: bool) -> Self {
+        self.validate_outputs = validate_outputs;
+        self
     }
 }
 
@@ -169,21 +307,30 @@ impl NativeExecutor {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::StageMismatch`] when the plan and graph
-    /// disagree on stage count — the same validation the simulator
-    /// performs (core- and queue-count limits are physical-machine
-    /// model parameters and do not constrain native execution).
+    /// Returns [`ExecError::Invalid`] when the plan fails validation
+    /// ([`SimError::StageMismatch`] when plan and graph disagree on
+    /// stage count, [`SimError::EmptyStagePool`] when a stage has no
+    /// cores — the same checks the simulator performs; core- and
+    /// queue-count limits are physical-machine model parameters and do
+    /// not constrain native execution). Returns
+    /// [`ExecError::TaskFailed`] only when a body panics where no
+    /// replay exists (the sequential fallback or the validation
+    /// oracle); pipelined worker panics are recovered, not raised.
     pub fn run(
         &self,
         graph: &TaskGraph,
         plan: &ExecutionPlan,
         body: &dyn NativeBody,
-    ) -> Result<NativeReport, SimError> {
+    ) -> Result<NativeReport, ExecError> {
+        if let Some(stage) = plan.first_empty_stage() {
+            return Err(SimError::EmptyStagePool { stage }.into());
+        }
         if plan.stage_count() != graph.stage_count() {
             return Err(SimError::StageMismatch {
                 plan: plan.stage_count(),
                 graph: graph.stage_count(),
-            });
+            }
+            .into());
         }
         let started = Instant::now();
         if graph.is_empty() {
@@ -217,57 +364,134 @@ impl NativeExecutor {
         let view = CommitView::new(Arc::clone(&watermark));
         let mut commit = CommitUnit::new(graph, watermark);
 
+        let faults = &self.config.fault_plan;
+        let supervisor = Supervisor {
+            faults,
+            retry_budget: self.config.retry_budget,
+            // Validation costs one extra body run per commit, so it is
+            // opt-in — but a plan that can corrupt outputs forces it,
+            // otherwise corruption would commit silently.
+            validate: self.config.validate_outputs || faults.can_corrupt(),
+        };
+
         let mut queues = StageQueues::new(graph, plan, self.config.queue_capacity);
         let (done_tx, done_rx) = crossbeam::channel::unbounded::<WorkerDone>();
 
-        let report = std::thread::scope(|scope| {
-            let workers = queues.spawn_workers(scope, graph, body, &view, &done_tx);
+        std::thread::scope(|scope| {
+            let workers = queues.spawn_workers(scope, graph, body, &view, &done_tx, faults);
             drop(done_tx);
+
+            // Replays the body sequentially on this thread: the
+            // validation oracle and the fallback executor. A panic here
+            // is unrecoverable — the body cannot produce the task's
+            // sequential result at all.
+            let mut oracle = |task: u32, attempt: u32| -> Result<TaskOutput, ExecError> {
+                let t = graph.task(TaskId(task));
+                let ctx = TaskCtx {
+                    stage: t.stage,
+                    iter: t.iter,
+                    attempt,
+                    commits: &view,
+                };
+                catch_unwind(AssertUnwindSafe(|| body.run(TaskId(task), &ctx)))
+                    .map_err(|_| ExecError::TaskFailed { task: TaskId(task) })
+            };
 
             // Seed: release every stage's dep-free prefix.
             for s in 0..stage_count {
                 Self::release_ready(s, &mut stage_tasks, &mut requeue, &deps_left, &queues);
             }
 
-            let mut committed = 0usize;
-            while committed < n {
-                let done = done_rx.recv().expect("workers alive while tasks remain");
-                if done.panicked {
-                    // Abort dispatch; joining the worker below re-raises
-                    // the body's panic.
-                    break;
+            let mut watchdog_trips = 0u64;
+            let mut fallback = false;
+            // Readiness is propagated on a task's first *productive*
+            // completion (a panicked attempt ran nothing, so its
+            // replay's completion propagates instead); this flag keeps
+            // it once-per-task.
+            let mut deps_propagated = vec![false; n];
+            let supervise = loop {
+                if commit.committed_tasks() >= n {
+                    break Ok(());
                 }
-                // Propagate readiness on first completion only: a
-                // re-execution's dependents were released long ago.
-                if done.attempt == 0 {
+                let done = match done_rx.recv_timeout(self.config.watchdog_deadline) {
+                    Ok(done) => done,
+                    Err(RecvTimeoutError::Timeout) => {
+                        // Heartbeat watchdog: nothing completed for a
+                        // whole deadline — a stage is wedged. Degrade
+                        // to sequential execution of the rest.
+                        watchdog_trips += 1;
+                        fallback = true;
+                        break Ok(());
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        break Err(ExecError::WorkersDisconnected {
+                            committed: commit.committed_tasks() as u64,
+                        });
+                    }
+                };
+                if !done.panicked && !deps_propagated[done.task as usize] {
+                    deps_propagated[done.task as usize] = true;
                     for &dep in &dependents[done.task as usize] {
                         deps_left[dep as usize] -= 1;
                     }
                 }
-                for squashed in commit.absorb(done) {
-                    // Rollback: discard the speculative output and
-                    // re-dispatch the task to its stage, ahead of any
-                    // not-yet-released work.
-                    let stage = graph.task(TaskId(squashed.task)).stage.0 as usize;
-                    requeue[stage].push_back(squashed);
+                match commit.absorb(done, &supervisor, &mut oracle) {
+                    Ok(Absorbed::Continue(redispatches)) => {
+                        for squashed in redispatches {
+                            // Rollback: discard the discarded attempt's
+                            // output and re-dispatch the task to its
+                            // stage, ahead of any not-yet-released work.
+                            let stage = graph.task(TaskId(squashed.task)).stage.0 as usize;
+                            requeue[stage].push_back(squashed);
+                        }
+                    }
+                    Ok(Absorbed::Fallback) => {
+                        fallback = true;
+                        break Ok(());
+                    }
+                    Err(e) => break Err(e),
                 }
-                committed = commit.committed_tasks();
                 for s in 0..stage_count {
                     Self::release_ready(s, &mut stage_tasks, &mut requeue, &deps_left, &queues);
                 }
-            }
+            };
 
+            let supervise = supervise.and_then(|()| {
+                if !fallback {
+                    return Ok(());
+                }
+                // Graceful degradation: commit every remaining task
+                // in order on this thread, fault-free and
+                // non-speculative — exactly a resumed sequential run.
+                for task in commit.committed_tasks()..n {
+                    let output = oracle(task as u32, FALLBACK_ATTEMPT)?;
+                    commit.commit_inline(output);
+                }
+                Ok(())
+            });
+
+            // Shut the pipeline down before surfacing any error:
+            // closing the queues (and dropping the completion channel)
+            // is what lets blocked workers exit so the scope can join
+            // them.
             queues.close();
-            let worker_stats = workers
-                .into_iter()
-                .map(|w| match w.join() {
-                    Ok(stat) => stat,
-                    Err(payload) => std::panic::resume_unwind(payload),
-                })
-                .collect();
-            commit.into_report(started.elapsed(), worker_stats)
-        });
-        Ok(report)
+            drop(done_rx);
+            let mut worker_stats = Vec::with_capacity(workers.len());
+            let mut join_failed = false;
+            for w in workers {
+                match w.join() {
+                    Ok(stat) => worker_stats.push(stat),
+                    Err(_) => join_failed = true,
+                }
+            }
+            supervise?;
+            if join_failed {
+                return Err(ExecError::WorkersDisconnected {
+                    committed: commit.committed_tasks() as u64,
+                });
+            }
+            Ok(commit.into_report(started.elapsed(), worker_stats, watchdog_trips, fallback))
+        })
     }
 
     /// Pushes released-but-unqueued work into stage `s`'s queue without

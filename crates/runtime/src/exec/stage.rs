@@ -10,12 +10,13 @@
 //! iteration number.
 
 use super::commit::CommitView;
+use super::faults::{corrupt_output, FaultKind, FaultPlan};
 use super::metrics::WorkerStat;
 use super::{NativeBody, TaskCtx, TaskOutput};
 use crate::plan::{ExecutionPlan, StageAssignment};
 use crate::task::{TaskGraph, TaskId};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread::{Scope, ScopedJoinHandle};
 use std::time::{Duration, Instant};
 
@@ -35,9 +36,16 @@ pub(super) struct WorkerDone {
     pub task: u32,
     pub attempt: u32,
     pub output: TaskOutput,
-    /// Set when the body panicked; the executor aborts and the panic
-    /// propagates when the worker is joined.
+    /// Set when the attempt produced no result: the body panicked (the
+    /// worker catches it and keeps serving) or the fault plan injected
+    /// a [`FaultKind::WorkerPanic`]. The commit unit treats either like
+    /// a misspeculation: discard and replay, charged against the
+    /// task's retry budget.
     pub panicked: bool,
+    /// The attempt ran behind an injected [`FaultKind::StageStall`];
+    /// the commit unit tallies it when the attempt reaches the
+    /// frontier.
+    pub stalled: bool,
 }
 
 /// How released work reaches a stage's workers.
@@ -141,12 +149,13 @@ impl<'g> StageQueues<'g> {
         body: &'scope dyn NativeBody,
         view: &'scope CommitView,
         done_tx: &Sender<WorkerDone>,
+        faults: &'scope FaultPlan,
     ) -> Vec<ScopedJoinHandle<'scope, WorkerStat>> {
         std::mem::take(&mut self.seats)
             .into_iter()
             .map(|seat| {
                 let done_tx = done_tx.clone();
-                scope.spawn(move || worker_loop(seat, graph, body, view, done_tx))
+                scope.spawn(move || worker_loop(seat, graph, body, view, done_tx, faults))
             })
             .collect()
     }
@@ -162,10 +171,36 @@ fn worker_loop(
     body: &dyn NativeBody,
     view: &CommitView,
     done_tx: Sender<WorkerDone>,
+    faults: &FaultPlan,
 ) -> WorkerStat {
     let mut busy = Duration::ZERO;
     let mut tasks = 0u64;
     while let Ok(item) = seat.rx.recv() {
+        let fault = faults.fault_at(item.task, item.attempt);
+        if fault == Some(FaultKind::WorkerPanic) {
+            // Injected panic: the attempt dies before the body runs.
+            // Reported through the same `panicked` channel as a caught
+            // real panic (rather than unwinding for real) so chaos runs
+            // do not spray panic-hook noise over the test output.
+            tasks += 1;
+            if done_tx
+                .send(WorkerDone {
+                    task: item.task,
+                    attempt: item.attempt,
+                    output: TaskOutput::empty(),
+                    panicked: true,
+                    stalled: false,
+                })
+                .is_err()
+            {
+                break;
+            }
+            continue;
+        }
+        let stalled = fault == Some(FaultKind::StageStall);
+        if stalled {
+            std::thread::sleep(faults.stall_duration());
+        }
         let task = graph.task(TaskId(item.task));
         let ctx = TaskCtx {
             stage: task.stage,
@@ -177,32 +212,32 @@ fn worker_loop(
         let result = catch_unwind(AssertUnwindSafe(|| body.run(TaskId(item.task), &ctx)));
         busy += started.elapsed();
         tasks += 1;
-        match result {
-            Ok(output) => {
-                if done_tx
-                    .send(WorkerDone {
-                        task: item.task,
-                        attempt: item.attempt,
-                        output,
-                        panicked: false,
-                    })
-                    .is_err()
-                {
-                    break;
+        let done = match result {
+            Ok(mut output) => {
+                if fault == Some(FaultKind::CorruptOutput) {
+                    corrupt_output(&mut output);
                 }
-            }
-            Err(payload) => {
-                // Tell the dispatcher to abort, then re-raise so the
-                // join in the executor surfaces the original panic.
-                let _ = done_tx.send(WorkerDone {
+                WorkerDone {
                     task: item.task,
                     attempt: item.attempt,
-                    output: TaskOutput::empty(),
-                    panicked: true,
-                });
-                drop(done_tx);
-                resume_unwind(payload);
+                    output,
+                    panicked: false,
+                    stalled,
+                }
             }
+            // A real body panic no longer kills the run: the worker
+            // survives and the commit unit squashes and replays the
+            // attempt under the task's retry budget.
+            Err(_) => WorkerDone {
+                task: item.task,
+                attempt: item.attempt,
+                output: TaskOutput::empty(),
+                panicked: true,
+                stalled,
+            },
+        };
+        if done_tx.send(done).is_err() {
+            break;
         }
     }
     WorkerStat {

@@ -133,7 +133,27 @@ fn stage_mismatch_is_rejected() {
     let err = NativeExecutor::default()
         .run(&graph, &plan, &tagging_body(vec![]))
         .unwrap_err();
-    assert!(matches!(err, SimError::StageMismatch { .. }));
+    assert!(matches!(
+        err,
+        ExecError::Invalid(SimError::StageMismatch { .. })
+    ));
+}
+
+#[test]
+fn empty_stage_pool_is_rejected() {
+    let graph = three_phase_graph(4, &[]);
+    let plan = ExecutionPlan::new(vec![
+        crate::plan::StageAssignment::serial(0),
+        crate::plan::StageAssignment::Parallel { cores: vec![] },
+        crate::plan::StageAssignment::serial(1),
+    ]);
+    let err = NativeExecutor::default()
+        .run(&graph, &plan, &tagging_body(vec![]))
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ExecError::Invalid(SimError::EmptyStagePool { stage: 1 })
+    );
 }
 
 #[test]
@@ -161,4 +181,231 @@ fn repeated_runs_are_deterministic() {
         assert_eq!(again.violations, first.violations);
         assert_eq!(again.work, first.work);
     }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection and supervised recovery.
+// ---------------------------------------------------------------------
+
+use std::time::Duration;
+
+/// Task index of phase B of iteration `i` in `three_phase_graph`.
+fn b_task(i: u64) -> u32 {
+    (3 * i + 1) as u32
+}
+
+/// Runs the canonical graph under `config` and asserts the output is
+/// still byte-identical to sequential; returns the report.
+fn run_faulted(iters: u64, violate: &[u64], config: ExecConfig) -> NativeReport {
+    let graph = three_phase_graph(iters, violate);
+    let plan = ExecutionPlan::three_phase(4);
+    let report = NativeExecutor::new(config)
+        .run(&graph, &plan, &tagging_body(violate.to_vec()))
+        .expect("recoverable faults never abort the run");
+    assert_eq!(
+        report.output,
+        expected_stream(iters),
+        "output must stay byte-identical to sequential under faults"
+    );
+    assert_eq!(report.tasks_committed, 3 * iters);
+    report
+}
+
+#[test]
+fn injected_worker_panic_is_recovered() {
+    let config = ExecConfig::default().with_faults(FaultPlan::none().with_forced(
+        b_task(5),
+        0,
+        FaultKind::WorkerPanic,
+    ));
+    let report = run_faulted(20, &[], config);
+    assert_eq!(report.recovery.panics_recovered, 1);
+    assert_eq!(report.recovery.retries, 1);
+    assert!(!report.fallback_activated);
+    // The panicked attempt costs exactly one extra dispatch.
+    assert_eq!(report.attempts, 60 + 1);
+}
+
+#[test]
+fn injected_corruption_is_caught_by_commit_validation() {
+    let config = ExecConfig::default().with_faults(FaultPlan::none().with_forced(
+        b_task(5),
+        0,
+        FaultKind::CorruptOutput,
+    ));
+    let report = run_faulted(20, &[], config);
+    assert_eq!(report.recovery.corruptions_caught, 1);
+    assert_eq!(report.recovery.retries, 1);
+    assert!(!report.fallback_activated);
+    assert_eq!(report.attempts, 60 + 1);
+}
+
+#[test]
+fn injected_spurious_squash_replays_a_good_attempt() {
+    let config = ExecConfig::default().with_faults(FaultPlan::none().with_forced(
+        b_task(5),
+        0,
+        FaultKind::SpuriousSquash,
+    ));
+    let report = run_faulted(20, &[], config);
+    assert_eq!(report.recovery.spurious_squashes, 1);
+    assert_eq!(report.recovery.retries, 1);
+    assert!(!report.fallback_activated);
+    assert_eq!(report.attempts, 60 + 1);
+}
+
+#[test]
+fn injected_stall_is_absorbed_within_the_deadline() {
+    let config = ExecConfig::default().with_faults(
+        FaultPlan::none()
+            .with_forced(b_task(5), 0, FaultKind::StageStall)
+            .with_stall_duration(Duration::from_millis(5)),
+    );
+    let report = run_faulted(20, &[], config);
+    assert_eq!(report.recovery.stalls_absorbed, 1);
+    assert_eq!(
+        report.recovery.retries, 0,
+        "a finished stall costs no retry"
+    );
+    assert_eq!(report.watchdog_trips, 0);
+    assert!(!report.fallback_activated);
+    assert_eq!(report.attempts, 60);
+}
+
+#[test]
+fn watchdog_trips_on_a_wedged_stage_and_falls_back() {
+    // One B task sleeps for 10× the watchdog deadline: the pipeline
+    // wedges at the commit frontier and the supervisor must degrade to
+    // sequential execution — with the output still byte-identical.
+    let config = ExecConfig::default()
+        .with_faults(
+            FaultPlan::none()
+                .with_forced(b_task(5), 0, FaultKind::StageStall)
+                .with_stall_duration(Duration::from_millis(600)),
+        )
+        .with_watchdog_deadline(Duration::from_millis(60));
+    let report = run_faulted(20, &[], config);
+    assert!(report.watchdog_trips >= 1);
+    assert!(report.fallback_activated);
+    assert!(report.recovery.fallback_tasks > 0);
+}
+
+#[test]
+fn budget_zero_degrades_to_sequential_fallback_instead_of_aborting() {
+    let config = ExecConfig::default()
+        .with_faults(FaultPlan::none().with_forced(b_task(5), 0, FaultKind::WorkerPanic))
+        .with_retry_budget(0);
+    let report = run_faulted(20, &[], config);
+    assert!(report.fallback_activated);
+    assert_eq!(report.recovery.panics_recovered, 1);
+    // Tasks 0..=15 committed pipelined (the frontier stood at B_5 =
+    // task 16 when the budget ran out); 16.. ran sequentially.
+    assert_eq!(report.recovery.fallback_tasks, 60 - 16);
+    assert_eq!(report.watchdog_trips, 0);
+}
+
+#[test]
+fn real_body_panic_is_squashed_and_replayed() {
+    let graph = three_phase_graph(20, &[]);
+    let plan = ExecutionPlan::three_phase(4);
+    let body = move |task: TaskId, ctx: &TaskCtx<'_>| {
+        if ctx.stage.0 == 1 && ctx.iter == 7 && ctx.attempt == 0 {
+            panic!("flaky body");
+        }
+        if ctx.stage.0 == 1 {
+            TaskOutput::bytes(ctx.iter.to_le_bytes().to_vec())
+        } else {
+            let _ = task;
+            TaskOutput::empty()
+        }
+    };
+    let report = NativeExecutor::default().run(&graph, &plan, &body).unwrap();
+    assert_eq!(report.output, expected_stream(20));
+    assert_eq!(report.recovery.panics_recovered, 1);
+    assert!(!report.fallback_activated);
+}
+
+#[test]
+fn unreplayable_body_panic_is_a_typed_error() {
+    // A body that panics on *every* attempt of one task: the budget
+    // exhausts, the fallback re-runs it sequentially, and that panic is
+    // unrecoverable — surfaced as ExecError::TaskFailed, not a crash.
+    let graph = three_phase_graph(8, &[]);
+    let plan = ExecutionPlan::three_phase(4);
+    let body = move |_: TaskId, ctx: &TaskCtx<'_>| -> TaskOutput {
+        if ctx.stage.0 == 1 && ctx.iter == 2 {
+            panic!("permanently broken body");
+        }
+        TaskOutput::empty()
+    };
+    let err = NativeExecutor::new(ExecConfig::default().with_retry_budget(1))
+        .run(&graph, &plan, &body)
+        .unwrap_err();
+    assert_eq!(err, ExecError::TaskFailed { task: TaskId(7) });
+}
+
+#[test]
+fn seeded_chaos_is_deterministic_and_matches_the_predictor() {
+    let violate = vec![3, 9];
+    let iters = 40u64;
+    let graph = three_phase_graph(iters, &violate);
+    let plan = ExecutionPlan::three_phase(4);
+    let faults = FaultPlan::seeded(7);
+    let config = ExecConfig::default().with_faults(faults.clone());
+    let body = tagging_body(violate);
+    let a = NativeExecutor::new(config.clone())
+        .run(&graph, &plan, &body)
+        .unwrap();
+    let b = NativeExecutor::new(config)
+        .run(&graph, &plan, &body)
+        .unwrap();
+    assert_eq!(a.output, b.output);
+    assert_eq!(a.recovery, b.recovery);
+    assert_eq!(a.attempts, b.attempts);
+    assert_eq!(a.squashes, b.squashes);
+    assert_eq!(a.violations, b.violations);
+    assert!(!a.fallback_activated, "seed 7 must not exhaust budget 3");
+    assert_eq!(a.output, expected_stream(iters));
+    assert!(a.recovery.faults_recovered() > 0);
+
+    // The pure predictor replays the frontier protocol exactly.
+    let mut predicted = RecoveryCounts::default();
+    let mut attempts = 0u64;
+    let mut squashes = 0u64;
+    for (idx, task) in graph.tasks().iter().enumerate() {
+        let violated = task.spec_deps.iter().any(|d| d.violated);
+        let sup = supervise_task(&faults, 3, idx as u32, violated);
+        assert!(!sup.exhausted);
+        predicted.absorb(&sup.counts);
+        attempts += sup.attempts as u64;
+        squashes += sup.misspec_squashed as u64;
+    }
+    assert_eq!(a.recovery, predicted);
+    assert_eq!(a.attempts, attempts);
+    assert_eq!(a.squashes, squashes);
+}
+
+#[test]
+fn zero_capacity_clamps_to_one_and_both_drain_a_parallel_stage() {
+    // `with_queue_capacity(0)` is documented to clamp to 1: a zero-
+    // capacity queue could never transfer an item under the dispatcher's
+    // try-send protocol. Pin the clamp and prove capacities 0 and 1
+    // behave identically through a Parallel stage with squashes in
+    // flight.
+    let zero = ExecConfig::with_queue_capacity(0);
+    assert_eq!(zero.queue_capacity, 1, "capacity 0 must clamp to 1");
+    let one = ExecConfig::with_queue_capacity(1);
+    assert_eq!(one.queue_capacity, 1);
+
+    let violate = vec![2, 9];
+    let graph = three_phase_graph(30, &violate);
+    let plan = ExecutionPlan::three_phase(4); // phase B is Parallel
+    let body = tagging_body(violate);
+    let r0 = NativeExecutor::new(zero).run(&graph, &plan, &body).unwrap();
+    let r1 = NativeExecutor::new(one).run(&graph, &plan, &body).unwrap();
+    assert_eq!(r0.output, expected_stream(30));
+    assert_eq!(r0.output, r1.output);
+    assert_eq!(r0.squashes, r1.squashes);
+    assert_eq!(r0.attempts, r1.attempts);
+    assert_eq!(r0.work, r1.work);
 }

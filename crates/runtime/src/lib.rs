@@ -51,8 +51,8 @@ pub mod task;
 pub mod validate;
 
 pub use exec::{
-    CommitView, ExecConfig, NativeBody, NativeExecutor, NativeReport, TaskCtx, TaskOutput,
-    WorkerStat,
+    supervise_task, CommitView, ExecConfig, ExecError, FaultKind, FaultPlan, NativeBody,
+    NativeExecutor, NativeReport, RecoveryCounts, TaskCtx, TaskOutput, TaskSupervision, WorkerStat,
 };
 pub use plan::{ExecutionPlan, StageAssignment};
 pub use sim::{ChannelStat, SimConfig, SimError, SimResult, Simulator, TaskPlacement};

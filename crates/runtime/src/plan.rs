@@ -175,6 +175,22 @@ impl ExecutionPlan {
         self.stages.len() as u8
     }
 
+    /// The first stage whose core pool is empty, if any.
+    ///
+    /// The [`StageAssignment::parallel`]/[`StageAssignment::round_robin`]
+    /// constructors reject empty pools, but a plan can still arrive with
+    /// one through deserialization or a raw enum literal; the simulator
+    /// and the native executor both validate with this instead of
+    /// panicking mid-schedule.
+    pub fn first_empty_stage(&self) -> Option<u8> {
+        self.stages.iter().enumerate().find_map(|(i, s)| match s {
+            StageAssignment::Serial { .. } => None,
+            StageAssignment::Parallel { cores } | StageAssignment::RoundRobin { cores } => {
+                cores.is_empty().then_some(i as u8)
+            }
+        })
+    }
+
     /// The number of cores the plan requires (highest index + 1).
     pub fn cores_required(&self) -> usize {
         self.stages
@@ -227,5 +243,18 @@ mod tests {
     fn max_core_reports_highest_index() {
         assert_eq!(StageAssignment::serial(5).max_core(), 5);
         assert_eq!(StageAssignment::parallel(vec![2, 9, 4]).max_core(), 9);
+    }
+
+    #[test]
+    fn first_empty_stage_finds_raw_empty_pools() {
+        assert_eq!(ExecutionPlan::three_phase(4).first_empty_stage(), None);
+        let raw = ExecutionPlan::new(vec![
+            StageAssignment::serial(0),
+            StageAssignment::Parallel { cores: vec![] },
+            StageAssignment::serial(1),
+        ]);
+        assert_eq!(raw.first_empty_stage(), Some(1));
+        let rr = ExecutionPlan::new(vec![StageAssignment::RoundRobin { cores: vec![] }]);
+        assert_eq!(rr.first_empty_stage(), Some(0));
     }
 }

@@ -16,6 +16,19 @@ use std::fmt;
 /// A constraint violated by a schedule.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ScheduleViolation {
+    /// The plan's stage count does not match the graph's, so placements
+    /// cannot even be checked against stage pools.
+    PlanMismatch {
+        /// Stages in the plan.
+        plan: u8,
+        /// Stages in the graph.
+        graph: u8,
+    },
+    /// A placement references a task the graph does not contain.
+    UnknownTask {
+        /// The out-of-range task index.
+        task: u32,
+    },
     /// Not every task was placed exactly once.
     WrongTaskCount {
         /// Placements provided.
@@ -62,6 +75,12 @@ pub enum ScheduleViolation {
 impl fmt::Display for ScheduleViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ScheduleViolation::PlanMismatch { plan, graph } => {
+                write!(f, "plan has {plan} stages but the graph has {graph}")
+            }
+            ScheduleViolation::UnknownTask { task } => {
+                write!(f, "placement references unknown task {task}")
+            }
             ScheduleViolation::WrongTaskCount { got, expected } => {
                 write!(
                     f,
@@ -104,6 +123,13 @@ pub fn check_schedule(
     placements: &[TaskPlacement],
 ) -> Vec<ScheduleViolation> {
     let mut violations = Vec::new();
+    if plan.stage_count() != graph.stage_count() {
+        violations.push(ScheduleViolation::PlanMismatch {
+            plan: plan.stage_count(),
+            graph: graph.stage_count(),
+        });
+        return violations;
+    }
     if placements.len() != graph.len() {
         violations.push(ScheduleViolation::WrongTaskCount {
             got: placements.len(),
@@ -111,23 +137,36 @@ pub fn check_schedule(
         });
         return violations;
     }
-    let mut by_task: Vec<Option<&TaskPlacement>> = vec![None; graph.len()];
+    let mut slots: Vec<Option<&TaskPlacement>> = vec![None; graph.len()];
     for p in placements {
-        by_task[p.task.0 as usize] = Some(p);
+        match slots.get_mut(p.task.0 as usize) {
+            Some(slot) => *slot = Some(p),
+            None => {
+                violations.push(ScheduleViolation::UnknownTask { task: p.task.0 });
+                return violations;
+            }
+        }
     }
-    if by_task.iter().any(Option::is_none) {
-        violations.push(ScheduleViolation::WrongTaskCount {
-            got: placements.len(),
-            expected: graph.len(),
-        });
-        return violations;
-    }
-    let place = |i: u32| by_task[i as usize].expect("checked above");
+    // Resolving the options here (rather than indexing under an
+    // `expect` later) keeps the checker panic-free on any input.
+    let by_task: Vec<&TaskPlacement> = match slots.into_iter().collect() {
+        Some(v) => v,
+        None => {
+            violations.push(ScheduleViolation::WrongTaskCount {
+                got: placements.len(),
+                expected: graph.len(),
+            });
+            return violations;
+        }
+    };
+    let place = |i: u32| by_task[i as usize];
 
     // Per-task: duration, pool membership, dependences.
     for (idx, task) in graph.tasks().iter().enumerate() {
         let p = place(idx as u32);
-        if p.end - p.start != task.cost {
+        // `checked_sub`: a placement with end < start is malformed
+        // input, not a reason to underflow-panic.
+        if p.end.checked_sub(p.start) != Some(task.cost) {
             violations.push(ScheduleViolation::WrongDuration { task: idx as u32 });
         }
         let pool = plan.stage(task.stage.0).cores();
@@ -339,5 +378,60 @@ mod tests {
     fn violation_messages_are_prose() {
         let v = ScheduleViolation::CoreOverlap { core: 3 };
         assert!(v.to_string().contains("core 3"));
+    }
+
+    #[test]
+    fn checker_rejects_plan_graph_stage_mismatch_without_panicking() {
+        let g = graph(); // 3 stages
+        let cfg = SimConfig::with_cores(4);
+        let plan = crate::plan::ExecutionPlan::tls(4); // 1 stage
+        let violations = check_schedule(&g, &plan, &cfg, &[]);
+        assert_eq!(
+            violations,
+            vec![ScheduleViolation::PlanMismatch { plan: 1, graph: 3 }]
+        );
+    }
+
+    #[test]
+    fn checker_reports_out_of_range_and_duplicate_tasks_without_panicking() {
+        let g = graph();
+        let cfg = SimConfig::with_cores(4);
+        let plan = ExecutionPlan::three_phase(4);
+        let (_, mut placements) = Simulator::new(cfg).run_traced(&g, &plan).expect("valid");
+        // Point one placement at a task beyond the graph.
+        placements[0].task = TaskId(10_000);
+        let violations = check_schedule(&g, &plan, &cfg, &placements);
+        assert_eq!(
+            violations,
+            vec![ScheduleViolation::UnknownTask { task: 10_000 }]
+        );
+        // Duplicate an existing task instead: some slot is left empty.
+        placements[0].task = placements[1].task;
+        let violations = check_schedule(&g, &plan, &cfg, &placements);
+        assert!(matches!(
+            violations[0],
+            ScheduleViolation::WrongTaskCount { .. }
+        ));
+    }
+
+    #[test]
+    fn checker_flags_inverted_spans_instead_of_underflowing() {
+        let g = graph();
+        let cfg = SimConfig::with_cores(4);
+        let plan = ExecutionPlan::three_phase(4);
+        let (_, mut placements) = Simulator::new(cfg).run_traced(&g, &plan).expect("valid");
+        // end < start: must report WrongDuration, not panic on u64
+        // subtraction.
+        let victim = placements
+            .iter()
+            .position(|p| p.start > 0)
+            .expect("a late task exists");
+        let (s, e) = (placements[victim].start, placements[victim].end);
+        placements[victim].start = e;
+        placements[victim].end = s;
+        let violations = check_schedule(&g, &plan, &cfg, &placements);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, ScheduleViolation::WrongDuration { .. })));
     }
 }

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use seqpar_runtime::{
-    ExecConfig, ExecutionPlan, NativeExecutor, NativeReport, SimConfig, Simulator, TaskCtx,
-    TaskGraph, TaskId, TaskOutput,
+    ExecConfig, ExecutionPlan, FaultPlan, NativeExecutor, NativeReport, SimConfig, Simulator,
+    TaskCtx, TaskGraph, TaskId, TaskOutput,
 };
 
 /// Builds a three-stage pipeline graph from arbitrary per-iteration
@@ -40,6 +40,16 @@ fn build_graph(costs: &[(u64, u64, u64, bool)]) -> TaskGraph {
 /// to-be-squashed speculative attempt, which in-order commit must
 /// discard).
 fn run_native(graph: &TaskGraph, threads: usize, queue_capacity: usize) -> NativeReport {
+    run_native_with(
+        graph,
+        threads,
+        ExecConfig::with_queue_capacity(queue_capacity),
+    )
+}
+
+/// [`run_native`] with a caller-supplied config — the entry point the
+/// chaos properties use to arm a [`FaultPlan`].
+fn run_native_with(graph: &TaskGraph, threads: usize, config: ExecConfig) -> NativeReport {
     let body = |task: TaskId, ctx: &TaskCtx<'_>| {
         let t = graph.task(task);
         if t.stage.0 != 1 {
@@ -55,9 +65,9 @@ fn run_native(graph: &TaskGraph, threads: usize, queue_capacity: usize) -> Nativ
             work: 1,
         }
     };
-    NativeExecutor::new(ExecConfig::with_queue_capacity(queue_capacity))
+    NativeExecutor::new(config)
         .run(graph, &ExecutionPlan::three_phase(threads), &body)
-        .expect("plan matches graph")
+        .expect("plan matches graph and every fault is recoverable")
 }
 
 /// The byte stream a correct in-order commit must produce for
@@ -220,6 +230,46 @@ proptest! {
         prop_assert_eq!(a.squashes, expected);
         prop_assert_eq!(a.violations, expected);
         prop_assert_eq!(a.attempts, g.len() as u64 + expected);
+    }
+
+    /// Chaos: under an arbitrary seeded [`FaultPlan`] — worker panics,
+    /// corrupted outputs, stalls, and spurious squashes on top of any
+    /// misspeculation pattern — the supervised executor still terminates
+    /// (budget exhaustion degrades to the sequential fallback, never an
+    /// abort), the committed stream is byte-identical to the fault-free
+    /// one, and every recovery counter is identical across two runs with
+    /// the same seed. Budget 0 is included: any charged fault then
+    /// triggers the fallback immediately. The run is raced against a
+    /// timeout so a supervision deadlock fails fast.
+    #[test]
+    fn chaos_faults_recover_to_identical_output(
+        costs in proptest::collection::vec((0..100u64, 0..500u64, 0..50u64, any::<bool>()), 1..24),
+        threads in 2usize..7,
+        budget in 0u32..4,
+        seed in any::<u64>()
+    ) {
+        let n = costs.len();
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let g = build_graph(&costs);
+            let config = ExecConfig::default()
+                .with_faults(FaultPlan::seeded(seed))
+                .with_retry_budget(budget);
+            let a = run_native_with(&g, threads, config.clone());
+            let b = run_native_with(&g, threads, config);
+            tx.send((a, b)).ok();
+        });
+        let (a, b) = rx
+            .recv_timeout(std::time::Duration::from_secs(120))
+            .expect("faulted native run hung");
+        prop_assert_eq!(&a.output, &expected_stream(n));
+        prop_assert_eq!(&b.output, &a.output);
+        prop_assert_eq!(a.tasks_committed, 3 * n as u64);
+        prop_assert_eq!(a.recovery, b.recovery);
+        prop_assert_eq!(a.attempts, b.attempts);
+        prop_assert_eq!(a.squashes, b.squashes);
+        prop_assert_eq!(a.violations, b.violations);
+        prop_assert_eq!(a.fallback_activated, b.fallback_activated);
     }
 
     /// The TLS single-stage plan obeys the same fundamental bounds.

@@ -6,7 +6,7 @@ use crate::native::NativeJob;
 use seqpar::IterationTrace;
 use seqpar_analysis::profile::LoopProfile;
 use seqpar_ir::{FuncId, Program};
-use seqpar_runtime::{ExecConfig, ExecutionPlan, NativeReport, SimError};
+use seqpar_runtime::{ExecConfig, ExecError, ExecutionPlan, NativeReport};
 use std::fmt;
 
 /// Input scale, mirroring SPEC's `test` / `train` / `ref` sets.
@@ -169,14 +169,15 @@ pub trait Workload: fmt::Debug {
     ///
     /// # Errors
     ///
-    /// Propagates [`SimError::StageMismatch`] when the plan's stage count
-    /// does not fit the workload's task graph.
+    /// Propagates [`ExecError`] from the executor — an invalid plan, a
+    /// task body that panics past its retry budget, or a wedged worker
+    /// pool.
     fn run_native(
         &self,
         size: InputSize,
         plan: &ExecutionPlan,
         config: ExecConfig,
-    ) -> Result<NativeReport, SimError> {
+    ) -> Result<NativeReport, ExecError> {
         self.native_job(size).execute(plan, config)
     }
 }

@@ -24,7 +24,7 @@
 
 use seqpar::IterationTrace;
 use seqpar_runtime::{
-    ExecConfig, ExecutionPlan, NativeExecutor, NativeReport, SimError, TaskCtx, TaskId, TaskOutput,
+    ExecConfig, ExecError, ExecutionPlan, NativeExecutor, NativeReport, TaskCtx, TaskId, TaskOutput,
 };
 use std::fmt;
 use std::sync::Arc;
@@ -122,12 +122,15 @@ impl NativeJob {
     ///
     /// # Errors
     ///
-    /// Propagates [`SimError::StageMismatch`] from the executor.
+    /// Propagates [`ExecError`] from the executor: an invalid plan
+    /// ([`ExecError::Invalid`]), a task whose body panics past its retry
+    /// budget ([`ExecError::TaskFailed`]), or a wedged worker pool
+    /// ([`ExecError::WorkersDisconnected`]).
     pub fn execute(
         &self,
         plan: &ExecutionPlan,
         config: ExecConfig,
-    ) -> Result<NativeReport, SimError> {
+    ) -> Result<NativeReport, ExecError> {
         let graph = if plan.stage_count() == 1 {
             self.trace.tls_task_graph()
         } else {

@@ -13,8 +13,8 @@
 //!   never by thread timing.
 
 use seqpar_bench::{simulate, PlanKind};
-use seqpar_runtime::{ExecConfig, ExecutionPlan};
-use seqpar_workloads::{all_workloads, misspec_targets, InputSize, NativeJob};
+use seqpar_runtime::{ExecConfig, ExecutionPlan, FaultKind, FaultPlan, SimConfig, Simulator};
+use seqpar_workloads::{all_workloads, misspec_targets, workload_by_name, InputSize, NativeJob};
 
 /// Thread counts exercised per workload (the issue demands at least 3).
 const THREADS: &[usize] = &[1, 2, 4, 8];
@@ -144,6 +144,141 @@ fn native_execution_is_deterministic_across_runs() {
             "{id}: committed-task counts differ"
         );
     }
+}
+
+/// The chaos seed: overridable via `SEQPAR_CHAOS_SEED` (the CI chaos
+/// job runs the suite under three fixed seeds), defaulting to 7.
+fn chaos_seed() -> u64 {
+    std::env::var("SEQPAR_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+/// The panic-injecting plan the differential chaos tests use: a seeded
+/// ~12% worker-panic rate plus one forced panic (so a nonzero recovery
+/// count is guaranteed for *any* seed override). Panic-only, so the
+/// validation oracle stays off and the test isolates the
+/// squash-and-replay path.
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan::seeded(seed)
+        .with_panic_permille(120)
+        .with_corrupt_permille(0)
+        .with_stall_permille(0)
+        .with_spurious_permille(0)
+        .with_forced(1, 0, FaultKind::WorkerPanic)
+}
+
+/// Differential chaos: with deterministic worker panics injected, the
+/// supervised native run still commits the byte-identical sequential
+/// stream, actually recovers panics (nonzero count), and every
+/// deterministic counter matches the simulator's faulted twin
+/// ([`Simulator::run_with_faults`]) exactly — the recovery protocol is
+/// the same pure function on both sides.
+#[test]
+fn chaos_native_recovery_matches_simulator_twin() {
+    let seed = chaos_seed();
+    let faults = chaos_plan(seed);
+    let threads = 4;
+    let budget = 3;
+    for id in ["164.gzip", "181.mcf", "197.parser"] {
+        let w = workload_by_name(id).expect("known benchmark");
+        let job = w.native_job(InputSize::Test);
+        let seq = job.sequential();
+        let plan = ExecutionPlan::three_phase(threads);
+        let native = job
+            .execute(
+                &plan,
+                ExecConfig::default()
+                    .with_faults(faults.clone())
+                    .with_retry_budget(budget),
+            )
+            .expect("faults within budget are recoverable");
+        assert_eq!(
+            native.output, seq.output,
+            "{id}: chaos run (seed {seed}) broke sequential semantics"
+        );
+        assert!(
+            native.recovery.panics_recovered > 0,
+            "{id}: chaos plan (seed {seed}) injected no panics"
+        );
+        let sim = Simulator::new(SimConfig {
+            cores: threads,
+            comm_latency: 10,
+            queue_capacity: 128,
+            ..SimConfig::default()
+        });
+        let twin = sim
+            .run_with_faults(&job.trace().task_graph(), &plan, &faults, budget)
+            .expect("twin accepts the same plan");
+        assert_eq!(
+            native.recovery, twin.recovery,
+            "{id}: recovery counters disagree with the twin at seed {seed}"
+        );
+        assert_eq!(
+            native.attempts, twin.tasks_executed as u64,
+            "{id}: attempt counts disagree with the twin at seed {seed}"
+        );
+        assert_eq!(
+            native.violations, twin.violations,
+            "{id}: violation counts disagree with the twin at seed {seed}"
+        );
+        assert_eq!(
+            native.speculations_survived, twin.speculations_survived,
+            "{id}: survived counts disagree with the twin at seed {seed}"
+        );
+    }
+}
+
+/// Chaos determinism: two native runs under the same seed report the
+/// same recovery counters and the same output, for every workload.
+#[test]
+fn chaos_recovery_counters_are_deterministic_across_runs() {
+    let seed = chaos_seed();
+    let config = ExecConfig::default().with_faults(chaos_plan(seed));
+    for (id, job) in jobs() {
+        let plan = ExecutionPlan::three_phase(4);
+        let a = job
+            .execute(&plan, config.clone())
+            .expect("faults within budget are recoverable");
+        let b = job
+            .execute(&plan, config.clone())
+            .expect("faults within budget are recoverable");
+        assert_eq!(a.output, b.output, "{id}: chaos outputs differ across runs");
+        assert_eq!(
+            a.recovery, b.recovery,
+            "{id}: chaos recovery counters differ across runs"
+        );
+        assert_eq!(a.attempts, b.attempts, "{id}: chaos attempts differ");
+        assert_eq!(a.squashes, b.squashes, "{id}: chaos squashes differ");
+    }
+}
+
+/// Budget exhaustion degrades, never aborts: with a retry budget of 0,
+/// the first charged fault flips the run into the in-order sequential
+/// fallback — output stays byte-identical and the fallback is reported.
+#[test]
+fn chaos_budget_zero_degrades_to_sequential_fallback() {
+    let w = workload_by_name("164.gzip").expect("known benchmark");
+    let job = w.native_job(InputSize::Test);
+    let seq = job.sequential();
+    let report = job
+        .execute(
+            &ExecutionPlan::three_phase(4),
+            ExecConfig::default()
+                .with_faults(chaos_plan(chaos_seed()))
+                .with_retry_budget(0),
+        )
+        .expect("budget exhaustion falls back instead of aborting");
+    assert_eq!(
+        report.output, seq.output,
+        "sequential fallback broke sequential semantics"
+    );
+    assert!(
+        report.fallback_activated,
+        "budget 0 with a forced panic must trigger the fallback"
+    );
+    assert!(report.recovery.fallback_tasks > 0);
 }
 
 /// Tight queues exercise backpressure without deadlock or reordering.
