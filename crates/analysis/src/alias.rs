@@ -183,4 +183,84 @@ mod tests {
             AliasResult::May
         );
     }
+
+    /// Field sensitivity must survive pointer copies: a copy of a
+    /// `global_addr` resolves to the same object, so distinct fields
+    /// through the copy stay disjoint and same fields stay must-alias.
+    #[test]
+    fn copied_addresses_keep_field_sensitivity() {
+        let mut p = Program::new("t");
+        let g1 = p.add_global("g1", 1);
+        let mut b = FunctionBuilder::new("f");
+        let a1 = b.global_addr(g1);
+        let a1c = b.copy(a1);
+        b.ret(None);
+        let f = b.finish(&mut p);
+        let pt = PointsTo::analyze(&p);
+        let q = AliasQuery::new(&p, &pt);
+        assert_eq!(
+            q.alias_in(f, &MemRef::field(a1c, 0), &MemRef::field(a1, 1)),
+            AliasResult::No
+        );
+        assert_eq!(
+            q.alias_in(f, &MemRef::field(a1c, 2), &MemRef::field(a1, 2)),
+            AliasResult::Must
+        );
+    }
+
+    /// A `gep` derived from one global's address never aliases a
+    /// different global, but stays a may-alias of its own base.
+    #[test]
+    fn gep_chains_stay_within_their_object() {
+        let mut p = Program::new("t");
+        let g1 = p.add_global("g1", 1);
+        let g2 = p.add_global("g2", 8);
+        let mut b = FunctionBuilder::new("f");
+        let a1 = b.global_addr(g1);
+        let a2 = b.global_addr(g2);
+        let off = b.const_(3);
+        let elem = b.gep(a2, off);
+        let elem2 = b.gep(elem, off);
+        b.ret(None);
+        let f = b.finish(&mut p);
+        let pt = PointsTo::analyze(&p);
+        let q = AliasQuery::new(&p, &pt);
+        assert_eq!(
+            q.alias_in(f, &MemRef::direct(elem2), &MemRef::direct(a1)),
+            AliasResult::No
+        );
+        assert_eq!(
+            q.alias_in(f, &MemRef::direct(elem2), &MemRef::direct(a2)),
+            AliasResult::May
+        );
+        assert!(q.may_point_to_global(f, elem2, g2));
+        assert!(!q.may_point_to_global(f, elem2, g1));
+    }
+
+    /// Cross-function queries compare abstract objects, not value ids:
+    /// two functions independently taking the address of the same
+    /// scalar global must-alias each other.
+    #[test]
+    fn cross_function_references_resolve_to_shared_objects() {
+        let mut p = Program::new("t");
+        let g1 = p.add_global("g1", 1);
+        let mut b1 = FunctionBuilder::new("f1");
+        let x1 = b1.global_addr(g1);
+        b1.ret(None);
+        let f1 = b1.finish(&mut p);
+        let mut b2 = FunctionBuilder::new("f2");
+        let x2 = b2.global_addr(g1);
+        b2.ret(None);
+        let f2 = b2.finish(&mut p);
+        let pt = PointsTo::analyze(&p);
+        let q = AliasQuery::new(&p, &pt);
+        assert_eq!(
+            q.alias(f1, &MemRef::direct(x1), f2, &MemRef::direct(x2)),
+            AliasResult::Must
+        );
+        assert_eq!(
+            q.alias(f1, &MemRef::field(x1, 0), f2, &MemRef::field(x2, 1)),
+            AliasResult::No
+        );
+    }
 }

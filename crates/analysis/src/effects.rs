@@ -242,6 +242,89 @@ mod tests {
         assert!(eff.of(f).is_pure());
     }
 
+    /// A declared extern summary is taken at face value: its listed
+    /// globals flow into the caller's read/write sets without any
+    /// unknown-clobber pessimism.
+    #[test]
+    fn declared_extern_summaries_list_their_globals() {
+        let mut p = Program::new("t");
+        let src = p.add_global("src", 1);
+        let dst = p.add_global("dst", 1);
+        p.declare_extern(
+            "transfer",
+            ExternEffect {
+                reads: vec![src],
+                writes: vec![dst],
+                ..ExternEffect::default()
+            },
+        );
+        let mut b = FunctionBuilder::new("f");
+        b.call_ext("transfer", &[], None);
+        b.ret(None);
+        let f = b.finish(&mut p);
+        let pt = PointsTo::analyze(&p);
+        let eff = Effects::analyze(&p, &pt);
+        let s = eff.of(f);
+        assert!(s.reads.contains(&AbstractObj::Global(src)));
+        assert!(!s.reads.contains(&AbstractObj::Global(dst)));
+        assert!(s.writes.contains(&AbstractObj::Global(dst)));
+        assert!(!s.writes.contains(&AbstractObj::Global(src)));
+        assert!(!s.clobbers_unknown);
+    }
+
+    /// `clobbers_all` dominates the declared object lists: the caller
+    /// must be treated as touching unanalyzable memory even when the
+    /// extern also names specific globals.
+    #[test]
+    fn clobber_all_overrides_declared_sets() {
+        let mut p = Program::new("t");
+        let g = p.add_global("g", 1);
+        p.declare_extern(
+            "memcpyish",
+            ExternEffect {
+                reads: vec![g],
+                clobbers_all: true,
+                ..ExternEffect::default()
+            },
+        );
+        let mut b = FunctionBuilder::new("f");
+        b.call_ext("memcpyish", &[], None);
+        b.ret(None);
+        let f = b.finish(&mut p);
+        let pt = PointsTo::analyze(&p);
+        let eff = Effects::analyze(&p, &pt);
+        assert!(eff.of(f).clobbers_unknown);
+        assert!(eff.of(f).reads.contains(&AbstractObj::Global(g)));
+    }
+
+    /// `of_callee` answers for a call *site*: declared externs get
+    /// their declared summary, undeclared ones the worst case, and
+    /// internal callees their computed summary.
+    #[test]
+    fn of_callee_summarizes_extern_call_sites() {
+        let mut p = Program::new("t");
+        let g = p.add_global("g", 1);
+        p.declare_extern(
+            "bump",
+            ExternEffect {
+                writes: vec![g],
+                ..ExternEffect::default()
+            },
+        );
+        let mut b = FunctionBuilder::new("f");
+        b.ret(None);
+        b.finish(&mut p);
+        let pt = PointsTo::analyze(&p);
+        let eff = Effects::analyze(&p, &pt);
+        let declared = eff.of_callee(&p, &Callee::External("bump".into()));
+        assert!(declared.writes.contains(&AbstractObj::Global(g)));
+        assert!(declared.reads.is_empty());
+        assert!(!declared.clobbers_unknown);
+        let undeclared = eff.of_callee(&p, &Callee::External("mystery".into()));
+        assert!(undeclared.clobbers_unknown);
+        assert!(undeclared.reads.is_empty() && undeclared.writes.is_empty());
+    }
+
     #[test]
     fn conflict_detection_between_summaries() {
         let g = AbstractObj::Global(seqpar_ir::MemObjId::new(0));

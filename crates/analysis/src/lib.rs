@@ -58,6 +58,7 @@
 pub mod alias;
 pub mod control;
 pub mod effects;
+pub mod lint;
 pub mod memdep;
 pub mod pdg;
 pub mod points_to;
@@ -66,6 +67,10 @@ pub mod regdeps;
 pub mod value_range;
 
 pub use alias::{AliasQuery, AliasResult};
+pub use lint::{
+    check_plan_shape, Lint, LintCode, LintEntry, LintInput, LintReport, SpeculatedDep, StageKind,
+    StagePlan,
+};
 pub use pdg::{DepKind, LoopPdg, PdgEdge, PdgNode};
 pub use points_to::{AbstractObj, PointsTo};
 pub use profile::{BranchProfile, LoopProfile, MemProfile, ValueProfile};

@@ -1,0 +1,335 @@
+//! Checkers 3 and 4: annotation audits.
+//!
+//! Annotations *remove* dependences from the PDG on programmer
+//! authority; these checkers audit whether the authority was claimed
+//! legitimately.
+//!
+//! **Commutative audit** ([`Lint::NonCommutative`]): a `Commutative`
+//! group asserts that its member calls may run in any order because
+//! their side effects are confined to group-internal state
+//! (paper §2.3.2). The audit recomputes each member callee's write
+//! set from effect summaries and scans the rest of the program for
+//! accesses to that state. A load, store, or non-member extern call
+//! touching group-written objects means reorderings are observable
+//! outside the group, so the annotation is not self-commuting. A
+//! member callee whose effects cannot be bounded (`clobbers_unknown`)
+//! fails outright.
+//!
+//! **Y-branch legality** ([`Lint::YBranchLiveOut`]): a Y-branch
+//! asserts that its taken path may legally run on *any* iteration
+//! (paper §2.3.1), which is what lets the parallelizer erase the
+//! branch's control dependences. That claim only holds for state
+//! whose lifetime ends with the loop: if a store guarded by the
+//! branch reaches an object that code *after* the loop reads, then a
+//! compiler-forced (or speculatively mistimed) execution of the path
+//! changes the function's observable result. The audit intersects
+//! guarded write sets with the read sets of all out-of-loop code in
+//! the function.
+
+use super::diag::{describe_inst, Lint};
+use super::Ctx;
+use crate::control::ControlDeps;
+use crate::pdg::{DepKind, PdgNode};
+use crate::points_to::AbstractObj;
+use seqpar_ir::{Callee, CommGroupId, FuncId, InstId, Opcode, Program};
+use std::collections::BTreeSet;
+
+pub(super) fn check(ctx: &Ctx) -> Vec<Lint> {
+    let mut lints = commutative_audit(ctx);
+    lints.extend(ybranch_audit(ctx));
+    lints
+}
+
+/// Checker 3: `Commutative` annotations whose callee effects escape
+/// the declared group.
+fn commutative_audit(ctx: &Ctx) -> Vec<Lint> {
+    let program = ctx.input.program;
+    let pdg = ctx.input.pdg;
+    let mut lints = Vec::new();
+    let mut audited: BTreeSet<CommGroupId> = BTreeSet::new();
+
+    for node in 0..pdg.node_count() {
+        let Some(group) = pdg.commutative_group(node) else {
+            continue;
+        };
+        if !audited.insert(group) {
+            continue;
+        }
+        let members = group_members(program, group);
+        let group_fns = group_functions(program, &members);
+
+        // The union of the member callees' write sets is the
+        // group-internal state the annotation claims to own.
+        let mut state: BTreeSet<AbstractObj> = BTreeSet::new();
+        let mut unbounded = false;
+        for (f, i) in &members {
+            let Opcode::Call { callee, .. } = &program.function(*f).inst(*i).opcode else {
+                continue;
+            };
+            let summary = ctx.effects.of_callee(program, callee);
+            unbounded |= summary.clobbers_unknown;
+            state.extend(summary.writes);
+        }
+        if unbounded {
+            lints.push(Lint::NonCommutative {
+                node,
+                group: group.0,
+                path: "a member callee's effects cannot be bounded (may clobber \
+                       unanalyzable memory)"
+                    .to_string(),
+            });
+            continue;
+        }
+        if state.is_empty() {
+            continue;
+        }
+
+        if let Some(path) = find_escape(ctx, group, &members, &group_fns, &state) {
+            lints.push(Lint::NonCommutative {
+                node,
+                group: group.0,
+                path,
+            });
+        }
+    }
+    lints
+}
+
+/// Every call site in the program annotated with `group`.
+fn group_members(program: &Program, group: CommGroupId) -> Vec<(FuncId, InstId)> {
+    let mut members = Vec::new();
+    for f in program.function_ids() {
+        let func = program.function(f);
+        for i in func.inst_ids() {
+            if let Opcode::Call { commutative, .. } = &func.inst(i).opcode {
+                if *commutative == Some(group) {
+                    members.push((f, i));
+                }
+            }
+        }
+    }
+    members
+}
+
+/// The internal functions implementing the group: member internal
+/// callees plus everything they transitively call. Accesses inside
+/// these bodies are the group's own implementation, not escapes.
+fn group_functions(program: &Program, members: &[(FuncId, InstId)]) -> BTreeSet<FuncId> {
+    let mut set = BTreeSet::new();
+    let mut work: Vec<FuncId> = members
+        .iter()
+        .filter_map(|(f, i)| match &program.function(*f).inst(*i).opcode {
+            Opcode::Call {
+                callee: Callee::Internal(g),
+                ..
+            } => Some(*g),
+            _ => None,
+        })
+        .collect();
+    while let Some(f) = work.pop() {
+        if !set.insert(f) {
+            continue;
+        }
+        let func = program.function(f);
+        for i in func.inst_ids() {
+            if let Opcode::Call {
+                callee: Callee::Internal(g),
+                ..
+            } = &func.inst(i).opcode
+            {
+                work.push(*g);
+            }
+        }
+    }
+    set
+}
+
+/// Scans the whole program for a non-member access to group state.
+///
+/// Internal call instructions are skipped: their bodies are scanned
+/// directly, so charging their summarized effects at the call site
+/// would double-report (and falsely implicate wrappers that merely
+/// contain an annotated call). An access whose PDG node is linked to
+/// a member call by a *speculated* dependence is also skipped: the
+/// conflict is handled by commit-time validation, a different and
+/// audited mechanism, so the annotation need not own it. Likewise an
+/// access whose memory edges to the members all carry a profiled
+/// conflict frequency at or below the misspeculation threshold — the
+/// profile declares the apparent overlap illusory (the basis of alias
+/// speculation), and when speculation is off those edges stay in the
+/// graph and the partitioner synchronizes the rare real conflicts.
+/// Only an access with *no* dependence machinery between it and the
+/// group — or with frequently-manifesting edges, where member order is
+/// genuinely observable — escapes the annotation's authority.
+fn find_escape(
+    ctx: &Ctx,
+    group: CommGroupId,
+    members: &[(FuncId, InstId)],
+    group_fns: &BTreeSet<FuncId>,
+    state: &BTreeSet<AbstractObj>,
+) -> Option<String> {
+    let program = ctx.input.program;
+    let pdg = ctx.input.pdg;
+    let member_set: BTreeSet<(FuncId, InstId)> = members.iter().copied().collect();
+    let member_nodes: Vec<usize> = (0..pdg.node_count())
+        .filter(|&n| pdg.commutative_group(n) == Some(group))
+        .collect();
+    for f in program.function_ids() {
+        if group_fns.contains(&f) {
+            continue;
+        }
+        let func = program.function(f);
+        for i in func.inst_ids() {
+            if member_set.contains(&(f, i)) {
+                continue;
+            }
+            if f == pdg.func() {
+                if let Some(n) = pdg.index_of(PdgNode::Inst(i)) {
+                    let covered = member_nodes.iter().any(|&m| {
+                        ctx.input
+                            .speculated
+                            .iter()
+                            .any(|s| (s.src == m && s.dst == n) || (s.src == n && s.dst == m))
+                    });
+                    // Only memory edges: register edges (e.g. the
+                    // group handle flowing into a consumer) always
+                    // manifest and say nothing about state conflicts.
+                    let mem_freqs: Vec<f64> = pdg
+                        .edges()
+                        .filter(|e| {
+                            e.kind == DepKind::Mem
+                                && ((member_nodes.contains(&e.src) && e.dst == n)
+                                    || (member_nodes.contains(&e.dst) && e.src == n))
+                        })
+                        .map(|e| e.freq)
+                        .collect();
+                    let profiled_rare = !mem_freqs.is_empty()
+                        && mem_freqs
+                            .iter()
+                            .all(|&fq| fq <= super::flow::MISSPEC_WARN_THRESHOLD);
+                    if covered || profiled_rare {
+                        continue;
+                    }
+                }
+            }
+            let touched: Vec<AbstractObj> = match &func.inst(i).opcode {
+                Opcode::Load(mem) | Opcode::Store(mem) => ctx
+                    .points_to
+                    .of(f, mem.base)
+                    .iter()
+                    .filter(|o| state.contains(o))
+                    .copied()
+                    .collect(),
+                Opcode::Call {
+                    callee: callee @ Callee::External(_),
+                    commutative,
+                } if *commutative != Some(group) => {
+                    let summary = ctx.effects.of_callee(program, callee);
+                    if summary.clobbers_unknown {
+                        return Some(format!(
+                            "group-internal state may be clobbered by {}",
+                            describe_inst(program, f, i)
+                        ));
+                    }
+                    summary
+                        .reads
+                        .iter()
+                        .chain(summary.writes.iter())
+                        .filter(|o| state.contains(o))
+                        .copied()
+                        .collect()
+                }
+                _ => Vec::new(),
+            };
+            if let Some(obj) = touched.first() {
+                return Some(format!(
+                    "group-internal state '{}' is also accessed by {}",
+                    ctx.object_name(*obj),
+                    describe_inst(program, f, i)
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Checker 4: Y-branch erasures guarding stores to live-out state.
+fn ybranch_audit(ctx: &Ctx) -> Vec<Lint> {
+    let program = ctx.input.program;
+    let pdg = ctx.input.pdg;
+    let func_id = pdg.func();
+    let func = program.function(func_id);
+    let l = ctx.linted_loop();
+    let cd = ControlDeps::analyze(func);
+    let mut lints = Vec::new();
+
+    // Read sets of everything in this function outside the loop.
+    let mut outside_reads: Vec<(InstId, BTreeSet<AbstractObj>, bool)> = Vec::new();
+    for b in func.block_ids() {
+        if l.contains(b) {
+            continue;
+        }
+        for &i in &func.block(b).insts {
+            match &func.inst(i).opcode {
+                Opcode::Load(mem) => {
+                    let pts: BTreeSet<AbstractObj> = ctx
+                        .points_to
+                        .of(func_id, mem.base)
+                        .iter()
+                        .copied()
+                        .collect();
+                    let unknown = pts.is_empty();
+                    outside_reads.push((i, pts, unknown));
+                }
+                Opcode::Call { callee, .. } => {
+                    let s = ctx.effects.of_callee(program, callee);
+                    outside_reads.push((i, s.reads, s.clobbers_unknown));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    for (node, n) in pdg.nodes().iter().enumerate() {
+        let PdgNode::Branch(b) = n else { continue };
+        if pdg.ybranch_hint(node).is_none() {
+            continue;
+        }
+        // Writers in loop blocks whose execution this branch decides.
+        let mut reported: BTreeSet<AbstractObj> = BTreeSet::new();
+        for &c in &l.blocks {
+            if !cd.depends_on(c, *b) {
+                continue;
+            }
+            for &i in &func.block(c).insts {
+                let written: BTreeSet<AbstractObj> = match &func.inst(i).opcode {
+                    Opcode::Store(mem) => ctx
+                        .points_to
+                        .of(func_id, mem.base)
+                        .iter()
+                        .copied()
+                        .collect(),
+                    Opcode::Call { callee, .. } => ctx.effects.of_callee(program, callee).writes,
+                    _ => continue,
+                };
+                for (reader, reads, unknown) in &outside_reads {
+                    let hit = written
+                        .iter()
+                        .find(|o| *unknown || reads.contains(o))
+                        .copied();
+                    let Some(obj) = hit else { continue };
+                    if !reported.insert(obj) {
+                        continue;
+                    }
+                    lints.push(Lint::YBranchLiveOut {
+                        branch: node,
+                        writer: describe_inst(program, func_id, i),
+                        object: ctx.object_name(obj),
+                        reader: describe_inst(program, func_id, *reader),
+                    });
+                }
+            }
+        }
+    }
+    lints
+}

@@ -1,0 +1,388 @@
+//! Typed lint findings and their lowering to rendered diagnostics.
+//!
+//! Every checker produces [`Lint`] values — structured findings that
+//! carry PDG-node indices and analysis facts — which are lowered once,
+//! with program context in hand, into the shared
+//! [`Diagnostic`](seqpar_runtime::Diagnostic) type that the runtime's
+//! dynamic validators also render with. The [`LintCode`] table is the
+//! stable public contract: golden tests and CI gates match on codes,
+//! not on message text.
+
+use crate::pdg::{DepKind, LoopPdg, PdgNode};
+use seqpar_ir::{Callee, Opcode, Program};
+use seqpar_runtime::{Diagnostic, Severity};
+use std::fmt;
+
+/// Stable lint codes.
+///
+/// `SP00xx` codes are deny-level (the plan is unsound and must not
+/// run); `SP01xx` codes are warnings (legal but suspicious).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// `SP0001`: a non-speculated dependence flows to an earlier
+    /// pipeline stage.
+    BackwardDep,
+    /// `SP0002`: a loop-carried dependence begins and ends inside a
+    /// replicated stage, whose iterations are unordered.
+    CarriedInReplicated,
+    /// `SP0003`: a speculated dependence carries no commit-time
+    /// validation obligation.
+    UnvalidatedSpeculation,
+    /// `SP0004`: two accesses in a replicated stage may race on
+    /// unversioned state across iterations.
+    ReplicatedRace,
+    /// `SP0005`: a `Commutative` annotation covers a callee whose
+    /// side effects escape the declared commutative group.
+    NonCommutative,
+    /// `SP0006`: an erased Y-branch control dependence guards stores
+    /// that reach live-out state.
+    YBranchLiveOut,
+    /// `SP0007`: the execution plan's shape does not fit the
+    /// partition (stage count, empty core pool).
+    PlanShape,
+    /// `SP0101` (warn): a speculated dependence misfires often enough
+    /// to threaten the speedup.
+    HighMisspec,
+    /// `SP0102` (warn): a sequential partition stage is mapped onto a
+    /// multi-core pool — legal under in-order commit, but wasteful.
+    SequentialStageOnPool,
+}
+
+impl LintCode {
+    /// The stable code string (e.g. `"SP0001"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintCode::BackwardDep => "SP0001",
+            LintCode::CarriedInReplicated => "SP0002",
+            LintCode::UnvalidatedSpeculation => "SP0003",
+            LintCode::ReplicatedRace => "SP0004",
+            LintCode::NonCommutative => "SP0005",
+            LintCode::YBranchLiveOut => "SP0006",
+            LintCode::PlanShape => "SP0007",
+            LintCode::HighMisspec => "SP0101",
+            LintCode::SequentialStageOnPool => "SP0102",
+        }
+    }
+
+    /// The severity this code always carries.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintCode::HighMisspec | LintCode::SequentialStageOnPool => Severity::Warn,
+            _ => Severity::Deny,
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One typed finding from a checker.
+///
+/// Node fields are indices into the linted [`LoopPdg`]'s node array;
+/// the lowering attaches human-readable provenance for each.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Lint {
+    /// A dependence edge flows from a later stage to an earlier one
+    /// and no speculation covers it.
+    BackwardDep {
+        /// Producer node.
+        src: usize,
+        /// Consumer node.
+        dst: usize,
+        /// Dependence kind.
+        kind: DepKind,
+        /// Whether the edge is loop-carried.
+        carried: bool,
+        /// The producer's pipeline stage.
+        src_stage: u8,
+        /// The consumer's pipeline stage.
+        dst_stage: u8,
+    },
+    /// A carried dependence is confined to a replicated stage, whose
+    /// iterations run concurrently and unordered.
+    CarriedInReplicated {
+        /// Producer node.
+        src: usize,
+        /// Consumer node.
+        dst: usize,
+        /// Dependence kind.
+        kind: DepKind,
+        /// The replicated stage.
+        stage: u8,
+    },
+    /// A speculated dependence has no commit-time validation
+    /// obligation, so a misspeculation would go undetected.
+    UnvalidatedSpeculation {
+        /// Producer node.
+        src: usize,
+        /// Consumer node.
+        dst: usize,
+        /// Dependence kind.
+        kind: DepKind,
+    },
+    /// Two replicated-stage accesses may touch the same unversioned
+    /// state from concurrent iterations.
+    ReplicatedRace {
+        /// First access node.
+        first: usize,
+        /// Second access node (equal to `first` for a node racing
+        /// with its own next-iteration instance).
+        second: usize,
+        /// The access path: conflicting objects and access kinds.
+        path: String,
+    },
+    /// A `Commutative` annotation whose callee's writes escape the
+    /// declared group.
+    NonCommutative {
+        /// The annotated call node.
+        node: usize,
+        /// The commutative group id.
+        group: u32,
+        /// Where the effect escapes to.
+        path: String,
+    },
+    /// An erased Y-branch control dependence guards stores reaching
+    /// live-out state.
+    YBranchLiveOut {
+        /// The annotated branch node.
+        branch: usize,
+        /// The guarded writer.
+        writer: String,
+        /// The live-out object.
+        object: String,
+        /// The out-of-loop reader that observes it.
+        reader: String,
+    },
+    /// The execution plan does not fit the partition.
+    PlanShape {
+        /// What is wrong with the shape.
+        detail: String,
+    },
+    /// A speculated dependence with a high expected misspeculation
+    /// rate.
+    HighMisspec {
+        /// Producer node.
+        src: usize,
+        /// Consumer node.
+        dst: usize,
+        /// Expected per-iteration misspeculation probability.
+        rate: f64,
+    },
+    /// A sequential partition stage mapped onto a multi-core pool.
+    SequentialStageOnPool {
+        /// The stage.
+        stage: u8,
+    },
+}
+
+impl Lint {
+    /// The stable code of this finding.
+    pub fn code(&self) -> LintCode {
+        match self {
+            Lint::BackwardDep { .. } => LintCode::BackwardDep,
+            Lint::CarriedInReplicated { .. } => LintCode::CarriedInReplicated,
+            Lint::UnvalidatedSpeculation { .. } => LintCode::UnvalidatedSpeculation,
+            Lint::ReplicatedRace { .. } => LintCode::ReplicatedRace,
+            Lint::NonCommutative { .. } => LintCode::NonCommutative,
+            Lint::YBranchLiveOut { .. } => LintCode::YBranchLiveOut,
+            Lint::PlanShape { .. } => LintCode::PlanShape,
+            Lint::HighMisspec { .. } => LintCode::HighMisspec,
+            Lint::SequentialStageOnPool { .. } => LintCode::SequentialStageOnPool,
+        }
+    }
+
+    /// The severity of this finding.
+    pub fn severity(&self) -> Severity {
+        self.code().severity()
+    }
+
+    /// Lowers the plan-shape findings, which carry no PDG-node
+    /// provenance and so need no program context. `None` for findings
+    /// that do reference nodes.
+    pub(crate) fn to_diagnostic_contextless(&self) -> Option<Diagnostic> {
+        let code = self.code().as_str();
+        let mk = |message: String| match self.severity() {
+            Severity::Deny => Diagnostic::deny(code, message),
+            Severity::Warn => Diagnostic::warn(code, message),
+        };
+        match self {
+            Lint::PlanShape { detail } => Some(mk(format!(
+                "execution plan does not fit the partition: {detail}"
+            ))),
+            Lint::SequentialStageOnPool { stage } => Some(mk(format!(
+                "sequential stage {stage} is mapped onto a multi-core pool; \
+                 in-order commit keeps it correct but the extra cores idle"
+            ))),
+            _ => None,
+        }
+    }
+
+    /// Lowers the finding to a rendered diagnostic with PDG-node
+    /// provenance.
+    pub(crate) fn to_diagnostic(&self, program: &Program, pdg: &LoopPdg) -> Diagnostic {
+        if let Some(d) = self.to_diagnostic_contextless() {
+            return d;
+        }
+        let code = self.code().as_str();
+        let mk = |message: String| match self.severity() {
+            Severity::Deny => Diagnostic::deny(code, message),
+            Severity::Warn => Diagnostic::warn(code, message),
+        };
+        match self {
+            Lint::BackwardDep {
+                src,
+                dst,
+                kind,
+                carried,
+                src_stage,
+                dst_stage,
+            } => mk(format!(
+                "{} dependence flows backward from stage {src_stage} to stage {dst_stage}",
+                kind_name(*kind)
+            ))
+            .with_origin(describe_node(program, pdg, *src))
+            .with_note(format!("consumer: {}", describe_node(program, pdg, *dst)))
+            .with_note(if *carried {
+                "loop-carried; covered by no speculation".to_string()
+            } else {
+                "intra-iteration; covered by no speculation".to_string()
+            }),
+            Lint::CarriedInReplicated {
+                src,
+                dst,
+                kind,
+                stage,
+            } => mk(format!(
+                "loop-carried {} dependence inside replicated stage {stage}, \
+                 whose iterations are unordered",
+                kind_name(*kind)
+            ))
+            .with_origin(describe_node(program, pdg, *src))
+            .with_note(format!("consumer: {}", describe_node(program, pdg, *dst))),
+            Lint::UnvalidatedSpeculation { src, dst, kind } => mk(format!(
+                "speculated {} dependence has no commit-time validation obligation",
+                kind_name(*kind)
+            ))
+            .with_origin(describe_node(program, pdg, *src))
+            .with_note(format!("consumer: {}", describe_node(program, pdg, *dst)))
+            .with_note("a manifested dependence would commit a wrong value silently"),
+            Lint::ReplicatedRace {
+                first,
+                second,
+                path,
+            } => {
+                let d = mk(format!(
+                    "concurrent iterations of the replicated stage may race: {path}"
+                ))
+                .with_origin(describe_node(program, pdg, *first));
+                if first == second {
+                    d.with_note("the node conflicts with its own next-iteration instance")
+                } else {
+                    d.with_note(format!(
+                        "conflicting access: {}",
+                        describe_node(program, pdg, *second)
+                    ))
+                }
+            }
+            Lint::NonCommutative { node, group, path } => mk(format!(
+                "Commutative annotation (group {group}) is not self-commuting: {path}"
+            ))
+            .with_origin(describe_node(program, pdg, *node))
+            .with_note("reordering the annotated calls is observable outside the group"),
+            Lint::YBranchLiveOut {
+                branch,
+                writer,
+                object,
+                reader,
+            } => mk(format!(
+                "erased Y-branch control dependence guards a store to live-out state '{object}'"
+            ))
+            .with_origin(describe_node(program, pdg, *branch))
+            .with_note(format!("guarded writer: {writer}"))
+            .with_note(format!("observed after the loop by: {reader}")),
+            Lint::HighMisspec { src, dst, rate } => mk(format!(
+                "speculated dependence misfires with probability {rate:.3} per iteration"
+            ))
+            .with_origin(describe_node(program, pdg, *src))
+            .with_note(format!("consumer: {}", describe_node(program, pdg, *dst))),
+            Lint::PlanShape { .. } | Lint::SequentialStageOnPool { .. } => {
+                unreachable!("handled by to_diagnostic_contextless")
+            }
+        }
+    }
+}
+
+/// Human name of a dependence kind.
+fn kind_name(kind: DepKind) -> &'static str {
+    match kind {
+        DepKind::Reg => "register",
+        DepKind::Mem => "memory",
+        DepKind::Control => "control",
+    }
+}
+
+/// Renders `node`'s provenance: function, node index, opcode, and the
+/// instruction label when one was attached.
+pub(crate) fn describe_node(program: &Program, pdg: &LoopPdg, node: usize) -> String {
+    let func = program.function(pdg.func());
+    match pdg.nodes().get(node) {
+        Some(PdgNode::Inst(id)) => {
+            let inst = func.inst(*id);
+            let op = match &inst.opcode {
+                Opcode::Const(v) => format!("const {v}"),
+                Opcode::Copy => "copy".to_string(),
+                Opcode::Phi => "phi".to_string(),
+                Opcode::AddrOf(g) => format!("addr_of '{}'", program.global(*g).name),
+                Opcode::Gep => "gep".to_string(),
+                Opcode::Load(_) => "load".to_string(),
+                Opcode::Store(_) => "store".to_string(),
+                Opcode::Call { callee, .. } => format!("call {}", callee_name(program, callee)),
+                other => format!("{other:?}").to_lowercase(),
+            };
+            match &inst.label {
+                Some(l) => format!("{}: node {node} = {op} (\"{l}\")", func.name),
+                None => format!("{}: node {node} = {op}", func.name),
+            }
+        }
+        Some(PdgNode::Branch(b)) => {
+            format!(
+                "{}: node {node} = branch at block '{}'",
+                func.name,
+                func.block(*b).name
+            )
+        }
+        None => format!("{}: node {node} (out of range)", func.name),
+    }
+}
+
+/// Renders an arbitrary instruction's provenance (for findings that
+/// reference code outside the linted loop's PDG).
+pub(crate) fn describe_inst(
+    program: &Program,
+    func: seqpar_ir::FuncId,
+    inst: seqpar_ir::InstId,
+) -> String {
+    let f = program.function(func);
+    let i = f.inst(inst);
+    let op = match &i.opcode {
+        Opcode::Load(_) => "load".to_string(),
+        Opcode::Store(_) => "store".to_string(),
+        Opcode::Call { callee, .. } => format!("call {}", callee_name(program, callee)),
+        other => format!("{other:?}").to_lowercase(),
+    };
+    match &i.label {
+        Some(l) => format!("{}: {op} (\"{l}\")", f.name),
+        None => format!("{}: {op}", f.name),
+    }
+}
+
+/// The display name of a call target.
+pub(crate) fn callee_name(program: &Program, callee: &Callee) -> String {
+    match callee {
+        Callee::Internal(f) => program.function(*f).name.clone(),
+        Callee::External(name) => name.clone(),
+    }
+}

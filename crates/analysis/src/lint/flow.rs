@@ -1,0 +1,81 @@
+//! Checker 1: forward-flow soundness.
+//!
+//! A pipelined partition is sound when values only flow *forward*
+//! through the pipeline. Concretely, over the post-speculation PDG:
+//!
+//! * an **intra-iteration** edge `src → dst` needs
+//!   `stage(src) <= stage(dst)` — within an iteration, later stages
+//!   consume what earlier stages produced;
+//! * a **loop-carried** edge with `stage(src) < stage(dst)` is sound:
+//!   iteration *i+1*'s consumer in a later stage starts after
+//!   iteration *i*'s producer finished (pipeline fill order);
+//! * a carried edge **within one sequential stage** is sound: the
+//!   stage runs its iterations in order on one worker;
+//! * a carried edge within a **replicated** stage is a violation
+//!   ([`Lint::CarriedInReplicated`]): the pool runs iterations
+//!   concurrently with no ordering to satisfy the dependence;
+//! * any edge with `stage(src) > stage(dst)` is a violation
+//!   ([`Lint::BackwardDep`]): the consumer would need a value its
+//!   producer has not yet computed, and no speculation covers it —
+//!   covered edges were removed from the graph before partitioning.
+//!
+//! Speculated dependences are audited separately: each must carry a
+//! commit-time validation obligation ([`Lint::UnvalidatedSpeculation`])
+//! — without one, a manifested dependence commits a wrong value
+//! silently — and ones expected to misfire often are flagged as
+//! [`Lint::HighMisspec`] warnings.
+
+use super::diag::Lint;
+use super::Ctx;
+
+/// Speculations misfiring more often than this waste more recovery
+/// work than pipelining recovers (paper §3.1 models misspeculation as
+/// full loss of overlap for the iteration).
+pub(super) const MISSPEC_WARN_THRESHOLD: f64 = 0.25;
+
+pub(super) fn check(ctx: &Ctx) -> Vec<Lint> {
+    let input = ctx.input;
+    let stages = input.stages;
+    let mut lints = Vec::new();
+
+    for e in input.pdg.edges() {
+        let src_stage = stages.stage_of(e.src);
+        let dst_stage = stages.stage_of(e.dst);
+        if src_stage > dst_stage {
+            lints.push(Lint::BackwardDep {
+                src: e.src,
+                dst: e.dst,
+                kind: e.kind,
+                carried: e.carried,
+                src_stage,
+                dst_stage,
+            });
+        } else if e.carried && src_stage == dst_stage && stages.is_replicated(src_stage) {
+            lints.push(Lint::CarriedInReplicated {
+                src: e.src,
+                dst: e.dst,
+                kind: e.kind,
+                stage: src_stage,
+            });
+        }
+    }
+
+    for s in input.speculated {
+        if !s.commit_validated {
+            lints.push(Lint::UnvalidatedSpeculation {
+                src: s.src,
+                dst: s.dst,
+                kind: s.kind,
+            });
+        }
+        if s.misspec_rate > MISSPEC_WARN_THRESHOLD {
+            lints.push(Lint::HighMisspec {
+                src: s.src,
+                dst: s.dst,
+                rate: s.misspec_rate,
+            });
+        }
+    }
+
+    lints
+}

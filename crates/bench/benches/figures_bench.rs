@@ -25,7 +25,7 @@ fn fig(c: &mut Criterion, name: &str, ids: &'static [&'static str]) {
     g.sample_size(10);
     for id in ids {
         g.bench_function(format!("sweep/{id}"), |b| {
-            b.iter(|| black_box(sweep_best(id)))
+            b.iter(|| black_box(sweep_best(id)));
         });
     }
     g.finish();
@@ -71,7 +71,7 @@ fn table_2(c: &mut Criterion) {
                 .collect();
             let rows = table2(&sweeps);
             black_box(geomean(rows.iter().map(|r| r.speedup)))
-        })
+        });
     });
     g.finish();
 }

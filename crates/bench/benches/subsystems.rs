@@ -22,7 +22,7 @@ fn bench_compiler_pipeline(c: &mut Criterion) {
                     .parallelize_outermost(model.func)
                     .expect("parallelizes");
                 black_box(result.report().parallel_fraction())
-            })
+            });
         });
     }
     g.finish();
@@ -38,7 +38,7 @@ fn bench_simulator(c: &mut Criterion) {
         let sim = Simulator::new(SimConfig::with_cores(16));
         let plan = ExecutionPlan::three_phase(16);
         g.bench_function(format!("three_phase/{n}_iters"), |b| {
-            b.iter(|| black_box(sim.run(&graph, &plan).expect("valid").makespan))
+            b.iter(|| black_box(sim.run(&graph, &plan).expect("valid").makespan));
         });
     }
     g.finish();
@@ -66,7 +66,7 @@ fn bench_versioned_memory(c: &mut Criterion) {
                 black_box(vm.stats().commits)
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.finish();
 }
@@ -79,14 +79,14 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| {
             let mut m = WorkMeter::new();
             black_box(seqpar_workloads::gzip::deflate_block(&text, &mut m).len())
-        })
+        });
     });
     let block = synthetic_text(8 * 1024, 9);
     g.bench_function("bzip2_bwt_8k", |b| {
         b.iter(|| {
             let mut m = WorkMeter::new();
             black_box(seqpar_workloads::bzip2::bwt(&block, &mut m).1)
-        })
+        });
     });
     g.bench_function("crafty_search_d5", |b| {
         b.iter(|| {
@@ -100,14 +100,14 @@ fn bench_kernels(c: &mut Criterion) {
                 &mut tt,
                 &mut m,
             ))
-        })
+        });
     });
     let tags = vec![seqpar_workloads::parser::Tag::Noun; 30];
     g.bench_function("parser_cky_30", |b| {
         b.iter(|| {
             let mut m = WorkMeter::new();
             black_box(seqpar_workloads::parser::parse(&tags, &mut m))
-        })
+        });
     });
     g.bench_function("vortex_btree_5k_ops", |b| {
         b.iter(|| {
@@ -117,7 +117,7 @@ fn bench_kernels(c: &mut Criterion) {
                 tree.insert(k.wrapping_mul(2654435761) % 10_000, k, &mut m);
             }
             black_box(tree.len())
-        })
+        });
     });
     g.finish();
 }
@@ -128,7 +128,7 @@ fn bench_trace_generation(c: &mut Criterion) {
     for id in ["181.mcf", "254.gap"] {
         let w = workload_by_name(id).expect("known benchmark");
         g.bench_function(format!("generate/{id}"), |b| {
-            b.iter(|| black_box(w.trace(InputSize::Test).len()))
+            b.iter(|| black_box(w.trace(InputSize::Test).len()));
         });
     }
     g.finish();
@@ -165,7 +165,7 @@ fn bench_transforms(c: &mut Criterion) {
             build,
             |(mut p, caller)| black_box(seqpar::form_region(&mut p, caller, 4).calls_inlined),
             BatchSize::SmallInput,
-        )
+        );
     });
     g.finish();
 }

@@ -3,9 +3,13 @@
 //! Usage:
 //!
 //! ```text
-//! figures [--size test|train|ref] [--native] [--fault-seed N] \
+//! figures [--size test|train|ref] [--native] [--fault-seed N] [--lint] \
 //!     [fig4|fig5|fig6|fig7|table1|table2|ablations|gantt|all]
 //! ```
+//!
+//! `--lint` adds a `lint` column to Table 2: each benchmark's partition
+//! and plan are run through the `seqpar-lint` battery and the verdict
+//! (`clean`, `warn(n)`, `DENY(n)`) is printed next to its speedup.
 //!
 //! With `--native`, targets name benchmarks (`164.gzip`, ... or `all`)
 //! and each is run on real OS threads via the native executor; the
@@ -35,11 +39,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut size = None;
     let mut native = false;
+    let mut lint = false;
     let mut fault_seed = None;
     let mut targets = Vec::new();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
+            "--lint" => lint = true,
             "--size" => {
                 size = match iter.next().map(String::as_str) {
                     Some("test") => Some(InputSize::Test),
@@ -98,7 +104,7 @@ fn main() {
             "fig7" => fig(size, "Figure 7: Y-branch (gzip)", &["164.gzip"]),
             "table1" => table1(),
             "gantt" => gantt(size),
-            "table2" => run_table2(size),
+            "table2" => run_table2(size, lint),
             "ablations" => ablations(size),
             "all" => {
                 fig(
@@ -118,7 +124,7 @@ fn main() {
                 );
                 fig(size, "Figure 7: Y-branch (gzip)", &["164.gzip"]);
                 table1();
-                run_table2(size);
+                run_table2(size, lint);
                 ablations(size);
                 gantt(size);
             }
@@ -135,7 +141,7 @@ fn main() {
 /// printed next to the simulator's estimate at the same thread count.
 fn run_native(size: InputSize, targets: &[String], fault_seed: Option<u64>) {
     let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
+        .map(std::num::NonZero::get)
         .unwrap_or(1);
     println!("## Native execution (real OS threads; host exposes {cores} CPU(s))");
     println!("wall-clock speedup is bounded by host parallelism; the simulator");
@@ -151,7 +157,7 @@ fn run_native(size: InputSize, targets: &[String], fault_seed: Option<u64>) {
     let workloads = all_workloads();
     for t in targets {
         let selected: Vec<&dyn Workload> = if t == "all" {
-            workloads.iter().map(|w| w.as_ref()).collect()
+            workloads.iter().map(std::convert::AsRef::as_ref).collect()
         } else if let Some(w) = workloads.iter().find(|w| w.meta().spec_id == t.as_str()) {
             vec![w.as_ref()]
         } else {
@@ -181,12 +187,25 @@ fn table1() {
     println!("{}", render_table1(&metas));
 }
 
-fn run_table2(size: InputSize) {
+fn run_table2(size: InputSize, lint: bool) {
     let sweeps: Vec<_> = all_workloads()
         .iter()
         .map(|w| (w.meta(), sweep_workload(w.as_ref(), size, PlanKind::Dswp)))
         .collect();
-    println!("{}", render_table2(&table2(&sweeps)));
+    let mut rows = table2(&sweeps);
+    if lint {
+        for (row, w) in rows.iter_mut().zip(all_workloads().iter()) {
+            let report = seqpar_bench::lint_workload(w.as_ref(), 8).report;
+            row.lint = Some(if report.deny_count() > 0 {
+                format!("DENY({})", report.deny_count())
+            } else if report.warn_count() > 0 {
+                format!("warn({})", report.warn_count())
+            } else {
+                "clean".to_string()
+            });
+        }
+    }
+    println!("{}", render_table2(&rows));
 }
 
 /// Prints the first cycles of 256.bzip2's 8-core schedule — the A/B/C

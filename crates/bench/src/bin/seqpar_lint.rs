@@ -1,0 +1,82 @@
+//! `seqpar-lint`: static partition-soundness checker for the workload suite.
+//!
+//! Usage:
+//!
+//! ```text
+//! seqpar-lint [--cores N] [164.gzip ... | all]
+//! ```
+//!
+//! Each target's IR model is parallelized through the library pipeline
+//! (with `allow_unsound`, so findings are reported instead of refused)
+//! and the full lint battery runs over the result: forward-flow
+//! soundness, the replicated-stage race detector, the `Commutative`
+//! audit, the Y-branch legality audit, and the plan-shape check of the
+//! `--cores`-way execution plan. Rendered diagnostics are printed per
+//! finding; a markdown summary table (suitable for `tee -a
+//! "$GITHUB_STEP_SUMMARY"`) closes the run.
+//!
+//! Exit status is 1 when any deny-level finding exists, 0 otherwise —
+//! warnings alone do not fail the run.
+
+use seqpar_bench::{lint_workload, render_lint_table, LintOutcome};
+use seqpar_workloads::{all_workloads, Workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cores = 8usize;
+    let mut targets = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--cores" => {
+                cores = match iter.next().map(|s| s.parse::<usize>()) {
+                    Some(Ok(n)) if n >= 3 => n,
+                    other => {
+                        eprintln!("--cores needs an integer >= 3, got {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+
+    let workloads = all_workloads();
+    let mut selected: Vec<&dyn Workload> = Vec::new();
+    for t in &targets {
+        if t == "all" {
+            selected = workloads.iter().map(std::convert::AsRef::as_ref).collect();
+            break;
+        }
+        match workloads.iter().find(|w| w.meta().spec_id == t.as_str()) {
+            Some(w) => selected.push(w.as_ref()),
+            None => {
+                eprintln!("unknown benchmark {t} (use a SPEC id like 164.gzip, or all)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!(
+        "## seqpar-lint: plan soundness over {} workload(s), {cores} cores\n",
+        selected.len()
+    );
+    let mut outcomes: Vec<LintOutcome> = Vec::new();
+    for w in selected {
+        let outcome = lint_workload(w, cores);
+        if !outcome.report.entries().is_empty() {
+            println!("### {}\n", outcome.spec_id);
+            print!("{}", outcome.report.render());
+            println!();
+        }
+        outcomes.push(outcome);
+    }
+    print!("{}", render_lint_table(&outcomes));
+
+    if outcomes.iter().any(|o| !o.report.is_clean()) {
+        std::process::exit(1);
+    }
+}

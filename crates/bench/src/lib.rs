@@ -261,6 +261,10 @@ pub struct Table2Row {
     pub paper_speedup: f64,
     /// The paper's reported thread count.
     pub paper_threads: u32,
+    /// `seqpar-lint` verdict for this benchmark's plan (e.g. `clean`,
+    /// `warn(1)`, `DENY(2)`). `None` unless the caller ran the linter
+    /// (the `figures --lint` path fills it in).
+    pub lint: Option<String>,
 }
 
 /// Computes Table 2 from sweeps.
@@ -278,6 +282,7 @@ pub fn table2(sweeps: &[(WorkloadMeta, SweepResult)]) -> Vec<Table2Row> {
                 ratio: best.speedup / moore,
                 paper_speedup: meta.paper_speedup,
                 paper_threads: meta.paper_threads,
+                lint: None,
             }
         })
         .collect()
@@ -299,17 +304,26 @@ pub fn geomean(xs: impl IntoIterator<Item = f64>) -> f64 {
 
 /// Renders Table 2 rows.
 pub fn render_table2(rows: &[Table2Row]) -> String {
+    let with_lint = rows.iter().any(|r| r.lint.is_some());
     let mut out = String::new();
     out.push_str("## Table 2: best speedup vs Moore's-law reference\n");
     out.push_str(&format!(
-        "{:<14}{:>9}{:>9}{:>8}{:>7} |{:>9}{:>9}\n",
+        "{:<14}{:>9}{:>9}{:>8}{:>7} |{:>9}{:>9}",
         "benchmark", "threads", "speedup", "moore", "ratio", "paper", "paper#"
     ));
+    if with_lint {
+        out.push_str("  lint");
+    }
+    out.push('\n');
     for r in rows {
         out.push_str(&format!(
-            "{:<14}{:>9}{:>9.2}{:>8.2}{:>7.2} |{:>9.2}{:>9}\n",
+            "{:<14}{:>9}{:>9.2}{:>8.2}{:>7.2} |{:>9.2}{:>9}",
             r.spec_id, r.threads, r.speedup, r.moore, r.ratio, r.paper_speedup, r.paper_threads
         ));
+        if let Some(v) = &r.lint {
+            out.push_str(&format!("  {v}"));
+        }
+        out.push('\n');
     }
     let gm_speedup = geomean(rows.iter().map(|r| r.speedup));
     let gm_threads = geomean(rows.iter().map(|r| r.threads as f64));
@@ -376,7 +390,11 @@ pub fn render_table1(metas: &[WorkloadMeta]) -> String {
         "benchmark", "exec%", "lines", "model", "techniques"
     ));
     for m in metas {
-        let techniques: Vec<String> = m.techniques.iter().map(|t| t.to_string()).collect();
+        let techniques: Vec<String> = m
+            .techniques
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         out.push_str(&format!(
             "{:<14}{:>6}{:>7}{:>7}  {:<50}\n",
             m.spec_id,
@@ -391,6 +409,81 @@ pub fn render_table1(metas: &[WorkloadMeta]) -> String {
     }
     let total: u32 = metas.iter().map(|m| m.lines_changed_all).sum();
     out.push_str(&format!("total lines changed: {total} (paper: 60)\n"));
+    out
+}
+
+/// The lint verdict for one workload's computed partition and plan.
+#[derive(Clone, Debug)]
+pub struct LintOutcome {
+    /// Benchmark SPEC id.
+    pub spec_id: &'static str,
+    /// Merged report: partition-level findings plus the plan-shape
+    /// check of the `cores`-way execution plan.
+    pub report: seqpar_analysis::LintReport,
+    /// Whether the emitted plan carries an intact lint stamp (set only
+    /// when every check passed at deny level).
+    pub plan_stamped: bool,
+}
+
+/// Runs the full `seqpar-lint` battery over one workload's IR model.
+///
+/// The model is parallelized exactly as the library pipeline would —
+/// same builder, same profile — except with `allow_unsound` so that
+/// deny-level findings are *reported* rather than refused, which is
+/// what a lint driver wants. The partition report is then merged with
+/// the plan-shape check of the `cores`-way plan.
+pub fn lint_workload(w: &dyn Workload, cores: usize) -> LintOutcome {
+    let model = w.ir_model();
+    let result = seqpar::Parallelizer::new(&model.program)
+        .profile(model.profile.clone())
+        .allow_unsound(true)
+        .parallelize_outermost(model.func)
+        .expect("workload IR model parallelizes");
+    let plan = result.plan(cores);
+    LintOutcome {
+        spec_id: w.meta().spec_id,
+        report: result.lint_plan(&plan),
+        plan_stamped: plan.is_linted() && plan.lint_stamp_intact(),
+    }
+}
+
+/// Renders lint outcomes as a GitHub-flavoured markdown table, suitable
+/// for piping into a CI step summary.
+pub fn render_lint_table(outcomes: &[LintOutcome]) -> String {
+    let mut out = String::new();
+    out.push_str("| benchmark | deny | warn | codes | plan stamped | verdict |\n");
+    out.push_str("|-----------|-----:|-----:|-------|:------------:|---------|\n");
+    for o in outcomes {
+        let codes: Vec<String> = o
+            .report
+            .codes()
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} |\n",
+            o.spec_id,
+            o.report.deny_count(),
+            o.report.warn_count(),
+            if codes.is_empty() {
+                "—".to_string()
+            } else {
+                codes.join(", ")
+            },
+            if o.plan_stamped { "yes" } else { "no" },
+            if o.report.is_clean() {
+                "clean"
+            } else {
+                "**DENY**"
+            },
+        ));
+    }
+    let denies: usize = outcomes.iter().map(|o| o.report.deny_count()).sum();
+    let warns: usize = outcomes.iter().map(|o| o.report.warn_count()).sum();
+    out.push_str(&format!(
+        "\n{} workload(s): {denies} deny finding(s), {warns} warning(s)\n",
+        outcomes.len()
+    ));
     out
 }
 
@@ -435,7 +528,7 @@ mod tests {
         assert_eq!(chart.lines().count(), 4);
         assert!(chart.contains("core  0 |"));
         // Busy cores show glyphs, not only idle dots.
-        assert!(chart.bytes().filter(|b| b.is_ascii_uppercase()).count() > 10);
+        assert!(chart.bytes().filter(u8::is_ascii_uppercase).count() > 10);
     }
 
     #[test]

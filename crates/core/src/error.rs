@@ -16,6 +16,13 @@ pub enum ParallelizeError {
     NoParallelStage,
     /// The requested loop id does not exist in the function.
     UnknownLoop,
+    /// The computed partition failed `seqpar-lint` at deny level: the
+    /// plan would not preserve sequential semantics. Carries the
+    /// distinct deny codes (e.g. `SP0004`), sorted.
+    Unsound {
+        /// Distinct deny-level lint codes, sorted.
+        codes: Vec<String>,
+    },
 }
 
 impl fmt::Display for ParallelizeError {
@@ -28,6 +35,13 @@ impl fmt::Display for ParallelizeError {
                 write!(f, "no dependence-free stage could be extracted")
             }
             ParallelizeError::UnknownLoop => write!(f, "loop id not found in function"),
+            ParallelizeError::Unsound { codes } => {
+                write!(
+                    f,
+                    "partition failed seqpar-lint at deny level: {}",
+                    codes.join(", ")
+                )
+            }
         }
     }
 }

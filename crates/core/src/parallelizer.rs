@@ -7,19 +7,24 @@ use crate::invariants::prune_constant_carried_edges;
 use crate::reductions::apply_reductions;
 use crate::report::{ParallelizationReport, Technique};
 use crate::speculation::{select, SpecKind, SpeculationConfig, SpeculationSet};
+use seqpar_analysis::lint::{self, LintInput, LintReport, SpeculatedDep, StagePlan};
 use seqpar_analysis::pdg::LoopPdg;
 use seqpar_analysis::profile::LoopProfile;
 use seqpar_ir::{FuncId, LoopForest, LoopId, Program};
 use seqpar_runtime::ExecutionPlan;
 
 /// The result of parallelizing one loop: the stage partition, the
-/// speculation set, and a techniques report.
+/// speculation set, the `seqpar-lint` soundness audit, and a
+/// techniques report.
 #[derive(Clone, Debug)]
 pub struct ParallelizedLoop {
     partition: Partition,
     speculation: SpeculationSet,
     report: ParallelizationReport,
     pdg: LoopPdg,
+    stage_plan: StagePlan,
+    speculated: Vec<SpeculatedDep>,
+    lint: LintReport,
 }
 
 impl ParallelizedLoop {
@@ -43,9 +48,41 @@ impl ParallelizedLoop {
         &self.pdg
     }
 
+    /// The partition in `seqpar-lint`'s compiler-neutral form.
+    pub fn stage_plan(&self) -> &StagePlan {
+        &self.stage_plan
+    }
+
+    /// The chosen speculations in `seqpar-lint`'s neutral form.
+    pub fn speculated_deps(&self) -> &[SpeculatedDep] {
+        &self.speculated
+    }
+
+    /// The `seqpar-lint` audit of the partition (plan shape excluded —
+    /// no plan exists yet at partition time; see [`Self::lint_plan`]).
+    pub fn lint_report(&self) -> &LintReport {
+        &self.lint
+    }
+
+    /// Re-audits with a concrete execution plan: the stored partition
+    /// findings plus plan-shape checks for `plan`.
+    pub fn lint_plan(&self, plan: &ExecutionPlan) -> LintReport {
+        let mut report = self.lint.clone();
+        report.merge(lint::check_plan_shape(&self.stage_plan, plan));
+        report
+    }
+
     /// The execution plan for a machine with `cores` cores.
+    ///
+    /// When both the partition audit and the plan-shape check are
+    /// clean, the plan is stamped as linted; the native executor
+    /// debug-asserts the stamp still matches at run time.
     pub fn plan(&self, cores: usize) -> ExecutionPlan {
-        ExecutionPlan::three_phase(cores)
+        let mut plan = ExecutionPlan::three_phase(cores);
+        if self.lint.is_clean() && lint::check_plan_shape(&self.stage_plan, &plan).is_clean() {
+            plan.stamp_linted();
+        }
+        plan
     }
 }
 
@@ -60,6 +97,7 @@ pub struct Parallelizer<'p> {
     profile: Option<LoopProfile>,
     nested: bool,
     reductions: bool,
+    allow_unsound: bool,
 }
 
 impl<'p> Parallelizer<'p> {
@@ -71,6 +109,7 @@ impl<'p> Parallelizer<'p> {
             profile: None,
             nested: false,
             reductions: false,
+            allow_unsound: false,
         }
     }
 
@@ -97,6 +136,16 @@ impl<'p> Parallelizer<'p> {
     /// are privatized per thread instead of serializing the loop.
     pub fn expand_reductions(mut self, enabled: bool) -> Self {
         self.reductions = enabled;
+        self
+    }
+
+    /// Permits partitions that fail `seqpar-lint` at deny level to be
+    /// returned anyway (the findings stay available via
+    /// [`ParallelizedLoop::lint_report`]). For debugging checkers and
+    /// deliberately-broken fixtures; plans from an unsound result are
+    /// never stamped as linted.
+    pub fn allow_unsound(mut self, allowed: bool) -> Self {
+        self.allow_unsound = allowed;
         self
     }
 
@@ -166,6 +215,41 @@ impl<'p> Parallelizer<'p> {
         // 3. PS-DSWP partitions what remains.
         let part = partition(&pdg);
 
+        // 4. seqpar-lint audits the claim that this partition preserves
+        // sequential semantics.
+        let stage_plan = StagePlan::three_phase(part.stages().iter().map(|s| *s as u8).collect());
+        let speculated: Vec<SpeculatedDep> = speculation
+            .chosen
+            .iter()
+            .map(|s| SpeculatedDep {
+                src: s.edge.src,
+                dst: s.edge.dst,
+                kind: s.edge.kind,
+                carried: s.edge.carried,
+                misspec_rate: s.misspec_rate,
+                // Every SpecKind lowers to a runtime SpecDep that is
+                // replayed against the oracle at commit time.
+                commit_validated: true,
+            })
+            .collect();
+        let lint_report = lint::run(&LintInput {
+            program: self.program,
+            pdg: &pdg,
+            stages: &stage_plan,
+            speculated: &speculated,
+            privatized: &reductions.privatized_nodes,
+            plan: None,
+        });
+        if !lint_report.is_clean() && !self.allow_unsound {
+            return Err(ParallelizeError::Unsound {
+                codes: lint_report
+                    .deny_codes()
+                    .iter()
+                    .map(|c| c.as_str().to_string())
+                    .collect(),
+            });
+        }
+
         let mut techniques = vec![Technique::Dswp];
         if !speculation.is_empty() || part.has_parallel_stage() {
             // Any parallel execution relies on versioned memory for
@@ -216,6 +300,9 @@ impl<'p> Parallelizer<'p> {
             speculation,
             report,
             pdg,
+            stage_plan,
+            speculated,
+            lint: lint_report,
         })
     }
 }
@@ -366,5 +453,93 @@ mod tests {
         let plan = result.plan(8);
         assert_eq!(plan.stage_count(), 3);
         assert_eq!(plan.cores_required(), 8);
+    }
+
+    /// twolf_like with an unannotated extern that reads the RNG seed:
+    /// the Commutative claim on `Yacm_random` no longer owns its state.
+    fn twolf_like_with_seed_leak() -> (Program, FuncId) {
+        let mut p = Program::new("twolf");
+        let seed = p.add_global("randVarS", 1);
+        p.declare_extern(
+            "Yacm_random",
+            ExternEffect {
+                reads: vec![seed],
+                writes: vec![seed],
+                ..Default::default()
+            },
+        );
+        p.declare_extern(
+            "peek_seed",
+            ExternEffect {
+                reads: vec![seed],
+                ..Default::default()
+            },
+        );
+        let mut b = FunctionBuilder::new("uloop");
+        let header = b.add_block("header");
+        let exit = b.add_block("exit");
+        b.jump(header);
+        b.switch_to(header);
+        let r = b.call_ext("Yacm_random", &[], Some(CommGroupId(0)));
+        let s = b.call_ext("peek_seed", &[], None);
+        let done = b.binop(Opcode::CmpLe, r, s);
+        b.cond_branch(done, exit, header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish(&mut p);
+        (p, f)
+    }
+
+    #[test]
+    fn non_commuting_annotation_is_refused_at_deny_level() {
+        let (p, f) = twolf_like_with_seed_leak();
+        let err = Parallelizer::new(&p).parallelize_outermost(f).unwrap_err();
+        assert_eq!(
+            err,
+            ParallelizeError::Unsound {
+                codes: vec!["SP0005".into()]
+            }
+        );
+    }
+
+    #[test]
+    fn allow_unsound_returns_the_partition_with_its_findings() {
+        let (p, f) = twolf_like_with_seed_leak();
+        let result = Parallelizer::new(&p)
+            .allow_unsound(true)
+            .parallelize_outermost(f)
+            .unwrap();
+        let report = result.lint_report();
+        assert!(!report.is_clean());
+        assert!(report
+            .deny_codes()
+            .contains(&seqpar_analysis::lint::LintCode::NonCommutative));
+        // Plans from an unsound result are never stamped as linted.
+        assert!(!result.plan(4).is_linted());
+    }
+
+    #[test]
+    fn clean_results_stamp_their_plans_as_linted() {
+        let (p, f) = twolf_like(true);
+        let result = Parallelizer::new(&p).parallelize_outermost(f).unwrap();
+        assert!(result.lint_report().is_clean());
+        let plan = result.plan(4);
+        assert!(plan.is_linted());
+        assert!(plan.lint_stamp_intact());
+    }
+
+    #[test]
+    fn lint_plan_rejects_a_plan_with_the_wrong_stage_count() {
+        use seqpar_runtime::StageAssignment;
+        let (p, f) = twolf_like(true);
+        let result = Parallelizer::new(&p).parallelize_outermost(f).unwrap();
+        let two_stage =
+            ExecutionPlan::new(vec![StageAssignment::serial(0), StageAssignment::serial(1)]);
+        let report = result.lint_plan(&two_stage);
+        assert!(report
+            .deny_codes()
+            .contains(&seqpar_analysis::lint::LintCode::PlanShape));
+        // The partition findings themselves stay clean.
+        assert!(result.lint_report().is_clean());
     }
 }

@@ -22,6 +22,10 @@ pub struct ReductionOutcome {
     pub memory_reductions: usize,
     /// Carried edges removed.
     pub edges_removed: usize,
+    /// PDG nodes whose memory accesses are privatized per worker by the
+    /// expansion (the accumulator's load and store). `seqpar-lint`'s
+    /// race checker exempts conflicts confined to these nodes.
+    pub privatized_nodes: Vec<usize>,
 }
 
 impl ReductionOutcome {
@@ -137,9 +141,13 @@ pub fn apply_reductions(program: &Program, pdg: &mut LoopPdg) -> ReductionOutcom
         });
         if !cycle_edges.is_empty() {
             outcome.memory_reductions += 1;
+            outcome.privatized_nodes.push(store_node);
+            outcome.privatized_nodes.push(load_node);
             remove.extend(cycle_edges.into_iter().map(|(i, _)| i));
         }
     }
+    outcome.privatized_nodes.sort_unstable();
+    outcome.privatized_nodes.dedup();
 
     remove.sort_unstable();
     remove.dedup();

@@ -12,7 +12,11 @@ use std::fmt::Write as _;
 /// serialization; use the `serde` impls for that.
 pub fn function_to_string(func: &Function) -> String {
     let mut out = String::new();
-    let params: Vec<String> = func.params.iter().map(|p| p.to_string()).collect();
+    let params: Vec<String> = func
+        .params
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
     let _ = writeln!(out, "func @{}({}) {{", func.name, params.join(", "));
     for b in func.block_ids() {
         let block = func.block(b);
@@ -47,7 +51,11 @@ pub fn function_to_string(func: &Function) -> String {
 pub fn inst_to_string(func: &Function, id: InstId) -> String {
     let inst = func.inst(id);
     let def = inst.def.map(|d| format!("{d} = ")).unwrap_or_default();
-    let ops: Vec<String> = inst.operands.iter().map(|o| o.to_string()).collect();
+    let ops: Vec<String> = inst
+        .operands
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
     let ops = ops.join(", ");
     let body = match &inst.opcode {
         Opcode::Const(c) => format!("const {c}"),

@@ -237,7 +237,7 @@ impl<'g> CommitUnit<'g> {
     /// the sequential fallback after budget exhaustion or a watchdog
     /// trip. Speculation counters stay frozen at their pre-fallback
     /// values; only `attempts` and `fallback_tasks` advance.
-    pub(super) fn commit_inline(&mut self, output: TaskOutput) {
+    pub(super) fn commit_inline(&mut self, output: &TaskOutput) {
         self.attempts += 1;
         self.recovery.fallback_tasks += 1;
         self.output.extend_from_slice(&output.bytes);

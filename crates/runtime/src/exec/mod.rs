@@ -322,16 +322,14 @@ impl NativeExecutor {
         plan: &ExecutionPlan,
         body: &dyn NativeBody,
     ) -> Result<NativeReport, ExecError> {
-        if let Some(stage) = plan.first_empty_stage() {
-            return Err(SimError::EmptyStagePool { stage }.into());
-        }
-        if plan.stage_count() != graph.stage_count() {
-            return Err(SimError::StageMismatch {
-                plan: plan.stage_count(),
-                graph: graph.stage_count(),
-            }
-            .into());
-        }
+        // A plan that was stamped by the static soundness lint must not
+        // have been structurally mutated since: execution would then run
+        // a shape the lint never saw. Unstamped (hand-built) plans pass.
+        debug_assert!(
+            plan.lint_stamp_intact(),
+            "execution plan was mutated after it passed seqpar-lint"
+        );
+        crate::diag::PlanShape::of(plan).check_against(graph.stage_count())?;
         let started = Instant::now();
         if graph.is_empty() {
             return Ok(NativeReport::empty(started.elapsed()));
@@ -465,7 +463,7 @@ impl NativeExecutor {
                 // non-speculative — exactly a resumed sequential run.
                 for task in commit.committed_tasks()..n {
                     let output = oracle(task as u32, FALLBACK_ATTEMPT)?;
-                    commit.commit_inline(output);
+                    commit.commit_inline(&output);
                 }
                 Ok(())
             });

@@ -165,6 +165,10 @@ impl<'g> StageQueues<'g> {
     pub(super) fn close(self) {}
 }
 
+// Takes `seat` and `done_tx` by value on purpose: each worker thread owns
+// its seat's receiver, and dropping its `done_tx` clone on exit is what
+// disconnects the completion channel.
+#[allow(clippy::needless_pass_by_value)]
 fn worker_loop(
     seat: WorkerSeat,
     graph: &TaskGraph,

@@ -53,7 +53,7 @@ fn tagging_body(violate_at: Vec<u64>) -> impl NativeBody {
 }
 
 fn expected_stream(iters: u64) -> Vec<u8> {
-    (0..iters).flat_map(|i| i.to_le_bytes()).collect()
+    (0..iters).flat_map(u64::to_le_bytes).collect()
 }
 
 #[test]

@@ -44,12 +44,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod diag;
 pub mod exec;
 pub mod plan;
 pub mod sim;
 pub mod task;
 pub mod validate;
 
+pub use diag::{Diagnostic, PlanShape, Severity};
 pub use exec::{
     supervise_task, CommitView, ExecConfig, ExecError, FaultKind, FaultPlan, NativeBody,
     NativeExecutor, NativeReport, RecoveryCounts, TaskCtx, TaskOutput, TaskSupervision, WorkerStat,

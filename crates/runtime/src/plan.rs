@@ -81,9 +81,24 @@ impl StageAssignment {
 }
 
 /// The per-stage placement for one parallelized loop.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Equality compares the stage assignments only; the lint stamp (see
+/// [`ExecutionPlan::stamp_linted`]) is bookkeeping, not identity.
+#[derive(Clone, Debug, Eq, Serialize, Deserialize)]
 pub struct ExecutionPlan {
     stages: Vec<StageAssignment>,
+    /// Fingerprint recorded when the plan passed the static soundness
+    /// lint, used by the native executor to debug-assert that a linted
+    /// plan was not mutated between linting and execution. Skipped by
+    /// serde: a deserialized plan is unstamped until re-linted.
+    #[serde(skip)]
+    lint_stamp: Option<u64>,
+}
+
+impl PartialEq for ExecutionPlan {
+    fn eq(&self, other: &Self) -> bool {
+        self.stages == other.stages
+    }
 }
 
 impl ExecutionPlan {
@@ -94,7 +109,10 @@ impl ExecutionPlan {
     /// Panics if `stages` is empty.
     pub fn new(stages: Vec<StageAssignment>) -> Self {
         assert!(!stages.is_empty(), "a plan needs at least one stage");
-        Self { stages }
+        Self {
+            stages,
+            lint_stamp: None,
+        }
     }
 
     /// The classic A/B/C plan of §3.2 for a machine with `cores` cores:
@@ -200,6 +218,60 @@ impl ExecutionPlan {
             .unwrap_or(0)
             + 1
     }
+
+    /// A structural fingerprint of the stage assignments (FNV-1a over
+    /// the assignment kinds and core indices). Two plans with equal
+    /// stage structure have equal fingerprints.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = 0xcbf29ce484222325u64;
+        let mut mix = |v: u64| {
+            hash ^= v;
+            hash = hash.wrapping_mul(0x100000001b3);
+        };
+        for s in &self.stages {
+            match s {
+                StageAssignment::Serial { core } => {
+                    mix(1);
+                    mix(*core as u64);
+                }
+                StageAssignment::Parallel { cores } => {
+                    mix(2);
+                    for c in cores {
+                        mix(*c as u64);
+                    }
+                }
+                StageAssignment::RoundRobin { cores } => {
+                    mix(3);
+                    for c in cores {
+                        mix(*c as u64);
+                    }
+                }
+            }
+            mix(u64::MAX); // stage separator
+        }
+        hash
+    }
+
+    /// Records that this plan, as currently shaped, passed the static
+    /// soundness lint. The native executor debug-asserts
+    /// [`ExecutionPlan::lint_stamp_intact`] before running.
+    pub fn stamp_linted(&mut self) {
+        self.lint_stamp = Some(self.fingerprint());
+    }
+
+    /// Whether the plan carries a lint stamp at all.
+    pub fn is_linted(&self) -> bool {
+        self.lint_stamp.is_some()
+    }
+
+    /// Whether the lint stamp (if any) still matches the plan's current
+    /// structure. Unstamped plans — hand-built or deserialized — pass
+    /// trivially; a stamped plan whose stages were mutated afterwards
+    /// does not, which is the invariant the native executor
+    /// debug-asserts.
+    pub fn lint_stamp_intact(&self) -> bool {
+        self.lint_stamp.is_none_or(|s| s == self.fingerprint())
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +315,33 @@ mod tests {
     fn max_core_reports_highest_index() {
         assert_eq!(StageAssignment::serial(5).max_core(), 5);
         assert_eq!(StageAssignment::parallel(vec![2, 9, 4]).max_core(), 9);
+    }
+
+    #[test]
+    fn lint_stamp_tracks_plan_structure() {
+        let mut p = ExecutionPlan::three_phase(4);
+        assert!(!p.is_linted());
+        assert!(p.lint_stamp_intact(), "unstamped plans pass trivially");
+        p.stamp_linted();
+        assert!(p.is_linted());
+        assert!(p.lint_stamp_intact());
+        // Structurally equal plans fingerprint identically; different
+        // shapes do not.
+        assert_eq!(p.fingerprint(), ExecutionPlan::three_phase(4).fingerprint());
+        assert_ne!(p.fingerprint(), ExecutionPlan::three_phase(5).fingerprint());
+        assert_ne!(p.fingerprint(), ExecutionPlan::tls(4).fingerprint());
+        // A mutated stamped plan is caught.
+        let mut tampered = p.clone();
+        tampered.stages[0] = StageAssignment::serial(3);
+        assert!(!tampered.lint_stamp_intact());
+    }
+
+    #[test]
+    fn equality_ignores_the_lint_stamp() {
+        let plain = ExecutionPlan::three_phase(4);
+        let mut stamped = ExecutionPlan::three_phase(4);
+        stamped.stamp_linted();
+        assert_eq!(plain, stamped);
     }
 
     #[test]

@@ -227,18 +227,11 @@ impl Simulator {
         graph: &TaskGraph,
         plan: &ExecutionPlan,
     ) -> Result<(SimResult, Vec<TaskPlacement>), SimError> {
-        if let Some(stage) = plan.first_empty_stage() {
-            return Err(SimError::EmptyStagePool { stage });
-        }
-        if plan.stage_count() != graph.stage_count() {
-            return Err(SimError::StageMismatch {
-                plan: plan.stage_count(),
-                graph: graph.stage_count(),
-            });
-        }
-        if plan.cores_required() > self.config.cores {
+        let shape = crate::diag::PlanShape::of(plan);
+        shape.check_against(graph.stage_count())?;
+        if shape.cores_required > self.config.cores {
             return Err(SimError::NotEnoughCores {
-                required: plan.cores_required(),
+                required: shape.cores_required,
                 available: self.config.cores,
             });
         }

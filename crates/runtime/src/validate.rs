@@ -6,8 +6,9 @@
 //! honest (and gives downstream users a way to validate hand-written
 //! schedules).
 
+use crate::diag::{Diagnostic, PlanShape};
 use crate::plan::{ExecutionPlan, StageAssignment};
-use crate::sim::{SimConfig, TaskPlacement};
+use crate::sim::{SimConfig, SimError, TaskPlacement};
 use crate::task::TaskGraph;
 use std::collections::HashMap;
 use std::error::Error;
@@ -23,6 +24,12 @@ pub enum ScheduleViolation {
         plan: u8,
         /// Stages in the graph.
         graph: u8,
+    },
+    /// A parallel or round-robin stage has an empty core pool, so no
+    /// placement in that stage can be legal.
+    EmptyStagePool {
+        /// The stage with no cores.
+        stage: u8,
     },
     /// A placement references a task the graph does not contain.
     UnknownTask {
@@ -78,6 +85,9 @@ impl fmt::Display for ScheduleViolation {
             ScheduleViolation::PlanMismatch { plan, graph } => {
                 write!(f, "plan has {plan} stages but the graph has {graph}")
             }
+            ScheduleViolation::EmptyStagePool { stage } => {
+                write!(f, "stage {stage} has an empty core pool")
+            }
             ScheduleViolation::UnknownTask { task } => {
                 write!(f, "placement references unknown task {task}")
             }
@@ -114,6 +124,30 @@ impl fmt::Display for ScheduleViolation {
 
 impl Error for ScheduleViolation {}
 
+impl ScheduleViolation {
+    /// The stable diagnostic code for this violation.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ScheduleViolation::PlanMismatch { .. } => "SPR010",
+            ScheduleViolation::EmptyStagePool { .. } => "SPR011",
+            ScheduleViolation::UnknownTask { .. } => "SPR012",
+            ScheduleViolation::WrongTaskCount { .. } => "SPR013",
+            ScheduleViolation::CoreOutsidePool { .. } => "SPR014",
+            ScheduleViolation::WrongDuration { .. } => "SPR015",
+            ScheduleViolation::CoreOverlap { .. } => "SPR016",
+            ScheduleViolation::DependenceViolated { .. } => "SPR017",
+            ScheduleViolation::SerialOrderBroken { .. } => "SPR018",
+            ScheduleViolation::QueueOverrun { .. } => "SPR019",
+        }
+    }
+
+    /// This violation as a deny-level [`Diagnostic`] (the shared type
+    /// the static lint also renders with).
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        Diagnostic::deny(self.code(), self.to_string())
+    }
+}
+
 /// Checks `placements` against every machine constraint; returns all
 /// violations found (empty means the schedule is valid).
 pub fn check_schedule(
@@ -123,12 +157,22 @@ pub fn check_schedule(
     placements: &[TaskPlacement],
 ) -> Vec<ScheduleViolation> {
     let mut violations = Vec::new();
-    if plan.stage_count() != graph.stage_count() {
-        violations.push(ScheduleViolation::PlanMismatch {
-            plan: plan.stage_count(),
-            graph: graph.stage_count(),
-        });
-        return violations;
+    // Shape first (shared with the simulator, the native executor, and
+    // the static lint): placements cannot be checked against stage
+    // pools the plan does not coherently define.
+    match PlanShape::of(plan).check_against(graph.stage_count()) {
+        Ok(()) => {}
+        Err(SimError::EmptyStagePool { stage }) => {
+            violations.push(ScheduleViolation::EmptyStagePool { stage });
+            return violations;
+        }
+        Err(_) => {
+            violations.push(ScheduleViolation::PlanMismatch {
+                plan: plan.stage_count(),
+                graph: graph.stage_count(),
+            });
+            return violations;
+        }
     }
     if placements.len() != graph.len() {
         violations.push(ScheduleViolation::WrongTaskCount {
@@ -378,6 +422,54 @@ mod tests {
     fn violation_messages_are_prose() {
         let v = ScheduleViolation::CoreOverlap { core: 3 };
         assert!(v.to_string().contains("core 3"));
+    }
+
+    #[test]
+    fn violations_lower_to_shared_diagnostics() {
+        let v = ScheduleViolation::PlanMismatch { plan: 1, graph: 3 };
+        let d = v.to_diagnostic();
+        assert_eq!(d.code(), "SPR010");
+        assert!(d.is_deny());
+        assert!(d.render().starts_with("error[SPR010]:"));
+        // Every variant has a distinct stable code.
+        let codes = [
+            ScheduleViolation::PlanMismatch { plan: 0, graph: 0 }.code(),
+            ScheduleViolation::EmptyStagePool { stage: 0 }.code(),
+            ScheduleViolation::UnknownTask { task: 0 }.code(),
+            ScheduleViolation::WrongTaskCount {
+                got: 0,
+                expected: 0,
+            }
+            .code(),
+            ScheduleViolation::CoreOutsidePool { task: 0 }.code(),
+            ScheduleViolation::WrongDuration { task: 0 }.code(),
+            ScheduleViolation::CoreOverlap { core: 0 }.code(),
+            ScheduleViolation::DependenceViolated { task: 0, dep: 0 }.code(),
+            ScheduleViolation::SerialOrderBroken { stage: 0 }.code(),
+            ScheduleViolation::QueueOverrun {
+                producer: 0,
+                consumer: 0,
+            }
+            .code(),
+        ];
+        let unique: std::collections::BTreeSet<_> = codes.iter().collect();
+        assert_eq!(unique.len(), codes.len());
+    }
+
+    #[test]
+    fn checker_rejects_empty_stage_pools_before_placement_checks() {
+        let g = graph();
+        let cfg = SimConfig::with_cores(4);
+        let plan = ExecutionPlan::new(vec![
+            StageAssignment::serial(0),
+            StageAssignment::Parallel { cores: vec![] },
+            StageAssignment::serial(1),
+        ]);
+        let violations = check_schedule(&g, &plan, &cfg, &[]);
+        assert_eq!(
+            violations,
+            vec![ScheduleViolation::EmptyStagePool { stage: 1 }]
+        );
     }
 
     #[test]

@@ -109,10 +109,10 @@ pub fn interpret(ops: &[MOp]) -> i64 {
         match *op {
             MOp::Const { dst, val } => regs[dst as usize] = val,
             MOp::Add { dst, a, b } => {
-                regs[dst as usize] = regs[a as usize].wrapping_add(regs[b as usize])
+                regs[dst as usize] = regs[a as usize].wrapping_add(regs[b as usize]);
             }
             MOp::Mul { dst, a, b } => {
-                regs[dst as usize] = regs[a as usize].wrapping_mul(regs[b as usize])
+                regs[dst as usize] = regs[a as usize].wrapping_mul(regs[b as usize]);
             }
             MOp::Copy { dst, src } => regs[dst as usize] = regs[src as usize],
             MOp::Label => {}

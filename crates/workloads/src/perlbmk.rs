@@ -281,7 +281,7 @@ impl Workload for Perlbmk {
         let program = generate_program(self.statement_count(size), 0x253);
         let stmts: Vec<Vec<Op>> = statements(&program)
             .into_iter()
-            .map(|s| s.to_vec())
+            .map(<[Op]>::to_vec)
             .collect();
         // Sequential prepass: the variable file before each statement.
         // A statement re-executed on a fresh VM seeded with its prefix

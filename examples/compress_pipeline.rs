@@ -23,15 +23,9 @@ fn main() {
     let adaptive = g.compression_ratio(size, BlockMode::Adaptive);
     let fixed = g.compression_ratio(size, BlockMode::Fixed(32 * 1024));
     println!("compression ratio (lower is better):");
-    println!("  whole file      {:.4}", whole);
-    println!(
-        "  adaptive blocks {:.4} (gzip's heuristic, unparallelizable)",
-        adaptive
-    );
-    println!(
-        "  fixed blocks    {:.4} (Y-branch / pigz, parallelizable)",
-        fixed
-    );
+    println!("  whole file      {whole:.4}");
+    println!("  adaptive blocks {adaptive:.4} (gzip's heuristic, unparallelizable)");
+    println!("  fixed blocks    {fixed:.4} (Y-branch / pigz, parallelizable)");
     println!(
         "  fixed-block loss vs whole file: {:.2}% (paper reports <1%)",
         (fixed - whole) * 100.0

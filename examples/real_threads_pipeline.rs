@@ -17,7 +17,7 @@ use seqpar_workloads::{all_workloads, InputSize};
 
 fn main() {
     let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
+        .map(std::num::NonZero::get)
         .unwrap_or(1);
     println!("host exposes {cores} CPU(s); wall-clock speedup is bounded by that");
     println!(

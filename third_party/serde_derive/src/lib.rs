@@ -3,17 +3,19 @@
 //! network access to crates.io, and nothing in this workspace actually
 //! serializes — the derives exist so types can declare the capability —
 //! so the derives expand to nothing and the traits are blanket-satisfied.
+//! Field-level `#[serde(...)]` attributes (e.g. `#[serde(skip)]`) are
+//! accepted and ignored, exactly as upstream accepts them.
 
 use proc_macro::TokenStream;
 
 /// Derives the (empty) `serde::Serialize` marker.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
 /// Derives the (empty) `serde::Deserialize` marker.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
