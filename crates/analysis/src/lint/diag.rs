@@ -3,7 +3,7 @@
 //! Every checker produces [`Lint`] values — structured findings that
 //! carry PDG-node indices and analysis facts — which are lowered once,
 //! with program context in hand, into the shared
-//! [`Diagnostic`](seqpar_runtime::Diagnostic) type that the runtime's
+//! [`Diagnostic`] type that the runtime's
 //! dynamic validators also render with. The [`LintCode`] table is the
 //! stable public contract: golden tests and CI gates match on codes,
 //! not on message text.

@@ -6,20 +6,20 @@
 //! plan preserves sequential semantics*. The checkers here audit that
 //! claim before anything runs:
 //!
-//! 1. [`flow`] — forward-flow soundness: every surviving dependence
+//! 1. `flow` — forward-flow soundness: every surviving dependence
 //!    must respect pipeline stage order, and every removed (speculated)
 //!    dependence must carry a commit-time validation obligation;
-//! 2. [`races`] — replicated-stage race detection: points-to and
+//! 2. `races` — replicated-stage race detection: points-to and
 //!    effect summaries find may-aliasing write/write or write/read
 //!    pairs on unversioned state reachable from two concurrent
 //!    iterations;
-//! 3. [`annotations`] — annotation audit: `Commutative` groups whose
+//! 3. `annotations` — annotation audit: `Commutative` groups whose
 //!    side effects escape the group, and Y-branch erasures that guard
 //!    stores to live-out state.
 //!
 //! Findings are typed ([`Lint`]), carry stable codes ([`LintCode`],
 //! `SP0001`–`SP0102`), and lower to the same
-//! [`Diagnostic`](seqpar_runtime::Diagnostic) type the runtime's
+//! [`Diagnostic`] type the runtime's
 //! dynamic validators render with.
 
 mod annotations;

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! figures [--size test|train|ref] [--native] [--fault-seed N] [--lint] \
-//!     [fig4|fig5|fig6|fig7|table1|table2|ablations|gantt|all]
+//!     [--trace-summary] [fig4|fig5|fig6|fig7|table1|table2|ablations|gantt|all]
 //! ```
 //!
 //! `--lint` adds a `lint` column to Table 2: each benchmark's partition
@@ -16,6 +16,13 @@
 //! tables gain wall-clock and wall-clock-speedup columns next to the
 //! simulator's estimate. Native runs default to the `test` input size
 //! (real wall time, not simulated cycles) unless `--size` is given.
+//!
+//! `--trace-summary` (native mode only) re-runs each benchmark once
+//! with structured tracing enabled at the largest swept thread count
+//! and prints the per-stage timeline columns (service-time percentiles,
+//! queue wait, commit latency, busy share) under its native curve. For
+//! the full timeline toolkit — Gantt view, critical path, Perfetto
+//! export — use the `seqpar-trace` binary.
 //!
 //! `--fault-seed N` (native mode only) arms the deterministic fault
 //! injector with `FaultPlan::seeded(N)`: worker panics, corrupted
@@ -40,12 +47,14 @@ fn main() {
     let mut size = None;
     let mut native = false;
     let mut lint = false;
+    let mut trace_summary = false;
     let mut fault_seed = None;
     let mut targets = Vec::new();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--lint" => lint = true,
+            "--trace-summary" => trace_summary = true,
             "--size" => {
                 size = match iter.next().map(String::as_str) {
                     Some("test") => Some(InputSize::Test),
@@ -76,11 +85,20 @@ fn main() {
     if native {
         // Real threads measure real seconds: default to the small input so
         // `--native all` stays interactive.
-        run_native(size.unwrap_or(InputSize::Test), &targets, fault_seed);
+        run_native(
+            size.unwrap_or(InputSize::Test),
+            &targets,
+            fault_seed,
+            trace_summary,
+        );
         return;
     }
     if fault_seed.is_some() {
         eprintln!("--fault-seed only applies to --native runs");
+        std::process::exit(2);
+    }
+    if trace_summary {
+        eprintln!("--trace-summary only applies to --native runs");
         std::process::exit(2);
     }
     let size = size.unwrap_or(InputSize::Train);
@@ -139,7 +157,7 @@ fn main() {
 /// `--native` mode: each target is a benchmark id (or `all`); every
 /// benchmark is executed on real OS threads and its wall-clock columns
 /// printed next to the simulator's estimate at the same thread count.
-fn run_native(size: InputSize, targets: &[String], fault_seed: Option<u64>) {
+fn run_native(size: InputSize, targets: &[String], fault_seed: Option<u64>, trace_summary: bool) {
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZero::get)
         .unwrap_or(1);
@@ -167,6 +185,16 @@ fn run_native(size: InputSize, targets: &[String], fault_seed: Option<u64>) {
         for w in selected {
             let curve = native_sweep(w, size, PlanKind::Dswp, NATIVE_THREAD_SWEEP, &config);
             println!("{}", render_native_curve(&curve));
+            if trace_summary {
+                let threads = *NATIVE_THREAD_SWEEP.last().expect("sweep is non-empty");
+                let run = seqpar_bench::trace_native(w, size, PlanKind::Dswp, threads, &config);
+                let labels = seqpar_workloads::stage_labels(run.timeline.stage_count());
+                print!(
+                    "{}",
+                    seqpar_bench::render_trace_summary(&run.timeline, &labels)
+                );
+                println!();
+            }
         }
     }
 }

@@ -1,0 +1,238 @@
+//! `seqpar-trace`: capture and inspect a structured execution timeline.
+//!
+//! Usage:
+//!
+//! ```text
+//! seqpar-trace <workload> [--threads N] [--plan dswp|tls] [--size test|train|ref]
+//!              [--fault-seed N] [--out trace.json]
+//! seqpar-trace --check trace.json
+//! ```
+//!
+//! The workload (a SPEC id like `164.gzip`, or its short name `gzip`)
+//! is run on real OS threads with [`ExecConfig::trace`] enabled; its
+//! committed output is checked byte-for-byte against the sequential
+//! run; and the stitched timeline is validated, summarized (per-stage
+//! service/queue/commit histograms), rendered as a terminal Gantt
+//! chart, and compared against the simulator's timeline of the same
+//! plan (commit order must agree — speculation replay differs by
+//! design, see OBSERVABILITY.md).
+//!
+//! `--out PATH` additionally exports the timeline as Chrome
+//! `trace_event` JSON — load it in [Perfetto](https://ui.perfetto.dev)
+//! or `chrome://tracing`. `--check PATH` parses an exported file and
+//! validates it against the trace-event schema without running
+//! anything (the CI smoke job round-trips `--out` through `--check`).
+//!
+//! Exit status: 0 on success, 1 when the timeline (or a checked file)
+//! is malformed or sim and native disagree on commit order, 2 on usage
+//! errors.
+
+use seqpar_bench::{
+    json, render_critical_path, render_timeline_gantt, render_trace_summary, trace_native, PlanKind,
+};
+use seqpar_runtime::{ExecConfig, FaultPlan, SimConfig, Simulator};
+use seqpar_workloads::{all_workloads, stage_labels, InputSize, Workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads = 4usize;
+    let mut plan = PlanKind::Dswp;
+    let mut size = InputSize::Test;
+    let mut fault_seed = None;
+    let mut out_path = None;
+    let mut check_path = None;
+    let mut target = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--threads" => {
+                threads = match iter.next().map(|s| s.parse::<usize>()) {
+                    Some(Ok(n)) if n >= 1 => n,
+                    other => usage(&format!("--threads needs an integer >= 1, got {other:?}")),
+                }
+            }
+            "--plan" => {
+                plan = match iter.next().map(String::as_str) {
+                    Some("dswp") => PlanKind::Dswp,
+                    Some("tls") => PlanKind::Tls,
+                    other => usage(&format!("unknown plan {other:?} (use dswp|tls)")),
+                }
+            }
+            "--size" => {
+                size = match iter.next().map(String::as_str) {
+                    Some("test") => InputSize::Test,
+                    Some("train") => InputSize::Train,
+                    Some("ref") => InputSize::Ref,
+                    other => usage(&format!("unknown size {other:?} (use test|train|ref)")),
+                }
+            }
+            "--fault-seed" => {
+                fault_seed = match iter.next().map(|s| s.parse::<u64>()) {
+                    Some(Ok(n)) => Some(n),
+                    other => usage(&format!("--fault-seed needs a u64, got {other:?}")),
+                }
+            }
+            "--out" => match iter.next() {
+                Some(p) => out_path = Some(p.clone()),
+                None => usage("--out needs a path"),
+            },
+            "--check" => match iter.next() {
+                Some(p) => check_path = Some(p.clone()),
+                None => usage("--check needs a path"),
+            },
+            other if target.is_none() && !other.starts_with('-') => {
+                target = Some(other.to_string());
+            }
+            other => usage(&format!("unexpected argument {other}")),
+        }
+    }
+
+    if let Some(path) = check_path {
+        check_file(&path);
+        return;
+    }
+    let Some(target) = target else {
+        usage("a workload is required (a SPEC id like 164.gzip, its short name, or --check PATH)");
+    };
+    let workloads = all_workloads();
+    let Some(w) = find_workload(&workloads, &target) else {
+        usage(&format!(
+            "unknown workload {target} (use a SPEC id like 164.gzip or a short name like gzip)"
+        ));
+    };
+
+    let mut config = ExecConfig::default();
+    if let Some(seed) = fault_seed {
+        config = config.with_faults(FaultPlan::seeded(seed));
+    }
+    let meta = w.meta();
+    println!(
+        "## {}: traced native run ({threads} threads, {} plan)",
+        meta.spec_id,
+        match plan {
+            PlanKind::Dswp => "dswp",
+            PlanKind::Tls => "tls",
+        }
+    );
+    let run = trace_native(w, size, plan, threads, &config);
+    let report = &run.report;
+    println!(
+        "wall {:.3} ms (sequential {:.3} ms); {} tasks committed in {} attempts, \
+         {} squashed, {} faults recovered; output byte-identical to sequential",
+        report.wall.as_secs_f64() * 1e3,
+        run.sequential_wall_ms,
+        report.tasks_committed,
+        report.attempts,
+        report.squashes,
+        report.recovery.faults_recovered(),
+    );
+
+    let timeline = &run.timeline;
+    if let Err(defect) = timeline.validate() {
+        eprintln!("timeline is MALFORMED: {defect}");
+        std::process::exit(1);
+    }
+    println!("timeline: {} events, well-formed\n", timeline.len());
+
+    let labels = stage_labels(timeline.stage_count());
+    print!("{}", render_trace_summary(timeline, &labels));
+    println!();
+    print!("{}", render_timeline_gantt(timeline));
+
+    // Critical path over the same task graph the run executed.
+    let job = w.native_job(size);
+    let graph = match plan {
+        PlanKind::Dswp => job.trace().task_graph(),
+        PlanKind::Tls => job.trace().tls_task_graph(),
+    };
+    println!(
+        "{}",
+        render_critical_path(&timeline.critical_path(&graph), timeline.unit())
+    );
+
+    // Differential check: the simulator's timeline of the same plan must
+    // commit tasks in the same order (always sequential order, for both).
+    let sim = Simulator::new(SimConfig {
+        cores: threads,
+        comm_latency: 10,
+        queue_capacity: 128,
+        ..SimConfig::default()
+    });
+    let sim_plan = match plan {
+        PlanKind::Dswp => seqpar_runtime::ExecutionPlan::three_phase(threads),
+        PlanKind::Tls => seqpar_runtime::ExecutionPlan::tls(threads),
+    };
+    let (_, sim_timeline) = sim
+        .run_timeline(&graph, &sim_plan)
+        .expect("plan matches machine");
+    if sim_timeline.commit_order() == timeline.commit_order() {
+        println!(
+            "sim/native commit order: agree ({} tasks)",
+            timeline.commit_order().len()
+        );
+    } else {
+        eprintln!("sim/native commit order: DISAGREE");
+        std::process::exit(1);
+    }
+
+    if let Some(path) = out_path {
+        let text = timeline.to_chrome_json(&labels);
+        if let Err(e) = json::check_chrome_trace(&text) {
+            eprintln!("exported trace failed self-check: {e}");
+            std::process::exit(1);
+        }
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "wrote {path} ({} bytes) — load it at https://ui.perfetto.dev or chrome://tracing",
+            text.len()
+        );
+    }
+}
+
+/// `--check` mode: parse and schema-validate an exported trace file.
+fn check_file(path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match json::check_chrome_trace(&text) {
+        Ok(check) => {
+            println!(
+                "{path}: valid Chrome trace ({} events: {} slices, {} instants, \
+                 {} counter samples, {} metadata records)",
+                check.events, check.slices, check.instants, check.counters, check.metadata
+            );
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID Chrome trace: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Accepts a full SPEC id (`164.gzip`) or its short name (`gzip`).
+fn find_workload<'a>(workloads: &'a [Box<dyn Workload>], name: &str) -> Option<&'a dyn Workload> {
+    workloads
+        .iter()
+        .find(|w| {
+            let id = w.meta().spec_id;
+            id == name || id.split('.').nth(1) == Some(name)
+        })
+        .map(std::convert::AsRef::as_ref)
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!(
+        "usage: seqpar-trace <workload> [--threads N] [--plan dswp|tls] \
+         [--size test|train|ref] [--fault-seed N] [--out trace.json]\n\
+         \x20      seqpar-trace --check trace.json"
+    );
+    std::process::exit(2);
+}

@@ -7,8 +7,13 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+
 use seqpar::IterationTrace;
-use seqpar_runtime::{ExecConfig, ExecutionPlan, SimConfig, SimResult, Simulator};
+use seqpar_runtime::{
+    CriticalPath, ExecConfig, ExecutionPlan, NativeReport, SimConfig, SimResult, Simulator,
+    TimeUnit, Timeline, TraceEventKind,
+};
 use seqpar_workloads::{InputSize, Workload, WorkloadMeta};
 
 /// The thread counts used throughout the paper's figures.
@@ -381,6 +386,185 @@ pub fn render_gantt(
     out
 }
 
+/// A traced native run of one workload: the report, its structured
+/// timeline, and the sequential wall time it was checked against.
+#[derive(Clone, Debug)]
+pub struct TracedRun {
+    /// The native executor's report (timeline detached into
+    /// [`TracedRun::timeline`]).
+    pub report: NativeReport,
+    /// The stitched execution timeline (validated by the caller;
+    /// [`trace_native`] only guarantees it is present).
+    pub timeline: Timeline,
+    /// Wall-clock milliseconds of the sequential reference run.
+    pub sequential_wall_ms: f64,
+}
+
+/// Runs one workload on real OS threads with structured tracing enabled
+/// and returns the report plus its [`Timeline`].
+///
+/// As with [`native_sweep`], the committed output is checked
+/// byte-for-byte against the sequential run before anything is
+/// returned — a trace of an execution that broke sequential semantics
+/// would be worse than no trace.
+pub fn trace_native(
+    w: &dyn Workload,
+    size: InputSize,
+    kind: PlanKind,
+    threads: usize,
+    config: &ExecConfig,
+) -> TracedRun {
+    let job = w.native_job(size);
+    let seq = job.sequential();
+    let plan = match kind {
+        PlanKind::Dswp => ExecutionPlan::three_phase(threads),
+        PlanKind::Tls => ExecutionPlan::tls(threads),
+    };
+    let mut report = job
+        .execute(&plan, config.clone().with_tracing(true))
+        .expect("plan matches machine and faults are recoverable");
+    assert_eq!(
+        report.output,
+        seq.output,
+        "{}: native output diverged from sequential at {threads} threads",
+        w.meta().spec_id
+    );
+    let timeline = report
+        .timeline
+        .take()
+        .expect("traced run carries a timeline");
+    TracedRun {
+        report,
+        timeline,
+        sequential_wall_ms: seq.wall.as_secs_f64() * 1e3,
+    }
+}
+
+/// Renders a timeline's per-stage histograms as an ASCII table — the
+/// `figures --trace-summary` / `seqpar-trace` terminal view. One row per
+/// stage: attempts, commits, service-time percentiles, queue wait,
+/// commit latency, and each stage's share of total busy time.
+///
+/// `labels` names the stages (see
+/// [`seqpar_workloads::stage_labels`]); stages beyond the slice fall
+/// back to `stage N`.
+pub fn render_trace_summary(timeline: &Timeline, labels: &[String]) -> String {
+    let unit = timeline.unit();
+    let metrics = timeline.stage_metrics();
+    let total_busy: u64 = metrics.iter().map(seqpar_runtime::StageMetrics::busy).sum();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "### trace summary: {} events over {} {unit}\n",
+        timeline.len(),
+        timeline.span()
+    ));
+    out.push_str(&format!(
+        "{:<16}{:>9}{:>9}{:>12}{:>12}{:>12}{:>12}{:>12}{:>7}\n",
+        "stage",
+        "attempts",
+        "commits",
+        "svc-p50",
+        "svc-p90",
+        "svc-max",
+        "qwait-p50",
+        "commit-p50",
+        "busy%"
+    ));
+    for m in &metrics {
+        let label = labels
+            .get(m.stage.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("stage {}", m.stage.0));
+        let share = if total_busy == 0 {
+            0.0
+        } else {
+            100.0 * m.busy() as f64 / total_busy as f64
+        };
+        out.push_str(&format!(
+            "{label:<16}{:>9}{:>9}{:>12}{:>12}{:>12}{:>12}{:>12}{share:>6.1}%\n",
+            m.attempts,
+            m.committed,
+            m.service.p50,
+            m.service.p90,
+            m.service.max,
+            m.queue_wait.p50,
+            m.commit_latency.p50,
+        ));
+    }
+    out
+}
+
+/// Renders a timeline as an ASCII Gantt chart, one row per core, built
+/// from its dispatch/complete slices — the executed-schedule twin of
+/// [`render_gantt`] (which draws simulator placements).
+///
+/// Glyphs cycle `A..J` by task id; squashed attempts draw like any
+/// other slice (they occupied the core just the same).
+pub fn render_timeline_gantt(timeline: &Timeline) -> String {
+    const COLUMNS: usize = 72;
+    let span = timeline.span().max(1);
+    let scale = span as f64 / COLUMNS as f64;
+    let mut started: std::collections::HashMap<(usize, u32, u32), u64> =
+        std::collections::HashMap::new();
+    let mut rows: Vec<Vec<u8>> = Vec::new();
+    for e in timeline.events() {
+        match e.kind {
+            TraceEventKind::Dispatch {
+                core,
+                task,
+                attempt,
+                ..
+            } => {
+                started.insert((core, task, attempt), e.ts);
+            }
+            TraceEventKind::Complete {
+                core,
+                task,
+                attempt,
+                ..
+            } => {
+                let Some(start) = started.remove(&(core, task, attempt)) else {
+                    continue;
+                };
+                if rows.len() <= core {
+                    rows.resize(core + 1, vec![b'.'; COLUMNS]);
+                }
+                let lo = (start as f64 / scale) as usize;
+                let hi = ((e.ts as f64 / scale) as usize).max(lo + 1);
+                let glyph = b"ABCDEFGHIJ"[task as usize % 10];
+                for cell in rows[core].iter_mut().take(hi.min(COLUMNS)).skip(lo) {
+                    *cell = glyph;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out = String::new();
+    for (c, row) in rows.iter().enumerate() {
+        out.push_str(&format!("core {c:>2} |"));
+        out.push_str(std::str::from_utf8(row).expect("ascii"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a critical-path estimate as one line: total weight and the
+/// task chain (elided in the middle when long).
+pub fn render_critical_path(path: &CriticalPath, unit: TimeUnit) -> String {
+    let ids: Vec<String> = path.tasks.iter().map(|t| format!("t{}", t.0)).collect();
+    let chain = if ids.len() > 8 {
+        format!(
+            "{} … {} ({} tasks)",
+            ids[..4].join(" → "),
+            ids[ids.len() - 2..].join(" → "),
+            ids.len()
+        )
+    } else {
+        ids.join(" → ")
+    };
+    format!("critical path: {} {unit} through {chain}", path.length)
+}
+
 /// Renders Table 1 from workload metadata.
 pub fn render_table1(metas: &[WorkloadMeta]) -> String {
     let mut out = String::new();
@@ -529,6 +713,60 @@ mod tests {
         assert!(chart.contains("core  0 |"));
         // Busy cores show glyphs, not only idle dots.
         assert!(chart.bytes().filter(u8::is_ascii_uppercase).count() > 10);
+    }
+
+    #[test]
+    fn trace_renderers_cover_a_simulated_timeline() {
+        let mut trace = IterationTrace::new();
+        for _ in 0..24 {
+            trace.push(seqpar::IterationRecord::new(2, 20, 2));
+        }
+        let graph = trace.task_graph();
+        let sim = Simulator::new(SimConfig {
+            cores: 4,
+            comm_latency: 0,
+            ..SimConfig::default()
+        });
+        let (_, timeline) = sim
+            .run_timeline(&graph, &ExecutionPlan::three_phase(4))
+            .unwrap();
+        timeline.validate().unwrap();
+
+        let labels = seqpar_workloads::stage_labels(timeline.stage_count());
+        let summary = render_trace_summary(&timeline, &labels);
+        assert!(summary.contains("B (transform)"));
+        assert!(summary.contains("busy%"));
+        // Stage shares sum to ~100% across the three rows.
+        assert!(summary.contains("cycles"));
+
+        let gantt = render_timeline_gantt(&timeline);
+        assert_eq!(gantt.lines().count(), 4, "one row per plan core");
+        assert!(gantt.bytes().filter(u8::is_ascii_uppercase).count() > 10);
+
+        let path = timeline.critical_path(&graph);
+        let line = render_critical_path(&path, timeline.unit());
+        assert!(line.contains("critical path"));
+        assert!(line.contains("cycles"));
+    }
+
+    #[test]
+    fn traced_native_run_exports_a_valid_chrome_trace() {
+        let w = seqpar_workloads::workload_by_name("164.gzip").expect("gzip exists");
+        let run = trace_native(
+            w.as_ref(),
+            InputSize::Test,
+            PlanKind::Dswp,
+            4,
+            &ExecConfig::default(),
+        );
+        run.timeline.validate().unwrap();
+        assert!(run.report.timeline.is_none(), "timeline was detached");
+        let labels = seqpar_workloads::stage_labels(run.timeline.stage_count());
+        let text = run.timeline.to_chrome_json(&labels);
+        let check = json::check_chrome_trace(&text).expect("exported trace passes the schema");
+        assert!(check.slices > 0, "task executions become X slices");
+        assert!(check.instants > 0, "commits become instants");
+        assert!(check.metadata > 0, "process/thread names are present");
     }
 
     #[test]

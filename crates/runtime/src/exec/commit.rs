@@ -28,7 +28,8 @@
 use super::faults::{FaultKind, FaultPlan, RecoveryCounts};
 use super::metrics::{NativeReport, WorkerStat};
 use super::stage::{WorkItem, WorkerDone};
-use super::{ExecError, TaskOutput};
+use super::trace::{SquashReason, TimeUnit, Timeline, TraceBuffer, TraceEvent, TraceEventKind};
+use super::{ExecError, TaskOutput, FALLBACK_ATTEMPT};
 use crate::task::{TaskGraph, TaskId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -98,10 +99,13 @@ pub(super) struct CommitUnit<'g> {
     recovery: RecoveryCounts,
     /// Fault-recovery replays charged so far, per task.
     retries_by_task: HashMap<u32, u32>,
+    /// Frontier-side trace events (squashes, commits, speculation
+    /// decisions); a no-op recorder when tracing is off.
+    trace: TraceBuffer,
 }
 
 impl<'g> CommitUnit<'g> {
-    pub(super) fn new(graph: &'g TaskGraph, watermark: Arc<AtomicU64>) -> Self {
+    pub(super) fn new(graph: &'g TaskGraph, watermark: Arc<AtomicU64>, trace: TraceBuffer) -> Self {
         Self {
             graph,
             watermark,
@@ -115,6 +119,7 @@ impl<'g> CommitUnit<'g> {
             work: 0,
             recovery: RecoveryCounts::default(),
             retries_by_task: HashMap::new(),
+            trace,
         }
     }
 
@@ -166,6 +171,11 @@ impl<'g> CommitUnit<'g> {
             // misspeculation and replay, charged against the budget.
             if done.panicked {
                 self.recovery.panics_recovered += 1;
+                self.trace.record(TraceEventKind::Squash {
+                    task: done.task,
+                    attempt: done.attempt,
+                    reason: SquashReason::PanicRecovered,
+                });
                 if self.charge(done.task, sup.retry_budget) {
                     return Ok(Absorbed::Fallback);
                 }
@@ -185,6 +195,11 @@ impl<'g> CommitUnit<'g> {
             if violated > 0 && done.attempt == 0 {
                 self.squashes += 1;
                 self.violations += violated;
+                self.trace.record(TraceEventKind::Squash {
+                    task: done.task,
+                    attempt: done.attempt,
+                    reason: SquashReason::Misspeculation,
+                });
                 redispatch.push(WorkItem {
                     task: done.task,
                     attempt: done.attempt + 1,
@@ -199,6 +214,11 @@ impl<'g> CommitUnit<'g> {
                 let expected = oracle(done.task, done.attempt.max(1))?;
                 if done.output != expected {
                     self.recovery.corruptions_caught += 1;
+                    self.trace.record(TraceEventKind::Squash {
+                        task: done.task,
+                        attempt: done.attempt,
+                        reason: SquashReason::CorruptionCaught,
+                    });
                     if self.charge(done.task, sup.retry_budget) {
                         return Ok(Absorbed::Fallback);
                     }
@@ -213,6 +233,11 @@ impl<'g> CommitUnit<'g> {
             // good attempt at the commit point.
             if sup.faults.fault_at(done.task, done.attempt) == Some(FaultKind::SpuriousSquash) {
                 self.recovery.spurious_squashes += 1;
+                self.trace.record(TraceEventKind::Squash {
+                    task: done.task,
+                    attempt: done.attempt,
+                    reason: SquashReason::SpuriousSquash,
+                });
                 if self.charge(done.task, sup.retry_budget) {
                     return Ok(Absorbed::Fallback);
                 }
@@ -223,8 +248,21 @@ impl<'g> CommitUnit<'g> {
                 continue;
             }
             // 5. Commit.
-            self.speculations_survived +=
-                task.spec_deps.iter().filter(|d| !d.violated).count() as u64;
+            let survived = task.spec_deps.iter().filter(|d| !d.violated).count() as u64;
+            self.speculations_survived += survived;
+            if !task.spec_deps.is_empty() {
+                // The runtime outcome of this task's speculation,
+                // recorded once, at the attempt that commits.
+                self.trace.record(TraceEventKind::SpecDecision {
+                    task: done.task,
+                    violated: violated as u32,
+                    survived: survived as u32,
+                });
+            }
+            self.trace.record(TraceEventKind::Commit {
+                task: done.task,
+                attempt: done.attempt,
+            });
             self.output.extend_from_slice(&done.output.bytes);
             self.work += done.output.work;
             self.next += 1;
@@ -240,19 +278,33 @@ impl<'g> CommitUnit<'g> {
     pub(super) fn commit_inline(&mut self, output: &TaskOutput) {
         self.attempts += 1;
         self.recovery.fallback_tasks += 1;
+        self.trace.record(TraceEventKind::Commit {
+            task: self.next as u32,
+            attempt: FALLBACK_ATTEMPT,
+        });
         self.output.extend_from_slice(&output.bytes);
         self.work += output.work;
         self.next += 1;
         self.watermark.store(self.next as u64, Ordering::Release);
     }
 
+    /// Finalizes the run: when tracing was on, the frontier's events are
+    /// stitched with the dispatcher's and every worker's into the
+    /// report's [`Timeline`].
     pub(super) fn into_report(
         self,
         wall: Duration,
         workers: Vec<WorkerStat>,
         watchdog_trips: u64,
         fallback_activated: bool,
+        dispatch_events: Vec<TraceEvent>,
+        worker_events: Vec<Vec<TraceEvent>>,
     ) -> NativeReport {
+        let timeline = self.trace.enabled().then(|| {
+            let mut buffers = vec![self.trace.into_events(), dispatch_events];
+            buffers.extend(worker_events);
+            Timeline::stitch(TimeUnit::Nanos, self.graph.stage_count(), buffers)
+        });
         NativeReport {
             wall,
             output: self.output,
@@ -266,6 +318,7 @@ impl<'g> CommitUnit<'g> {
             watchdog_trips,
             fallback_activated,
             workers,
+            timeline,
         }
     }
 }

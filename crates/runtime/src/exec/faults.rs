@@ -280,7 +280,7 @@ pub struct TaskSupervision {
 
 /// Replays the commit-frontier supervision protocol for one task as a
 /// pure function of the fault plan — the simulated twin of the native
-/// executor's recovery path, used by [`Simulator::run_with_faults`]
+/// executor's recovery path, used by [`Simulator::run_with_faults`](crate::Simulator::run_with_faults)
 /// (see [`crate::sim`]) and the differential chaos tests.
 ///
 /// `violated` says whether the task has at least one violated

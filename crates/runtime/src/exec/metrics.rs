@@ -3,6 +3,7 @@
 //! wall-clock / per-worker timing.
 
 use super::faults::RecoveryCounts;
+use super::trace::Timeline;
 use crate::task::StageId;
 use std::time::Duration;
 
@@ -68,10 +69,20 @@ pub struct NativeReport {
     pub fallback_activated: bool,
     /// Per-worker timing, one entry per plan core.
     pub workers: Vec<WorkerStat>,
+    /// The structured execution timeline, present when the run was
+    /// traced ([`ExecConfig::trace`](super::ExecConfig::trace)); `None`
+    /// otherwise, and for empty graphs. See `OBSERVABILITY.md` for how
+    /// to read and export it.
+    pub timeline: Option<Timeline>,
 }
 
 impl NativeReport {
-    pub(super) fn empty(wall: Duration) -> Self {
+    /// An all-zero report over `wall` — what running an empty task
+    /// graph produces (no workers spawned, nothing attempted, nothing
+    /// committed). Public so doc examples and downstream tests can
+    /// exercise the zero-task / zero-worker edges of the derived
+    /// metrics without running an executor.
+    pub fn empty(wall: Duration) -> Self {
         Self {
             wall,
             output: Vec::new(),
@@ -85,6 +96,7 @@ impl NativeReport {
             watchdog_trips: 0,
             fallback_activated: false,
             workers: Vec::new(),
+            timeline: None,
         }
     }
 
@@ -94,6 +106,20 @@ impl NativeReport {
     }
 
     /// Fraction of worker wall time spent inside task bodies.
+    ///
+    /// Edge cases are defined, not NaN: a report with **no workers**
+    /// (an empty graph never spawns any) or a **zero wall clock**
+    /// (theoretical, but a sub-resolution run could produce one)
+    /// reports `0.0` utilization rather than dividing by zero.
+    ///
+    /// ```
+    /// use seqpar_runtime::NativeReport;
+    /// use std::time::Duration;
+    ///
+    /// let idle = NativeReport::empty(Duration::from_millis(5));
+    /// assert_eq!(idle.threads(), 0);
+    /// assert_eq!(idle.utilization(), 0.0); // no workers: defined, not NaN
+    /// ```
     pub fn utilization(&self) -> f64 {
         if self.workers.is_empty() || self.wall.is_zero() {
             return 0.0;
@@ -103,6 +129,9 @@ impl NativeReport {
     }
 
     /// Wall-clock speedup against a measured sequential run.
+    ///
+    /// A zero-wall report (the division-by-zero edge) reports `0.0` —
+    /// "no speedup measured" — rather than infinity.
     pub fn speedup_vs(&self, sequential: Duration) -> f64 {
         if self.wall.is_zero() {
             return 0.0;
@@ -111,6 +140,19 @@ impl NativeReport {
     }
 
     /// Fraction of attempts that were squashed.
+    ///
+    /// A report with **zero attempts** (an empty graph commits nothing
+    /// and attempts nothing) reports a misspeculation rate of `0.0`
+    /// rather than dividing by zero:
+    ///
+    /// ```
+    /// use seqpar_runtime::NativeReport;
+    /// use std::time::Duration;
+    ///
+    /// let idle = NativeReport::empty(Duration::ZERO);
+    /// assert_eq!(idle.attempts, 0);
+    /// assert_eq!(idle.misspec_rate(), 0.0); // 0 tasks: defined, not NaN
+    /// ```
     pub fn misspec_rate(&self) -> f64 {
         if self.attempts == 0 {
             return 0.0;

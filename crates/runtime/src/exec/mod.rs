@@ -39,10 +39,15 @@ mod commit;
 mod faults;
 mod metrics;
 mod stage;
+mod trace;
 
 pub use commit::CommitView;
 pub use faults::{supervise_task, FaultKind, FaultPlan, RecoveryCounts, TaskSupervision};
 pub use metrics::{NativeReport, WorkerStat};
+pub use trace::{
+    CriticalPath, DurationStats, SquashReason, StageMetrics, TimeUnit, Timeline, TraceDefect,
+    TraceEvent, TraceEventKind,
+};
 
 use crate::plan::ExecutionPlan;
 use crate::sim::SimError;
@@ -55,10 +60,13 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use trace::{TraceBuffer, TraceClock};
 
 /// The attempt number the sequential fallback runs tasks at: far above
 /// any pipelined attempt, never speculative, never fault-injected.
-const FALLBACK_ATTEMPT: u32 = u32::MAX;
+/// Trace consumers see it on the [`TraceEventKind::Commit`] events of
+/// fallback-committed tasks, which have no worker-side dispatch.
+pub const FALLBACK_ATTEMPT: u32 = u32::MAX;
 
 /// Why a native run could not produce a report.
 ///
@@ -156,6 +164,12 @@ pub struct ExecConfig {
     /// to be attempt-independent for non-violated tasks (true of every
     /// [`NativeBody`] built from a replayable sequential oracle).
     pub validate_outputs: bool,
+    /// Record a structured execution trace: every dispatch, completion,
+    /// queue push/pop, squash, and commit lands in a per-thread
+    /// [`TraceBuffer`](Timeline) and the stitched [`Timeline`] is
+    /// returned on [`NativeReport::timeline`]. Off by default — when
+    /// off, recording is a single branch per would-be event.
+    pub trace: bool,
 }
 
 impl Default for ExecConfig {
@@ -166,6 +180,7 @@ impl Default for ExecConfig {
             watchdog_deadline: Duration::from_secs(30),
             fault_plan: FaultPlan::none(),
             validate_outputs: false,
+            trace: false,
         }
     }
 }
@@ -210,6 +225,13 @@ impl ExecConfig {
     /// executor re-enables it whenever the fault plan can corrupt).
     pub fn with_validation(mut self, validate_outputs: bool) -> Self {
         self.validate_outputs = validate_outputs;
+        self
+    }
+
+    /// Turns structured execution tracing on or off (see
+    /// [`ExecConfig::trace`]).
+    pub fn with_tracing(mut self, trace: bool) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -360,7 +382,12 @@ impl NativeExecutor {
 
         let watermark = Arc::new(AtomicU64::new(0));
         let view = CommitView::new(Arc::clone(&watermark));
-        let mut commit = CommitUnit::new(graph, watermark);
+        // One shared clock, one private buffer per recording site: the
+        // commit frontier, the dispatcher (this thread), and every
+        // worker. All no-ops when tracing is off.
+        let clock = TraceClock::new(self.config.trace);
+        let mut commit = CommitUnit::new(graph, watermark, TraceBuffer::new(clock));
+        let mut dispatch_trace = TraceBuffer::new(clock);
 
         let faults = &self.config.fault_plan;
         let supervisor = Supervisor {
@@ -376,7 +403,7 @@ impl NativeExecutor {
         let (done_tx, done_rx) = crossbeam::channel::unbounded::<WorkerDone>();
 
         std::thread::scope(|scope| {
-            let workers = queues.spawn_workers(scope, graph, body, &view, &done_tx, faults);
+            let workers = queues.spawn_workers(scope, graph, body, &view, &done_tx, faults, clock);
             drop(done_tx);
 
             // Replays the body sequentially on this thread: the
@@ -397,7 +424,14 @@ impl NativeExecutor {
 
             // Seed: release every stage's dep-free prefix.
             for s in 0..stage_count {
-                Self::release_ready(s, &mut stage_tasks, &mut requeue, &deps_left, &queues);
+                Self::release_ready(
+                    s,
+                    &mut stage_tasks,
+                    &mut requeue,
+                    &deps_left,
+                    &queues,
+                    &mut dispatch_trace,
+                );
             }
 
             let mut watchdog_trips = 0u64;
@@ -418,6 +452,7 @@ impl NativeExecutor {
                         // whole deadline — a stage is wedged. Degrade
                         // to sequential execution of the rest.
                         watchdog_trips += 1;
+                        dispatch_trace.record(TraceEventKind::WatchdogTrip);
                         fallback = true;
                         break Ok(());
                     }
@@ -450,7 +485,14 @@ impl NativeExecutor {
                     Err(e) => break Err(e),
                 }
                 for s in 0..stage_count {
-                    Self::release_ready(s, &mut stage_tasks, &mut requeue, &deps_left, &queues);
+                    Self::release_ready(
+                        s,
+                        &mut stage_tasks,
+                        &mut requeue,
+                        &deps_left,
+                        &queues,
+                        &mut dispatch_trace,
+                    );
                 }
             };
 
@@ -461,6 +503,9 @@ impl NativeExecutor {
                 // Graceful degradation: commit every remaining task
                 // in order on this thread, fault-free and
                 // non-speculative — exactly a resumed sequential run.
+                dispatch_trace.record(TraceEventKind::FallbackActivated {
+                    from_task: commit.committed_tasks() as u32,
+                });
                 for task in commit.committed_tasks()..n {
                     let output = oracle(task as u32, FALLBACK_ATTEMPT)?;
                     commit.commit_inline(&output);
@@ -475,10 +520,14 @@ impl NativeExecutor {
             queues.close();
             drop(done_rx);
             let mut worker_stats = Vec::with_capacity(workers.len());
+            let mut worker_events = Vec::with_capacity(workers.len());
             let mut join_failed = false;
             for w in workers {
                 match w.join() {
-                    Ok(stat) => worker_stats.push(stat),
+                    Ok((stat, events)) => {
+                        worker_stats.push(stat);
+                        worker_events.push(events);
+                    }
                     Err(_) => join_failed = true,
                 }
             }
@@ -488,36 +537,55 @@ impl NativeExecutor {
                     committed: commit.committed_tasks() as u64,
                 });
             }
-            Ok(commit.into_report(started.elapsed(), worker_stats, watchdog_trips, fallback))
+            Ok(commit.into_report(
+                started.elapsed(),
+                worker_stats,
+                watchdog_trips,
+                fallback,
+                dispatch_trace.into_events(),
+                worker_events,
+            ))
         })
     }
 
     /// Pushes released-but-unqueued work into stage `s`'s queue without
     /// blocking; anything that does not fit stays pending for the next
-    /// event. Requeued (squashed) tasks go first.
+    /// event. Requeued (squashed) tasks go first. Each successful push
+    /// is traced with the queue's occupancy right after it.
     fn release_ready(
         s: usize,
         stage_tasks: &mut [VecDeque<u32>],
         requeue: &mut [VecDeque<WorkItem>],
         deps_left: &[usize],
         queues: &StageQueues,
+        trace: &mut TraceBuffer,
     ) {
         while let Some(&item) = requeue[s].front() {
-            if queues.try_send(s, item) {
-                requeue[s].pop_front();
-            } else {
+            let Some(occupancy) = queues.try_send(s, item) else {
                 return;
-            }
+            };
+            trace.record(TraceEventKind::QueuePush {
+                stage: s as u8,
+                task: item.task,
+                attempt: item.attempt,
+                occupancy,
+            });
+            requeue[s].pop_front();
         }
         while let Some(&task) = stage_tasks[s].front() {
             if deps_left[task as usize] > 0 {
                 return;
             }
-            if queues.try_send(s, WorkItem { task, attempt: 0 }) {
-                stage_tasks[s].pop_front();
-            } else {
+            let Some(occupancy) = queues.try_send(s, WorkItem { task, attempt: 0 }) else {
                 return;
-            }
+            };
+            trace.record(TraceEventKind::QueuePush {
+                stage: s as u8,
+                task,
+                attempt: 0,
+                occupancy,
+            });
+            stage_tasks[s].pop_front();
         }
     }
 }

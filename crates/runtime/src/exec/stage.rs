@@ -12,6 +12,7 @@
 use super::commit::CommitView;
 use super::faults::{corrupt_output, FaultKind, FaultPlan};
 use super::metrics::WorkerStat;
+use super::trace::{TraceBuffer, TraceClock, TraceEvent, TraceEventKind};
 use super::{NativeBody, TaskCtx, TaskOutput};
 use crate::plan::{ExecutionPlan, StageAssignment};
 use crate::task::{TaskGraph, TaskId};
@@ -120,20 +121,22 @@ impl<'g> StageQueues<'g> {
         }
     }
 
-    /// Non-blocking enqueue of `item` on its stage's queue. Returns
-    /// `false` when the queue is full (backpressure: the dispatcher
-    /// retries after the next completion event).
-    pub(super) fn try_send(&self, stage: usize, item: WorkItem) -> bool {
-        let result = match &self.routes[stage] {
-            Route::Shared(tx) => tx.try_send(item),
+    /// Non-blocking enqueue of `item` on its stage's queue. Returns the
+    /// queue's occupancy right after the push (for the trace's
+    /// `QueuePush` events), or `None` when the queue is full
+    /// (backpressure: the dispatcher retries after the next completion
+    /// event).
+    pub(super) fn try_send(&self, stage: usize, item: WorkItem) -> Option<usize> {
+        let tx = match &self.routes[stage] {
+            Route::Shared(tx) => tx,
             Route::PerWorker(txs) => {
                 let iter = self.graph.task(TaskId(item.task)).iter;
-                txs[iter as usize % txs.len()].try_send(item)
+                &txs[iter as usize % txs.len()]
             }
         };
-        match result {
-            Ok(()) => true,
-            Err(TrySendError::Full(_)) => false,
+        match tx.try_send(item) {
+            Ok(()) => Some(tx.len()),
+            Err(TrySendError::Full(_)) => None,
             Err(TrySendError::Disconnected(_)) => {
                 unreachable!("stage workers outlive the dispatcher")
             }
@@ -142,6 +145,12 @@ impl<'g> StageQueues<'g> {
 
     /// Starts one thread per seat. Each worker drains its queue, runs
     /// the body, and reports completions until the queue disconnects.
+    /// Each worker owns a private [`TraceBuffer`] on `clock` and
+    /// returns its recorded events alongside its timing stat.
+    // Every parameter is one shared facet of the worker environment,
+    // forwarded verbatim into `worker_loop`; a bundling struct would
+    // only rename the same eight things.
+    #[allow(clippy::too_many_arguments)]
     pub(super) fn spawn_workers<'scope>(
         &mut self,
         scope: &'scope Scope<'scope, '_>,
@@ -150,12 +159,13 @@ impl<'g> StageQueues<'g> {
         view: &'scope CommitView,
         done_tx: &Sender<WorkerDone>,
         faults: &'scope FaultPlan,
-    ) -> Vec<ScopedJoinHandle<'scope, WorkerStat>> {
+        clock: TraceClock,
+    ) -> Vec<ScopedJoinHandle<'scope, (WorkerStat, Vec<TraceEvent>)>> {
         std::mem::take(&mut self.seats)
             .into_iter()
             .map(|seat| {
                 let done_tx = done_tx.clone();
-                scope.spawn(move || worker_loop(seat, graph, body, view, done_tx, faults))
+                scope.spawn(move || worker_loop(seat, graph, body, view, done_tx, faults, clock))
             })
             .collect()
     }
@@ -176,17 +186,41 @@ fn worker_loop(
     view: &CommitView,
     done_tx: Sender<WorkerDone>,
     faults: &FaultPlan,
-) -> WorkerStat {
+    clock: TraceClock,
+) -> (WorkerStat, Vec<TraceEvent>) {
+    let mut trace = TraceBuffer::new(clock);
     let mut busy = Duration::ZERO;
     let mut tasks = 0u64;
     while let Ok(item) = seat.rx.recv() {
+        trace.record(TraceEventKind::QueuePop {
+            stage: seat.stage,
+            task: item.task,
+            attempt: item.attempt,
+            occupancy: seat.rx.len(),
+        });
         let fault = faults.fault_at(item.task, item.attempt);
         if fault == Some(FaultKind::WorkerPanic) {
             // Injected panic: the attempt dies before the body runs.
             // Reported through the same `panicked` channel as a caught
             // real panic (rather than unwinding for real) so chaos runs
-            // do not spray panic-hook noise over the test output.
+            // do not spray panic-hook noise over the test output. The
+            // trace still gets a dispatch/complete pair so the attempt
+            // shows up as a (zero-length) slice.
             tasks += 1;
+            trace.record(TraceEventKind::Dispatch {
+                core: seat.core,
+                stage: seat.stage,
+                task: item.task,
+                attempt: item.attempt,
+            });
+            trace.record(TraceEventKind::Complete {
+                core: seat.core,
+                stage: seat.stage,
+                task: item.task,
+                attempt: item.attempt,
+                panicked: true,
+                stalled: false,
+            });
             if done_tx
                 .send(WorkerDone {
                     task: item.task,
@@ -201,8 +235,16 @@ fn worker_loop(
             }
             continue;
         }
+        trace.record(TraceEventKind::Dispatch {
+            core: seat.core,
+            stage: seat.stage,
+            task: item.task,
+            attempt: item.attempt,
+        });
         let stalled = fault == Some(FaultKind::StageStall);
         if stalled {
+            // The injected stall counts into the traced service time
+            // (the slice shows the wedged stage) but not into `busy`.
             std::thread::sleep(faults.stall_duration());
         }
         let task = graph.task(TaskId(item.task));
@@ -240,14 +282,25 @@ fn worker_loop(
                 stalled,
             },
         };
+        trace.record(TraceEventKind::Complete {
+            core: seat.core,
+            stage: seat.stage,
+            task: item.task,
+            attempt: item.attempt,
+            panicked: done.panicked,
+            stalled,
+        });
         if done_tx.send(done).is_err() {
             break;
         }
     }
-    WorkerStat {
-        core: seat.core,
-        stage: crate::task::StageId(seat.stage),
-        busy,
-        tasks,
-    }
+    (
+        WorkerStat {
+            core: seat.core,
+            stage: crate::task::StageId(seat.stage),
+            busy,
+            tasks,
+        },
+        trace.into_events(),
+    )
 }

@@ -409,3 +409,94 @@ fn zero_capacity_clamps_to_one_and_both_drain_a_parallel_stage() {
     assert_eq!(r0.attempts, r1.attempts);
     assert_eq!(r0.work, r1.work);
 }
+
+// --- structured tracing ----------------------------------------------
+
+#[test]
+fn untraced_runs_carry_no_timeline() {
+    let graph = three_phase_graph(10, &[]);
+    let plan = ExecutionPlan::three_phase(4);
+    let report = NativeExecutor::default()
+        .run(&graph, &plan, &tagging_body(vec![]))
+        .unwrap();
+    assert!(report.timeline.is_none(), "tracing is off by default");
+}
+
+#[test]
+fn traced_run_yields_a_well_formed_timeline() {
+    let violate = vec![3, 11];
+    let graph = three_phase_graph(25, &violate);
+    let plan = ExecutionPlan::three_phase(4);
+    let report = NativeExecutor::new(ExecConfig::default().with_tracing(true))
+        .run(&graph, &plan, &tagging_body(violate.clone()))
+        .unwrap();
+    assert_eq!(report.output, expected_stream(25));
+    let timeline = report.timeline.as_ref().expect("tracing was on");
+    timeline.validate().expect("native traces are well-formed");
+    assert_eq!(timeline.unit(), TimeUnit::Nanos);
+    assert_eq!(timeline.stage_count(), 3);
+    // Commits are the sequential order, one per task.
+    let order = timeline.commit_order();
+    assert_eq!(order.len(), graph.len());
+    assert!(order.iter().enumerate().all(|(i, t)| t.0 as usize == i));
+    // Event tallies line up with the report's counters.
+    let squash_events = timeline
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, TraceEventKind::Squash { .. }))
+        .count() as u64;
+    assert_eq!(squash_events, report.squashes);
+    let metrics = timeline.stage_metrics();
+    assert_eq!(metrics.len(), 3);
+    let attempts: u64 = metrics.iter().map(|m| m.attempts).sum();
+    assert_eq!(attempts, report.attempts);
+    let committed: u64 = metrics.iter().map(|m| m.committed).sum();
+    assert_eq!(committed, report.tasks_committed);
+    // Phase B dominates service time in this graph (cost 40 vs 10).
+    assert!(metrics[1].busy() > metrics[0].busy());
+    // The critical path is non-trivial and starts inside the graph.
+    let cp = timeline.critical_path(&graph);
+    assert!(cp.length > 0);
+    assert!(!cp.tasks.is_empty());
+    // The Chrome export wraps every slice.
+    let json = timeline.to_chrome_json(&["A".into(), "B".into(), "C".into()]);
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("B t4#0"));
+}
+
+#[test]
+fn traced_chaos_run_still_validates_and_commits_in_order() {
+    let config = ExecConfig::default()
+        .with_faults(FaultPlan::seeded(7))
+        .with_tracing(true);
+    let report = run_faulted(40, &[4, 19], config);
+    let timeline = report.timeline.as_ref().expect("tracing was on");
+    timeline
+        .validate()
+        .expect("chaos traces are well-formed too");
+    assert_eq!(timeline.commit_order().len(), 120);
+}
+
+#[test]
+fn traced_fallback_commits_carry_the_fallback_attempt() {
+    let config = ExecConfig::default()
+        .with_faults(FaultPlan::none().with_forced(b_task(5), 0, FaultKind::WorkerPanic))
+        .with_retry_budget(0)
+        .with_tracing(true);
+    let report = run_faulted(20, &[], config);
+    assert!(report.fallback_activated);
+    let timeline = report.timeline.as_ref().expect("tracing was on");
+    timeline
+        .validate()
+        .expect("fallback traces are well-formed");
+    let fallback_commits = timeline
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, TraceEventKind::Commit { attempt, .. } if attempt == FALLBACK_ATTEMPT))
+        .count() as u64;
+    assert_eq!(fallback_commits, report.recovery.fallback_tasks);
+    assert!(timeline
+        .events()
+        .iter()
+        .any(|e| matches!(e.kind, TraceEventKind::FallbackActivated { .. })));
+}

@@ -1,0 +1,1143 @@
+//! Structured execution tracing: per-worker event buffers stitched into
+//! a post-run [`Timeline`].
+//!
+//! The paper's evaluation rests on per-task timelines (the authors used
+//! `pfmon` on real hardware); this module is our equivalent. When
+//! [`ExecConfig::trace`](super::ExecConfig::trace) is on, every worker
+//! thread appends typed [`TraceEvent`]s to a buffer it owns exclusively
+//! — no locks, no shared cache lines, one monotonic-clock read plus one
+//! `Vec` push per event — and the dispatcher and commit unit do the
+//! same on the supervisor thread. After the run the buffers are merged
+//! by timestamp into a [`Timeline`] carried on
+//! [`NativeReport::timeline`](super::NativeReport::timeline), from which
+//! the per-stage histograms ([`Timeline::stage_metrics`]), the critical
+//! path ([`Timeline::critical_path`]), and a Chrome `trace_event`
+//! export ([`Timeline::to_chrome_json`], loadable in Perfetto or
+//! `chrome://tracing`) are derived.
+//!
+//! [`Simulator::run_timeline`](crate::Simulator::run_timeline) emits the
+//! same event schema from a simulated schedule (timestamps in cycles
+//! instead of nanoseconds), so sim and native timelines are directly
+//! diffable — the differential suite checks they agree on commit order.
+//!
+//! See `OBSERVABILITY.md` at the repository root for the full schema
+//! reference and a capture walkthrough.
+
+use crate::task::{StageId, TaskGraph, TaskId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Instant;
+
+/// The unit of [`TraceEvent::ts`] timestamps in a [`Timeline`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimeUnit {
+    /// Real nanoseconds since the run started — native executor
+    /// timelines.
+    Nanos,
+    /// Simulated machine cycles — the simulator's twin timelines
+    /// ([`Simulator::run_timeline`](crate::Simulator::run_timeline)).
+    Cycles,
+}
+
+impl fmt::Display for TimeUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeUnit::Nanos => f.write_str("ns"),
+            TimeUnit::Cycles => f.write_str("cycles"),
+        }
+    }
+}
+
+/// Why the commit unit discarded an attempt (the decision ladder of
+/// `CommitUnit::absorb`, in ladder order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SquashReason {
+    /// The worker panicked (injected or real); the attempt produced
+    /// nothing and is replayed under the retry budget.
+    PanicRecovered,
+    /// A violated speculated dependence manifested: the normal
+    /// misspeculation rollback of the speculation protocol.
+    Misspeculation,
+    /// Commit-time validation caught an output that differs from the
+    /// sequential oracle's.
+    CorruptionCaught,
+    /// The fault plan squashed a perfectly good attempt at the commit
+    /// point.
+    SpuriousSquash,
+}
+
+impl fmt::Display for SquashReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SquashReason::PanicRecovered => f.write_str("panic"),
+            SquashReason::Misspeculation => f.write_str("misspeculation"),
+            SquashReason::CorruptionCaught => f.write_str("corruption"),
+            SquashReason::SpuriousSquash => f.write_str("spurious"),
+        }
+    }
+}
+
+/// One timestamped trace event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When the event happened, in the owning [`Timeline`]'s
+    /// [`TimeUnit`] (nanoseconds since run start for native runs,
+    /// cycles for simulated ones).
+    pub ts: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// The typed event schema shared by the native executor and the
+/// simulator (see `OBSERVABILITY.md` for the reference table).
+///
+/// `attempt` is 0 for a task's speculative first dispatch and increments
+/// with each squash-and-replay re-dispatch;
+/// [`FALLBACK_ATTEMPT`](super::FALLBACK_ATTEMPT) marks a commit made by
+/// the in-order sequential fallback, which has no worker-side dispatch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEventKind {
+    /// The dispatcher enqueued an attempt on its stage's input queue.
+    /// `occupancy` is the queue length right after the push.
+    QueuePush {
+        /// The stage whose queue received the item.
+        stage: u8,
+        /// The enqueued task.
+        task: u32,
+        /// The enqueued attempt number.
+        attempt: u32,
+        /// Queue entries in flight immediately after the push.
+        occupancy: usize,
+    },
+    /// A worker dequeued an attempt. `occupancy` is the queue length
+    /// right after the pop, so push/pop pairs bracket the queue-wait
+    /// interval and the occupancy series tracks backpressure.
+    QueuePop {
+        /// The stage whose queue the item came from.
+        stage: u8,
+        /// The dequeued task.
+        task: u32,
+        /// The dequeued attempt number.
+        attempt: u32,
+        /// Queue entries left immediately after the pop.
+        occupancy: usize,
+    },
+    /// A worker started running an attempt's body.
+    Dispatch {
+        /// The plan core the worker models.
+        core: usize,
+        /// The task's stage.
+        stage: u8,
+        /// The task.
+        task: u32,
+        /// The attempt number.
+        attempt: u32,
+    },
+    /// A worker finished an attempt (successfully, or by catching a
+    /// panic, or after an injected stall).
+    Complete {
+        /// The plan core the worker models.
+        core: usize,
+        /// The task's stage.
+        stage: u8,
+        /// The task.
+        task: u32,
+        /// The attempt number.
+        attempt: u32,
+        /// The attempt produced nothing (real or injected panic).
+        panicked: bool,
+        /// The attempt ran behind an injected stage stall.
+        stalled: bool,
+    },
+    /// The commit unit discarded an attempt at the frontier and
+    /// re-dispatched the task.
+    Squash {
+        /// The squashed task.
+        task: u32,
+        /// The discarded attempt.
+        attempt: u32,
+        /// Which rung of the recovery ladder fired.
+        reason: SquashReason,
+    },
+    /// The commit frontier advanced: `task`'s output joined the
+    /// committed stream. Commits are strictly in task (= sequential
+    /// program) order.
+    Commit {
+        /// The committed task.
+        task: u32,
+        /// The committing attempt
+        /// ([`FALLBACK_ATTEMPT`](super::FALLBACK_ATTEMPT) when the
+        /// sequential fallback committed it inline).
+        attempt: u32,
+    },
+    /// The runtime outcome of the speculation the planner chose for
+    /// this task (Y-branch, Commutative, and alias speculation all
+    /// materialize as speculated dependences): how many manifested
+    /// (violated) and how many the task got away with.
+    SpecDecision {
+        /// The task carrying speculated dependences.
+        task: u32,
+        /// Dependences that manifested and forced a squash.
+        violated: u32,
+        /// Dependences that were successfully speculated past.
+        survived: u32,
+    },
+    /// A retry budget ran out (or the watchdog tripped): the executor
+    /// abandoned worker dispatch and committed the remaining tasks
+    /// in order on the supervisor thread, starting at `from_task`.
+    FallbackActivated {
+        /// The first task the sequential fallback committed.
+        from_task: u32,
+    },
+    /// The heartbeat watchdog fired: no completion arrived within
+    /// [`ExecConfig::watchdog_deadline`](super::ExecConfig::watchdog_deadline).
+    WatchdogTrip,
+}
+
+impl TraceEventKind {
+    /// The task this event concerns, if it concerns one.
+    pub fn task(&self) -> Option<TaskId> {
+        match self {
+            TraceEventKind::QueuePush { task, .. }
+            | TraceEventKind::QueuePop { task, .. }
+            | TraceEventKind::Dispatch { task, .. }
+            | TraceEventKind::Complete { task, .. }
+            | TraceEventKind::Squash { task, .. }
+            | TraceEventKind::Commit { task, .. }
+            | TraceEventKind::SpecDecision { task, .. }
+            | TraceEventKind::FallbackActivated { from_task: task } => Some(TaskId(*task)),
+            TraceEventKind::WatchdogTrip => None,
+        }
+    }
+}
+
+/// The shared run clock: one `Instant` read per recorded event, or a
+/// no-op when tracing is off.
+#[derive(Clone, Copy, Debug)]
+pub(super) struct TraceClock {
+    start: Option<Instant>,
+}
+
+impl TraceClock {
+    pub(super) fn new(enabled: bool) -> Self {
+        Self {
+            start: enabled.then(Instant::now),
+        }
+    }
+
+    pub(super) fn enabled(&self) -> bool {
+        self.start.is_some()
+    }
+}
+
+/// A single-owner event buffer: each worker thread (and the supervisor)
+/// owns one exclusively, so recording is lock-free by construction —
+/// one clock read plus one `Vec` push, and a single branch when tracing
+/// is disabled.
+#[derive(Debug)]
+pub(super) struct TraceBuffer {
+    clock: TraceClock,
+    events: Vec<TraceEvent>,
+}
+
+impl TraceBuffer {
+    pub(super) fn new(clock: TraceClock) -> Self {
+        Self {
+            clock,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether recording does anything (off ⇒ every call is one branch).
+    pub(super) fn enabled(&self) -> bool {
+        self.clock.enabled()
+    }
+
+    /// Records `kind` at the current run clock. No-op when disabled.
+    pub(super) fn record(&mut self, kind: TraceEventKind) {
+        if let Some(start) = self.clock.start {
+            self.events.push(TraceEvent {
+                ts: start.elapsed().as_nanos() as u64,
+                kind,
+            });
+        }
+    }
+
+    pub(super) fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+/// A structural defect found by [`Timeline::validate`]: the trace
+/// violates the execution model's happens-before and ordering rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceDefect {
+    /// A completed attempt has no matching dispatch event.
+    CompletionWithoutDispatch {
+        /// The completed task.
+        task: u32,
+        /// The completed attempt.
+        attempt: u32,
+    },
+    /// An attempt completed before it was dispatched.
+    CompletionBeforeDispatch {
+        /// The offending task.
+        task: u32,
+        /// The offending attempt.
+        attempt: u32,
+    },
+    /// One `(task, attempt)` pair completed twice — the
+    /// one-outstanding-attempt protocol forbids that.
+    DuplicateCompletion {
+        /// The offending task.
+        task: u32,
+        /// The offending attempt.
+        attempt: u32,
+    },
+    /// A committed attempt never completed (fallback commits excepted).
+    CommitWithoutCompletion {
+        /// The committed task.
+        task: u32,
+        /// The committing attempt.
+        attempt: u32,
+    },
+    /// A squashed attempt never reached the frontier as a completion.
+    SquashWithoutCompletion {
+        /// The squashed task.
+        task: u32,
+        /// The squashed attempt.
+        attempt: u32,
+    },
+    /// The `i`-th commit event is not task `i`: commits left sequential
+    /// program order.
+    CommitOutOfOrder {
+        /// Position in the commit sequence.
+        position: u32,
+        /// The task that committed there instead.
+        task: u32,
+    },
+    /// A queue pop has no matching earlier push (only checked for
+    /// timelines that record queue events at all).
+    PopWithoutPush {
+        /// The popped task.
+        task: u32,
+        /// The popped attempt.
+        attempt: u32,
+    },
+}
+
+impl fmt::Display for TraceDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceDefect::CompletionWithoutDispatch { task, attempt } => {
+                write!(f, "t{task}#{attempt} completed without a dispatch")
+            }
+            TraceDefect::CompletionBeforeDispatch { task, attempt } => {
+                write!(f, "t{task}#{attempt} completed before its dispatch")
+            }
+            TraceDefect::DuplicateCompletion { task, attempt } => {
+                write!(f, "t{task}#{attempt} completed twice")
+            }
+            TraceDefect::CommitWithoutCompletion { task, attempt } => {
+                write!(f, "t{task}#{attempt} committed without completing")
+            }
+            TraceDefect::SquashWithoutCompletion { task, attempt } => {
+                write!(f, "t{task}#{attempt} squashed without completing")
+            }
+            TraceDefect::CommitOutOfOrder { position, task } => {
+                write!(f, "commit #{position} was t{task}, not t{position}")
+            }
+            TraceDefect::PopWithoutPush { task, attempt } => {
+                write!(f, "t{task}#{attempt} popped without a matching push")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceDefect {}
+
+/// Summary statistics over a set of duration samples (one [`TimeUnit`]
+/// apart — nanoseconds for native timelines, cycles for simulated
+/// ones). An empty sample set reports all-zero stats.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DurationStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub total: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Arithmetic mean (0.0 when empty).
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl DurationStats {
+    /// Computes the summary of `samples` (consumed: sorted in place).
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len() as u64;
+        let total: u64 = samples.iter().sum();
+        let pct = |p: f64| -> u64 {
+            let idx = (p * (samples.len() - 1) as f64).round() as usize;
+            samples[idx.min(samples.len() - 1)]
+        };
+        Self {
+            count,
+            total,
+            min: samples[0],
+            max: samples[samples.len() - 1],
+            mean: total as f64 / count as f64,
+            p50: pct(0.50),
+            p90: pct(0.90),
+            p99: pct(0.99),
+        }
+    }
+
+    /// Whether there were no samples.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// Per-stage derived metrics: the stage histograms of the observability
+/// layer (service time, queue wait, commit latency).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageMetrics {
+    /// The stage.
+    pub stage: StageId,
+    /// Body executions observed (including squashed attempts).
+    pub attempts: u64,
+    /// Tasks of this stage that committed.
+    pub committed: u64,
+    /// Dispatch→complete duration per attempt — how long the stage's
+    /// bodies actually ran.
+    pub service: DurationStats,
+    /// Queue-push→queue-pop duration per attempt — how long work sat in
+    /// the stage's input queue (empty for simulated timelines, which
+    /// model queues analytically).
+    pub queue_wait: DurationStats,
+    /// Complete→commit duration for committing attempts — how long
+    /// finished work waited in the reorder buffer for the in-order
+    /// frontier to reach it.
+    pub commit_latency: DurationStats,
+}
+
+impl StageMetrics {
+    /// Total time this stage's workers spent inside bodies (the sum of
+    /// service samples) — the numerator of pipeline-balance shares.
+    pub fn busy(&self) -> u64 {
+        self.service.total
+    }
+}
+
+/// The critical path estimate: the longest dependence chain through the
+/// run, weighted by each task's measured service time.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Total weight of the chain, in the timeline's [`TimeUnit`].
+    pub length: u64,
+    /// The chain itself, in task order.
+    pub tasks: Vec<TaskId>,
+}
+
+/// A post-run execution timeline: every recorded [`TraceEvent`], merged
+/// across workers and sorted by timestamp.
+///
+/// Produced by the native executor (on
+/// [`NativeReport::timeline`](super::NativeReport::timeline) when
+/// [`ExecConfig::trace`](super::ExecConfig::trace) is set) and by
+/// [`Simulator::run_timeline`](crate::Simulator::run_timeline); both
+/// emit the same schema, so the two sides are diffable event-for-event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Timeline {
+    unit: TimeUnit,
+    stage_count: u8,
+    events: Vec<TraceEvent>,
+}
+
+impl Timeline {
+    /// Merges per-thread buffers into one timestamp-sorted timeline.
+    ///
+    /// The sort is stable, so events a single thread recorded in order
+    /// (in particular the commit unit's in-order commit sequence) keep
+    /// their relative order even under timestamp ties.
+    pub(crate) fn stitch(
+        unit: TimeUnit,
+        stage_count: u8,
+        buffers: impl IntoIterator<Item = Vec<TraceEvent>>,
+    ) -> Self {
+        let mut events: Vec<TraceEvent> = buffers.into_iter().flatten().collect();
+        events.sort_by_key(|e| e.ts);
+        Self {
+            unit,
+            stage_count,
+            events,
+        }
+    }
+
+    /// The unit of every timestamp in this timeline.
+    pub fn unit(&self) -> TimeUnit {
+        self.unit
+    }
+
+    /// Pipeline stages of the traced run.
+    pub fn stage_count(&self) -> u8 {
+        self.stage_count
+    }
+
+    /// All events, sorted by timestamp.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the timeline recorded nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The timestamp of the last event — the traced span of the run.
+    pub fn span(&self) -> u64 {
+        self.events.last().map_or(0, |e| e.ts)
+    }
+
+    /// The tasks in the order they committed. For a well-formed
+    /// timeline this is exactly `0..n` — sequential program order —
+    /// which is what makes sim and native timelines diffable.
+    pub fn commit_order(&self) -> Vec<TaskId> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::Commit { task, .. } => Some(TaskId(task)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Checks the structural invariants every trace must satisfy:
+    ///
+    /// 1. each attempt's events are ordered dispatch → complete
+    ///    (recorded by the same worker thread, so the ordering is
+    ///    exact), with at most one completion per `(task, attempt)`;
+    /// 2. every committed attempt completed (commits by the sequential
+    ///    fallback, marked [`FALLBACK_ATTEMPT`](super::FALLBACK_ATTEMPT),
+    ///    are exempt — they have no worker-side events);
+    /// 3. every squashed attempt completed (reaching the frontier is
+    ///    what gets an attempt squashed);
+    /// 4. commits happen in sequential program order: the `i`-th commit
+    ///    event is task `i`;
+    /// 5. if the timeline records queue events at all, every pop has a
+    ///    matching push.
+    ///
+    /// Cross-thread pairs (rules 2, 3, 5) are checked for *existence*,
+    /// not timestamp order: each thread records into its own lock-free
+    /// buffer, so two records of one physical handoff (the dispatcher's
+    /// push and a worker's pop, a worker's completion and the
+    /// frontier's commit) can land nanoseconds apart in either order.
+    /// The handoff itself is what the invariant asserts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TraceDefect`] found.
+    pub fn validate(&self) -> Result<(), TraceDefect> {
+        // Existence pre-pass: cross-thread counterparts, order-free.
+        let mut completed_set: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut pushed: HashMap<(u32, u32), u64> = HashMap::new();
+        for e in &self.events {
+            match e.kind {
+                TraceEventKind::Complete { task, attempt, .. } => {
+                    *completed_set.entry((task, attempt)).or_insert(0) += 1;
+                }
+                TraceEventKind::QueuePush { task, attempt, .. } => {
+                    pushed.insert((task, attempt), e.ts);
+                }
+                _ => {}
+            }
+        }
+        if let Some((&(task, attempt), _)) = completed_set.iter().find(|(_, &n)| n > 1) {
+            return Err(TraceDefect::DuplicateCompletion { task, attempt });
+        }
+        let any_push = !pushed.is_empty();
+        // Ordering pass over the merged stream.
+        let mut dispatched: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut commits = 0u32;
+        for e in &self.events {
+            match e.kind {
+                TraceEventKind::QueuePop { task, attempt, .. } => {
+                    if any_push && !pushed.contains_key(&(task, attempt)) {
+                        return Err(TraceDefect::PopWithoutPush { task, attempt });
+                    }
+                }
+                TraceEventKind::Dispatch { task, attempt, .. } => {
+                    dispatched.entry((task, attempt)).or_insert(e.ts);
+                }
+                TraceEventKind::Complete { task, attempt, .. } => {
+                    let Some(&d) = dispatched.get(&(task, attempt)) else {
+                        return Err(TraceDefect::CompletionWithoutDispatch { task, attempt });
+                    };
+                    if d > e.ts {
+                        return Err(TraceDefect::CompletionBeforeDispatch { task, attempt });
+                    }
+                }
+                TraceEventKind::Squash { task, attempt, .. } => {
+                    if !completed_set.contains_key(&(task, attempt)) {
+                        return Err(TraceDefect::SquashWithoutCompletion { task, attempt });
+                    }
+                }
+                TraceEventKind::Commit { task, attempt } => {
+                    if attempt != super::FALLBACK_ATTEMPT
+                        && !completed_set.contains_key(&(task, attempt))
+                    {
+                        return Err(TraceDefect::CommitWithoutCompletion { task, attempt });
+                    }
+                    if task != commits {
+                        return Err(TraceDefect::CommitOutOfOrder {
+                            position: commits,
+                            task,
+                        });
+                    }
+                    commits += 1;
+                }
+                TraceEventKind::QueuePush { .. }
+                | TraceEventKind::SpecDecision { .. }
+                | TraceEventKind::FallbackActivated { .. }
+                | TraceEventKind::WatchdogTrip => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Derives the per-stage histograms: service time per attempt,
+    /// queue wait per attempt, commit latency per committed task.
+    pub fn stage_metrics(&self) -> Vec<StageMetrics> {
+        let n = self.stage_count as usize;
+        let mut dispatch: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut push: HashMap<(u32, u32), u64> = HashMap::new();
+        // (ts, stage) of each attempt's completion, for commit latency.
+        let mut complete: HashMap<(u32, u32), (u64, u8)> = HashMap::new();
+        let mut service: Vec<Vec<u64>> = vec![Vec::new(); n];
+        let mut queue_wait: Vec<Vec<u64>> = vec![Vec::new(); n];
+        let mut commit_latency: Vec<Vec<u64>> = vec![Vec::new(); n];
+        let mut attempts = vec![0u64; n];
+        let mut committed = vec![0u64; n];
+        for e in &self.events {
+            match e.kind {
+                TraceEventKind::QueuePush { task, attempt, .. } => {
+                    push.insert((task, attempt), e.ts);
+                }
+                TraceEventKind::QueuePop {
+                    stage,
+                    task,
+                    attempt,
+                    ..
+                } => {
+                    if let Some(&p) = push.get(&(task, attempt)) {
+                        queue_wait[stage as usize].push(e.ts.saturating_sub(p));
+                    }
+                }
+                TraceEventKind::Dispatch { task, attempt, .. } => {
+                    dispatch.insert((task, attempt), e.ts);
+                }
+                TraceEventKind::Complete {
+                    stage,
+                    task,
+                    attempt,
+                    ..
+                } => {
+                    let s = stage as usize;
+                    attempts[s] += 1;
+                    if let Some(&d) = dispatch.get(&(task, attempt)) {
+                        service[s].push(e.ts.saturating_sub(d));
+                    }
+                    complete.insert((task, attempt), (e.ts, stage));
+                }
+                TraceEventKind::Commit { task, attempt } => {
+                    if let Some(&(c, stage)) = complete.get(&(task, attempt)) {
+                        let s = stage as usize;
+                        committed[s] += 1;
+                        commit_latency[s].push(e.ts.saturating_sub(c));
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut rows = service
+            .into_iter()
+            .zip(queue_wait)
+            .zip(commit_latency)
+            .enumerate();
+        // (The zip keeps the three per-stage sample vectors aligned.)
+        for (s, ((srv, qw), cl)) in &mut rows {
+            out.push(StageMetrics {
+                stage: StageId(s as u8),
+                attempts: attempts[s],
+                committed: committed[s],
+                service: DurationStats::from_samples(srv),
+                queue_wait: DurationStats::from_samples(qw),
+                commit_latency: DurationStats::from_samples(cl),
+            });
+        }
+        out
+    }
+
+    /// Estimates the critical path: the heaviest chain through the
+    /// dependence graph (synchronized dependences plus *violated*
+    /// speculated ones — the edges that really serialized execution),
+    /// with each task weighted by its committing attempt's measured
+    /// service time. Tasks committed by the sequential fallback carry
+    /// zero weight (they have no worker-side measurement), so the
+    /// estimate covers the pipelined portion of the run.
+    pub fn critical_path(&self, graph: &TaskGraph) -> CriticalPath {
+        // Service time of the attempt each task committed at.
+        let mut dispatch: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut complete: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut weight: HashMap<u32, u64> = HashMap::new();
+        for e in &self.events {
+            match e.kind {
+                TraceEventKind::Dispatch { task, attempt, .. } => {
+                    dispatch.insert((task, attempt), e.ts);
+                }
+                TraceEventKind::Complete { task, attempt, .. } => {
+                    complete.insert((task, attempt), e.ts);
+                }
+                TraceEventKind::Commit { task, attempt } => {
+                    if let (Some(&d), Some(&c)) = (
+                        dispatch.get(&(task, attempt)),
+                        complete.get(&(task, attempt)),
+                    ) {
+                        weight.insert(task, c.saturating_sub(d));
+                    }
+                }
+                _ => {}
+            }
+        }
+        let n = graph.len();
+        let mut best = vec![0u64; n];
+        let mut pred: Vec<Option<u32>> = vec![None; n];
+        let (mut tail, mut tail_len) = (None, 0u64);
+        for (idx, task) in graph.tasks().iter().enumerate() {
+            let w = weight.get(&(idx as u32)).copied().unwrap_or(0);
+            let mut longest = 0u64;
+            let mut via = None;
+            let serializing = task
+                .deps
+                .iter()
+                .copied()
+                .chain(task.spec_deps.iter().filter(|s| s.violated).map(|s| s.on));
+            for d in serializing {
+                if best[d.0 as usize] >= longest {
+                    longest = best[d.0 as usize];
+                    via = Some(d.0);
+                }
+            }
+            best[idx] = longest + w;
+            pred[idx] = via;
+            if best[idx] >= tail_len {
+                tail_len = best[idx];
+                tail = Some(idx as u32);
+            }
+        }
+        let mut tasks = Vec::new();
+        let mut cursor = tail;
+        while let Some(t) = cursor {
+            tasks.push(TaskId(t));
+            cursor = pred[t as usize];
+        }
+        tasks.reverse();
+        CriticalPath {
+            length: tail_len,
+            tasks,
+        }
+    }
+
+    /// Exports the timeline as Chrome `trace_event` JSON (the "JSON
+    /// Array Format" with a `traceEvents` wrapper), loadable in
+    /// [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`.
+    ///
+    /// `stage_labels` names each stage in slice titles (missing entries
+    /// fall back to `stage{N}`). Attempts become duration (`X`) slices
+    /// on their worker's track; squashes, commits, speculation
+    /// decisions, and recovery actions become instant (`i`) events on
+    /// the supervisor track; queue occupancy becomes counter (`C`)
+    /// series. Native nanosecond timestamps are exported in the
+    /// format's microseconds; simulated timelines map one cycle to one
+    /// microsecond.
+    pub fn to_chrome_json(&self, stage_labels: &[String]) -> String {
+        let label = |s: u8| -> String {
+            stage_labels
+                .get(s as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("stage{s}"))
+        };
+        let ts_us = |ts: u64| -> f64 {
+            match self.unit {
+                TimeUnit::Nanos => ts as f64 / 1000.0,
+                TimeUnit::Cycles => ts as f64,
+            }
+        };
+        let mut entries: Vec<String> = Vec::new();
+        entries.push(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+             \"args\":{\"name\":\"seqpar pipelined executor\"}}"
+                .to_string(),
+        );
+        entries.push(
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+             \"args\":{\"name\":\"supervisor (dispatch + commit)\"}}"
+                .to_string(),
+        );
+        let mut named_cores: Vec<usize> = Vec::new();
+        let mut dispatch: HashMap<(u32, u32), u64> = HashMap::new();
+        for e in &self.events {
+            match e.kind {
+                TraceEventKind::Dispatch {
+                    core,
+                    task,
+                    attempt,
+                    ..
+                } => {
+                    dispatch.insert((task, attempt), e.ts);
+                    if !named_cores.contains(&core) {
+                        named_cores.push(core);
+                        entries.push(format!(
+                            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\
+                             \"args\":{{\"name\":\"core {core}\"}}}}",
+                            core + 1
+                        ));
+                    }
+                }
+                TraceEventKind::Complete {
+                    core,
+                    stage,
+                    task,
+                    attempt,
+                    panicked,
+                    stalled,
+                } => {
+                    let start = dispatch.get(&(task, attempt)).copied().unwrap_or(e.ts);
+                    let dur = ts_us(e.ts) - ts_us(start);
+                    entries.push(format!(
+                        "{{\"name\":\"{} t{task}#{attempt}\",\"cat\":\"task\",\"ph\":\"X\",\
+                         \"ts\":{:.3},\"dur\":{dur:.3},\"pid\":0,\"tid\":{},\
+                         \"args\":{{\"task\":{task},\"attempt\":{attempt},\"stage\":{stage},\
+                         \"panicked\":{panicked},\"stalled\":{stalled}}}}}",
+                        escape_json(&label(stage)),
+                        ts_us(start),
+                        core + 1
+                    ));
+                }
+                TraceEventKind::QueuePush {
+                    stage, occupancy, ..
+                }
+                | TraceEventKind::QueuePop {
+                    stage, occupancy, ..
+                } => {
+                    entries.push(format!(
+                        "{{\"name\":\"queue {}\",\"ph\":\"C\",\"ts\":{:.3},\"pid\":0,\
+                         \"args\":{{\"entries\":{occupancy}}}}}",
+                        escape_json(&label(stage)),
+                        ts_us(e.ts)
+                    ));
+                }
+                TraceEventKind::Squash {
+                    task,
+                    attempt,
+                    reason,
+                } => {
+                    entries.push(format!(
+                        "{{\"name\":\"squash:{reason} t{task}#{attempt}\",\"cat\":\"squash\",\
+                         \"ph\":\"i\",\"ts\":{:.3},\"pid\":0,\"tid\":0,\"s\":\"t\",\
+                         \"args\":{{\"task\":{task},\"attempt\":{attempt}}}}}",
+                        ts_us(e.ts)
+                    ));
+                }
+                TraceEventKind::Commit { task, attempt } => {
+                    entries.push(format!(
+                        "{{\"name\":\"commit t{task}\",\"cat\":\"commit\",\"ph\":\"i\",\
+                         \"ts\":{:.3},\"pid\":0,\"tid\":0,\"s\":\"t\",\
+                         \"args\":{{\"task\":{task},\"attempt\":{attempt}}}}}",
+                        ts_us(e.ts)
+                    ));
+                }
+                TraceEventKind::SpecDecision {
+                    task,
+                    violated,
+                    survived,
+                } => {
+                    entries.push(format!(
+                        "{{\"name\":\"speculation t{task}\",\"cat\":\"speculation\",\
+                         \"ph\":\"i\",\"ts\":{:.3},\"pid\":0,\"tid\":0,\"s\":\"t\",\
+                         \"args\":{{\"violated\":{violated},\"survived\":{survived}}}}}",
+                        ts_us(e.ts)
+                    ));
+                }
+                TraceEventKind::FallbackActivated { from_task } => {
+                    entries.push(format!(
+                        "{{\"name\":\"sequential fallback\",\"cat\":\"recovery\",\"ph\":\"i\",\
+                         \"ts\":{:.3},\"pid\":0,\"tid\":0,\"s\":\"g\",\
+                         \"args\":{{\"from_task\":{from_task}}}}}",
+                        ts_us(e.ts)
+                    ));
+                }
+                TraceEventKind::WatchdogTrip => {
+                    entries.push(format!(
+                        "{{\"name\":\"watchdog trip\",\"cat\":\"recovery\",\"ph\":\"i\",\
+                         \"ts\":{:.3},\"pid\":0,\"tid\":0,\"s\":\"g\",\"args\":{{}}}}",
+                        ts_us(e.ts)
+                    ));
+                }
+            }
+        }
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        out.push_str(&entries.join(",\n"));
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent { ts, kind }
+    }
+
+    fn dispatch(ts: u64, task: u32, attempt: u32) -> TraceEvent {
+        ev(
+            ts,
+            TraceEventKind::Dispatch {
+                core: 0,
+                stage: 0,
+                task,
+                attempt,
+            },
+        )
+    }
+
+    fn complete(ts: u64, task: u32, attempt: u32) -> TraceEvent {
+        ev(
+            ts,
+            TraceEventKind::Complete {
+                core: 0,
+                stage: 0,
+                task,
+                attempt,
+                panicked: false,
+                stalled: false,
+            },
+        )
+    }
+
+    fn commit(ts: u64, task: u32, attempt: u32) -> TraceEvent {
+        ev(ts, TraceEventKind::Commit { task, attempt })
+    }
+
+    #[test]
+    fn disabled_buffer_records_nothing() {
+        let mut buf = TraceBuffer::new(TraceClock::new(false));
+        assert!(!buf.enabled());
+        buf.record(TraceEventKind::WatchdogTrip);
+        assert!(buf.into_events().is_empty());
+    }
+
+    #[test]
+    fn enabled_buffer_timestamps_monotonically() {
+        let mut buf = TraceBuffer::new(TraceClock::new(true));
+        buf.record(TraceEventKind::WatchdogTrip);
+        buf.record(TraceEventKind::WatchdogTrip);
+        let events = buf.into_events();
+        assert_eq!(events.len(), 2);
+        assert!(events[0].ts <= events[1].ts);
+    }
+
+    #[test]
+    fn stitch_sorts_and_validate_accepts_a_legal_trace() {
+        let t = Timeline::stitch(
+            TimeUnit::Nanos,
+            1,
+            vec![
+                vec![dispatch(10, 1, 0), complete(30, 1, 0)],
+                vec![dispatch(5, 0, 0), complete(20, 0, 0)],
+                vec![commit(25, 0, 0), commit(35, 1, 0)],
+            ],
+        );
+        assert_eq!(t.len(), 6);
+        assert!(t.events().windows(2).all(|w| w[0].ts <= w[1].ts));
+        t.validate().expect("legal trace");
+        assert_eq!(t.commit_order(), vec![TaskId(0), TaskId(1)]);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_order_commits() {
+        let t = Timeline::stitch(
+            TimeUnit::Nanos,
+            1,
+            vec![vec![dispatch(0, 1, 0), complete(1, 1, 0), commit(2, 1, 0)]],
+        );
+        assert_eq!(
+            t.validate(),
+            Err(TraceDefect::CommitOutOfOrder {
+                position: 0,
+                task: 1
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_commit_without_completion() {
+        let t = Timeline::stitch(TimeUnit::Nanos, 1, vec![vec![commit(2, 0, 0)]]);
+        assert_eq!(
+            t.validate(),
+            Err(TraceDefect::CommitWithoutCompletion {
+                task: 0,
+                attempt: 0
+            })
+        );
+        // A fallback commit is exempt: it has no worker-side events.
+        let fb = Timeline::stitch(
+            TimeUnit::Nanos,
+            1,
+            vec![vec![commit(2, 0, crate::exec::FALLBACK_ATTEMPT)]],
+        );
+        fb.validate().expect("fallback commits are exempt");
+    }
+
+    #[test]
+    fn validate_rejects_completion_without_dispatch() {
+        let t = Timeline::stitch(TimeUnit::Nanos, 1, vec![vec![complete(1, 0, 0)]]);
+        assert_eq!(
+            t.validate(),
+            Err(TraceDefect::CompletionWithoutDispatch {
+                task: 0,
+                attempt: 0
+            })
+        );
+    }
+
+    #[test]
+    fn duration_stats_summarize_and_handle_empty() {
+        let s = DurationStats::from_samples(vec![30, 10, 20]);
+        assert_eq!((s.count, s.min, s.max, s.p50), (3, 10, 30, 20));
+        assert!((s.mean - 20.0).abs() < 1e-9);
+        let empty = DurationStats::from_samples(Vec::new());
+        assert!(empty.is_empty());
+        assert_eq!(empty.max, 0);
+    }
+
+    #[test]
+    fn stage_metrics_derive_service_and_commit_latency() {
+        let mut events = vec![
+            ev(
+                0,
+                TraceEventKind::QueuePush {
+                    stage: 0,
+                    task: 0,
+                    attempt: 0,
+                    occupancy: 1,
+                },
+            ),
+            ev(
+                4,
+                TraceEventKind::QueuePop {
+                    stage: 0,
+                    task: 0,
+                    attempt: 0,
+                    occupancy: 0,
+                },
+            ),
+        ];
+        events.extend([dispatch(5, 0, 0), complete(15, 0, 0), commit(20, 0, 0)]);
+        let t = Timeline::stitch(TimeUnit::Nanos, 1, vec![events]);
+        let m = &t.stage_metrics()[0];
+        assert_eq!(m.attempts, 1);
+        assert_eq!(m.committed, 1);
+        assert_eq!(m.service.p50, 10);
+        assert_eq!(m.queue_wait.p50, 4);
+        assert_eq!(m.commit_latency.p50, 5);
+        assert_eq!(m.busy(), 10);
+    }
+
+    #[test]
+    fn critical_path_follows_serializing_edges() {
+        // Two-stage chain: t0 -> t1 (sync dep); t1's service dominates.
+        let mut g = TaskGraph::new(2);
+        let a = g.add_task(0, 0, 1, &[], &[]);
+        g.add_task(1, 0, 1, &[a], &[]);
+        let t = Timeline::stitch(
+            TimeUnit::Nanos,
+            2,
+            vec![vec![
+                dispatch(0, 0, 0),
+                complete(10, 0, 0),
+                dispatch(10, 1, 0),
+                complete(40, 1, 0),
+                commit(11, 0, 0),
+                commit(41, 1, 0),
+            ]],
+        );
+        let cp = t.critical_path(&g);
+        assert_eq!(cp.length, 40);
+        assert_eq!(cp.tasks, vec![TaskId(0), TaskId(1)]);
+    }
+
+    #[test]
+    fn chrome_export_wraps_trace_events() {
+        let t = Timeline::stitch(
+            TimeUnit::Nanos,
+            1,
+            vec![vec![
+                dispatch(0, 0, 0),
+                complete(1000, 0, 0),
+                commit(1500, 0, 0),
+            ]],
+        );
+        let json = t.to_chrome_json(&["B \"transform\"".to_string()]);
+        assert!(json.starts_with('{'));
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("B \\\"transform\\\" t0#0"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":1.000"));
+        assert!(json.contains("commit t0"));
+    }
+
+    #[test]
+    fn escape_json_handles_specials() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+}

@@ -1,6 +1,8 @@
 //! The performance simulator.
 
-use crate::exec::{supervise_task, FaultPlan, RecoveryCounts};
+use crate::exec::{
+    supervise_task, FaultPlan, RecoveryCounts, TimeUnit, Timeline, TraceEvent, TraceEventKind,
+};
 use crate::plan::{ExecutionPlan, StageAssignment};
 use crate::task::{TaskGraph, TaskId};
 use serde::{Deserialize, Serialize};
@@ -150,7 +152,7 @@ pub struct SimResult {
     /// Speculated dependences that were successfully broken.
     pub speculations_survived: u64,
     /// Fault-recovery tallies when simulated under a
-    /// [`FaultPlan`](crate::FaultPlan) (see
+    /// [`FaultPlan`] (see
     /// [`Simulator::run_with_faults`]); all zero for fault-free runs.
     /// Defined identically to
     /// [`NativeReport::recovery`](crate::NativeReport::recovery) so
@@ -381,6 +383,96 @@ impl Simulator {
             },
             placements,
         ))
+    }
+
+    /// Like [`Simulator::run_traced`], but renders the simulated
+    /// schedule in the native executor's trace-event schema: a
+    /// [`Timeline`] with [`TimeUnit::Cycles`] timestamps, directly
+    /// diffable against [`NativeReport::timeline`](crate::NativeReport::timeline)
+    /// (the differential suite checks both agree on commit order).
+    ///
+    /// Each placement becomes a dispatch/complete pair on its core; the
+    /// commit frontier advances in task order at the running maximum of
+    /// finish cycles (the earliest cycle by which every earlier task
+    /// has also finished — the in-order commit rule); tasks carrying
+    /// speculated dependences get the same `SpecDecision` instants the
+    /// native frontier emits. Queue push/pop events are absent: the
+    /// simulator models queues analytically (backpressure delays
+    /// starts), so there are no discrete queue transfers to record —
+    /// [`Timeline::validate`] treats queue-event-free timelines as
+    /// legal.
+    ///
+    /// The simulator serializes a *violated* speculation instead of
+    /// replaying it, so its timeline shows one committing attempt per
+    /// task (attempt 0) where the native timeline shows a squashed
+    /// attempt 0 and a committing attempt 1; commit order — the
+    /// sequential program order — is identical on both sides.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`] for the validation failures.
+    pub fn run_timeline(
+        &self,
+        graph: &TaskGraph,
+        plan: &ExecutionPlan,
+    ) -> Result<(SimResult, Timeline), SimError> {
+        let (result, placements) = self.run_traced(graph, plan)?;
+        let mut exec_events: Vec<TraceEvent> = Vec::with_capacity(placements.len() * 2);
+        for p in &placements {
+            let task = graph.task(p.task);
+            exec_events.push(TraceEvent {
+                ts: p.start,
+                kind: TraceEventKind::Dispatch {
+                    core: p.core,
+                    stage: task.stage.0,
+                    task: p.task.0,
+                    attempt: 0,
+                },
+            });
+            exec_events.push(TraceEvent {
+                ts: p.end,
+                kind: TraceEventKind::Complete {
+                    core: p.core,
+                    stage: task.stage.0,
+                    task: p.task.0,
+                    attempt: 0,
+                    panicked: false,
+                    stalled: false,
+                },
+            });
+        }
+        // Frontier events, in task order: task i commits once it and
+        // every earlier task have finished.
+        let mut frontier_events: Vec<TraceEvent> = Vec::with_capacity(placements.len());
+        let mut frontier = 0u64;
+        for (idx, p) in placements.iter().enumerate() {
+            frontier = frontier.max(p.end);
+            let task = graph.task(TaskId(idx as u32));
+            if !task.spec_deps.is_empty() {
+                let violated = task.spec_deps.iter().filter(|d| d.violated).count() as u32;
+                frontier_events.push(TraceEvent {
+                    ts: frontier,
+                    kind: TraceEventKind::SpecDecision {
+                        task: idx as u32,
+                        violated,
+                        survived: task.spec_deps.len() as u32 - violated,
+                    },
+                });
+            }
+            frontier_events.push(TraceEvent {
+                ts: frontier,
+                kind: TraceEventKind::Commit {
+                    task: idx as u32,
+                    attempt: 0,
+                },
+            });
+        }
+        let timeline = Timeline::stitch(
+            TimeUnit::Cycles,
+            graph.stage_count(),
+            vec![exec_events, frontier_events],
+        );
+        Ok((result, timeline))
     }
 
     /// Simulates `graph` under `plan` with `faults` injected — the
@@ -785,6 +877,40 @@ mod tests {
                 assert!(w[0].1 <= w[1].0, "core executes one task at a time");
             }
         }
+    }
+
+    #[test]
+    fn run_timeline_emits_the_native_event_schema() {
+        let g = three_phase_graph(30, 5, 40, 5);
+        let sim = Simulator::new(SimConfig {
+            cores: 4,
+            comm_latency: 0,
+            ..SimConfig::default()
+        });
+        let (r, timeline) = sim
+            .run_timeline(&g, &ExecutionPlan::three_phase(4))
+            .unwrap();
+        timeline
+            .validate()
+            .expect("simulated traces are well-formed");
+        assert_eq!(timeline.unit(), TimeUnit::Cycles);
+        assert_eq!(timeline.stage_count(), 3);
+        // One commit per task, in sequential order, ending at/after the
+        // last finish cycle.
+        let order = timeline.commit_order();
+        assert_eq!(order.len(), g.len());
+        assert!(order.iter().enumerate().all(|(i, t)| t.0 as usize == i));
+        assert_eq!(timeline.span(), r.makespan);
+        // Stage metrics recover the simulated service times exactly.
+        let metrics = timeline.stage_metrics();
+        assert_eq!(metrics[0].service.p50, 5);
+        assert_eq!(metrics[1].service.p50, 40);
+        assert_eq!(metrics[1].attempts, 30);
+        assert!(metrics.iter().all(|m| m.queue_wait.is_empty()));
+        // The export is loadable Chrome-trace JSON (cycles as µs).
+        let json = timeline.to_chrome_json(&["A".into(), "B".into(), "C".into()]);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""));
     }
 
     #[test]

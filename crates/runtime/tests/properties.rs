@@ -272,6 +272,63 @@ proptest! {
         prop_assert_eq!(a.fallback_activated, b.fallback_activated);
     }
 
+    /// Every trace is well-formed: across arbitrary graphs, thread
+    /// counts, retry budgets, and (optional) fault seeds, a traced run's
+    /// timeline passes [`Timeline::validate`] — every completion pairs
+    /// with a dispatch, every commit with a completion (fallback commits
+    /// excepted), no pop without a push, and the commit sequence is
+    /// exactly sequential order — and its commit/squash events agree
+    /// with the report's counters.
+    ///
+    /// [`Timeline::validate`]: seqpar_runtime::Timeline::validate
+    #[test]
+    fn traces_are_always_well_formed(
+        costs in proptest::collection::vec((0..100u64, 0..500u64, 0..50u64, any::<bool>()), 1..24),
+        threads in 2usize..7,
+        budget in 0u32..4,
+        faulted in any::<bool>(),
+        seed in any::<u64>()
+    ) {
+        let n = costs.len();
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let g = build_graph(&costs);
+            let mut config = ExecConfig::default()
+                .with_retry_budget(budget)
+                .with_tracing(true);
+            if faulted {
+                config = config.with_faults(FaultPlan::seeded(seed));
+            }
+            let r = run_native_with(&g, threads, config);
+            tx.send(r).ok();
+        });
+        let r = rx
+            .recv_timeout(std::time::Duration::from_secs(120))
+            .expect("traced native run hung");
+        prop_assert_eq!(&r.output, &expected_stream(n));
+        let timeline = r.timeline.as_ref().expect("traced run carries a timeline");
+        let verdict = timeline.validate();
+        prop_assert!(verdict.is_ok(), "malformed timeline: {:?}", verdict);
+        let order = timeline.commit_order();
+        prop_assert_eq!(order.len() as u64, r.tasks_committed);
+        prop_assert!(order.iter().enumerate().all(|(i, t)| t.0 == i as u32));
+        let squash_events = timeline
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, seqpar_runtime::TraceEventKind::Squash { .. }))
+            .count() as u64;
+        // Squash events cover the whole recovery ladder: misspeculation
+        // rollbacks plus recovered panics, caught corruptions, and
+        // spurious squashes.
+        prop_assert_eq!(
+            squash_events,
+            r.squashes
+                + r.recovery.panics_recovered
+                + r.recovery.corruptions_caught
+                + r.recovery.spurious_squashes
+        );
+    }
+
     /// The TLS single-stage plan obeys the same fundamental bounds.
     #[test]
     fn tls_plan_bounds_hold(

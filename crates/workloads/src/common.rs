@@ -182,6 +182,32 @@ pub trait Workload: fmt::Debug {
     }
 }
 
+/// Human-readable stage names for a plan with `stage_count` stages —
+/// the labels `seqpar-trace` and the Chrome-trace exporter attach to
+/// pipeline stages.
+///
+/// Every workload in the suite runs either the three-phase DSWP
+/// decomposition (A reads, a replicated B transforms, C writes) or the
+/// single-stage TLS graph, so those two shapes get their paper names;
+/// any other width falls back to generic `stage N` labels.
+///
+/// ```
+/// let labels = seqpar_workloads::stage_labels(3);
+/// assert_eq!(labels[1], "B (transform)");
+/// assert_eq!(seqpar_workloads::stage_labels(1), vec!["TLS".to_string()]);
+/// ```
+pub fn stage_labels(stage_count: u8) -> Vec<String> {
+    match stage_count {
+        1 => vec!["TLS".to_string()],
+        3 => vec![
+            "A (read)".to_string(),
+            "B (transform)".to_string(),
+            "C (write)".to_string(),
+        ],
+        n => (0..n).map(|s| format!("stage {s}")).collect(),
+    }
+}
+
 /// FNV-1a, used by kernels to build output checksums.
 pub fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
     let mut hash = 0xcbf29ce484222325u64;

@@ -55,7 +55,7 @@ pub mod twolf;
 pub mod vortex;
 pub mod vpr;
 
-pub use common::{InputSize, Prng, WorkMeter, Workload};
+pub use common::{stage_labels, InputSize, Prng, WorkMeter, Workload};
 pub use meta::WorkloadMeta;
 pub use native::{misspec_targets, NativeJob, SequentialRun};
 

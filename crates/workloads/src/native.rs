@@ -3,7 +3,7 @@
 //! [`Workload::trace`](crate::Workload::trace) captures *what happened*
 //! in a sequential run; a [`NativeJob`] packages the same run so each
 //! iteration can be **re-executed for real** on the
-//! [`NativeExecutor`](seqpar_runtime::NativeExecutor)'s worker threads.
+//! [`NativeExecutor`]'s worker threads.
 //! The job owns whatever prefix state the kernel needs (input spans,
 //! interpreter snapshots, annealer checkpoints, …) plus a body closure
 //! `(iteration, stale) -> (bytes, work)`:

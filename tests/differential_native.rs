@@ -281,6 +281,59 @@ fn chaos_budget_zero_degrades_to_sequential_fallback() {
     assert!(report.recovery.fallback_tasks > 0);
 }
 
+/// The structured timelines of the two substrates are diffable: for
+/// every workload, a traced native run and the simulator's
+/// [`Simulator::run_timeline`] twin of the same plan both validate
+/// against the shared event schema and agree exactly on task commit
+/// order (always sequential program order). Service times and
+/// speculation replay differ by design — wall nanoseconds vs modelled
+/// cycles, squash-and-replay vs serialization — so commit order is the
+/// cross-substrate invariant (see OBSERVABILITY.md).
+#[test]
+fn timelines_agree_on_task_order() {
+    for (id, job) in jobs() {
+        let trace = job.trace().clone();
+        let graph = trace.task_graph();
+        let native = job
+            .execute(
+                &ExecutionPlan::three_phase(4),
+                ExecConfig::default().with_tracing(true),
+            )
+            .expect("plan matches graph");
+        let native_tl = native
+            .timeline
+            .as_ref()
+            .expect("traced run carries a timeline");
+        native_tl
+            .validate()
+            .unwrap_or_else(|d| panic!("{id}: native timeline malformed: {d}"));
+
+        let sim = Simulator::new(SimConfig {
+            cores: 4,
+            comm_latency: 10,
+            queue_capacity: 128,
+            ..SimConfig::default()
+        });
+        let (_, sim_tl) = sim
+            .run_timeline(&graph, &ExecutionPlan::three_phase(4))
+            .expect("plan matches machine");
+        sim_tl
+            .validate()
+            .unwrap_or_else(|d| panic!("{id}: sim timeline malformed: {d}"));
+
+        assert_eq!(
+            native_tl.commit_order(),
+            sim_tl.commit_order(),
+            "{id}: sim and native timelines disagree on task commit order"
+        );
+        assert_eq!(
+            native_tl.stage_count(),
+            sim_tl.stage_count(),
+            "{id}: timelines disagree on pipeline shape"
+        );
+    }
+}
+
 /// Tight queues exercise backpressure without deadlock or reordering.
 #[test]
 fn native_execution_survives_tiny_queues() {

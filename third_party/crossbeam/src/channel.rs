@@ -210,6 +210,16 @@ impl<T> Sender<T> {
         self.shared.not_empty.notify_one();
         Ok(())
     }
+
+    /// Messages currently in flight (an instantaneous snapshot).
+    pub fn len(&self) -> usize {
+        lock(&self.shared).queue.len()
+    }
+
+    /// Whether the channel currently holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 impl<T> Clone for Sender<T> {
@@ -302,6 +312,16 @@ impl<T> Receiver<T> {
     /// A blocking iterator that drains the channel until disconnection.
     pub fn iter(&self) -> Iter<'_, T> {
         Iter { receiver: self }
+    }
+
+    /// Messages currently in flight (an instantaneous snapshot).
+    pub fn len(&self) -> usize {
+        lock(&self.shared).queue.len()
+    }
+
+    /// Whether the channel currently holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -433,6 +453,17 @@ mod tests {
         assert_eq!(rx.try_recv(), Ok(5));
         drop(tx);
         assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn len_tracks_queue_occupancy_from_both_halves() {
+        let (tx, rx) = bounded(4);
+        assert!(tx.is_empty() && rx.is_empty());
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!((tx.len(), rx.len()), (2, 2));
+        rx.recv().unwrap();
+        assert_eq!((tx.len(), rx.len()), (1, 1));
     }
 
     #[test]
