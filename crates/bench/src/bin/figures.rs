@@ -193,6 +193,10 @@ fn run_native(size: InputSize, targets: &[String], fault_seed: Option<u64>, trac
                     "{}",
                     seqpar_bench::render_trace_summary(&run.timeline, &labels)
                 );
+                let mem = seqpar_bench::render_memory_summary(&run.timeline, &labels);
+                if !mem.is_empty() {
+                    print!("{mem}");
+                }
                 println!();
             }
         }

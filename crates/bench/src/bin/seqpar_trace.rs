@@ -28,7 +28,8 @@
 //! errors.
 
 use seqpar_bench::{
-    json, render_critical_path, render_timeline_gantt, render_trace_summary, trace_native, PlanKind,
+    json, render_critical_path, render_memory_summary, render_timeline_gantt, render_trace_summary,
+    trace_native, PlanKind,
 };
 use seqpar_runtime::{ExecConfig, FaultPlan, SimConfig, Simulator};
 use seqpar_workloads::{all_workloads, stage_labels, InputSize, Workload};
@@ -126,6 +127,13 @@ fn main() {
         report.squashes,
         report.recovery.faults_recovered(),
     );
+    if let Some(m) = report.mem {
+        println!(
+            "memory substrate: {} reads ({} forwarded), {} writes ({} silent), \
+             {} conflicts, {} commits, {} rollbacks",
+            m.reads, m.forwards, m.writes, m.silent_stores, m.violations, m.commits, m.rollbacks,
+        );
+    }
 
     let timeline = &run.timeline;
     if let Err(defect) = timeline.validate() {
@@ -137,13 +145,21 @@ fn main() {
     let labels = stage_labels(timeline.stage_count());
     print!("{}", render_trace_summary(timeline, &labels));
     println!();
+    let mem_summary = render_memory_summary(timeline, &labels);
+    if !mem_summary.is_empty() {
+        print!("{mem_summary}");
+        println!();
+    }
     print!("{}", render_timeline_gantt(timeline));
 
-    // Critical path over the same task graph the run executed.
-    let job = w.native_job(size);
+    // Critical path over the same task graph the run executed —
+    // converted workloads ran their versioned job's trace.
+    let trace = w
+        .versioned_job(size)
+        .map_or_else(|| w.native_job(size).trace().clone(), |j| j.trace().clone());
     let graph = match plan {
-        PlanKind::Dswp => job.trace().task_graph(),
-        PlanKind::Tls => job.trace().tls_task_graph(),
+        PlanKind::Dswp => trace.task_graph(),
+        PlanKind::Tls => trace.tls_task_graph(),
     };
     println!(
         "{}",

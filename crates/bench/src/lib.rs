@@ -14,6 +14,7 @@ use seqpar_runtime::{
     CriticalPath, ExecConfig, ExecutionPlan, NativeReport, SimConfig, SimResult, Simulator,
     TimeUnit, Timeline, TraceEventKind,
 };
+use seqpar_specmem::MemStats;
 use seqpar_workloads::{InputSize, Workload, WorkloadMeta};
 
 /// The thread counts used throughout the paper's figures.
@@ -53,6 +54,10 @@ pub struct SweepPoint {
     /// Faults recovered by the native supervisor (panics, corruptions,
     /// spurious squashes). `None` for simulator-only sweeps.
     pub faults_recovered: Option<u64>,
+    /// Versioned-memory substrate counters for conflict-driven runs.
+    /// `None` for simulator-only sweeps and for workloads still on the
+    /// trace-driven compatibility path.
+    pub mem: Option<MemStats>,
 }
 
 /// A full speedup curve for one benchmark.
@@ -128,6 +133,7 @@ pub fn sweep_trace(
                 native_wall_ms: None,
                 native_speedup: None,
                 faults_recovered: None,
+                mem: None,
             }
         })
         .collect();
@@ -152,6 +158,12 @@ pub fn sweep_workload(w: &dyn Workload, size: InputSize, kind: PlanKind) -> Swee
 /// timings for an execution that broke sequential semantics. This holds
 /// even when `config` carries a [`FaultPlan`](seqpar_runtime::FaultPlan):
 /// supervised recovery must restore the sequential byte stream.
+///
+/// Workloads converted to the versioned-memory substrate (gzip, mcf,
+/// parser) run conflict-driven via
+/// [`VersionedJob`](seqpar_workloads::VersionedJob), filling
+/// [`SweepPoint::mem`]; the rest keep the trace-driven compatibility
+/// path and leave it `None`.
 pub fn native_sweep(
     w: &dyn Workload,
     size: InputSize,
@@ -159,9 +171,19 @@ pub fn native_sweep(
     threads: &[usize],
     config: &ExecConfig,
 ) -> SweepResult {
-    let job = w.native_job(size);
-    let seq = job.sequential();
-    let trace = job.trace().clone();
+    let versioned = w.versioned_job(size);
+    let native = if versioned.is_some() {
+        None
+    } else {
+        Some(w.native_job(size))
+    };
+    let (seq, trace) = versioned.as_ref().map_or_else(
+        || {
+            let j = native.as_ref().expect("one job form exists");
+            (j.sequential(), j.trace().clone())
+        },
+        |j| (j.sequential(), j.trace().clone()),
+    );
     let points = threads
         .iter()
         .map(|&t| {
@@ -169,9 +191,17 @@ pub fn native_sweep(
                 PlanKind::Dswp => ExecutionPlan::three_phase(t),
                 PlanKind::Tls => ExecutionPlan::tls(t),
             };
-            let report = job
-                .execute(&plan, config.clone())
-                .expect("plan matches machine and faults are recoverable");
+            let report = match (&versioned, &native) {
+                (Some(j), _) => {
+                    j.execute(&plan, config.clone())
+                        .expect("plan matches machine and faults are recoverable")
+                        .0
+                }
+                (None, Some(j)) => j
+                    .execute(&plan, config.clone())
+                    .expect("plan matches machine and faults are recoverable"),
+                (None, None) => unreachable!("one job form exists"),
+            };
             assert_eq!(
                 report.output,
                 seq.output,
@@ -187,6 +217,7 @@ pub fn native_sweep(
                 native_wall_ms: Some(report.wall.as_secs_f64() * 1e3),
                 native_speedup: Some(report.speedup_vs(seq.wall)),
                 faults_recovered: Some(report.recovery.faults_recovered()),
+                mem: report.mem,
             }
         })
         .collect();
@@ -198,6 +229,12 @@ pub fn native_sweep(
 
 /// Renders a native sweep as an ASCII table with the wall-clock columns:
 /// simulator speedup, native wall time, and native wall-clock speedup.
+///
+/// Conflict-driven sweeps (those whose points carry
+/// [`SweepPoint::mem`]) gain three substrate columns: eager forwards
+/// served, conflict squashes, and elided silent stores. Their counts
+/// are timing-dependent — only the committed byte stream is
+/// deterministic.
 pub fn render_native_curve(curve: &SweepResult) -> String {
     // wall * wall-speedup recovers the sequential wall time any point
     // was normalized against.
@@ -206,18 +243,31 @@ pub fn render_native_curve(curve: &SweepResult) -> String {
         .iter()
         .find_map(|p| Some(p.native_wall_ms? * p.native_speedup?))
         .unwrap_or(f64::NAN);
+    let has_mem = curve.points.iter().any(|p| p.mem.is_some());
     let mut out = String::new();
     out.push_str(&format!(
-        "## {}: native execution (sequential {seq_wall_ms:.2} ms)\n",
-        curve.spec_id
+        "## {}: native execution (sequential {seq_wall_ms:.2} ms{})\n",
+        curve.spec_id,
+        if has_mem {
+            "; conflict-driven on versioned memory"
+        } else {
+            "; trace-driven compatibility path"
+        }
     ));
     out.push_str(&format!(
-        "{:>8}{:>14}{:>14}{:>14}{:>10}{:>11}\n",
+        "{:>8}{:>14}{:>14}{:>14}{:>10}{:>11}",
         "threads", "sim-speedup", "wall(ms)", "wall-speedup", "misspec", "recovered"
     ));
+    if has_mem {
+        out.push_str(&format!(
+            "{:>10}{:>11}{:>8}",
+            "forwards", "conflicts", "silent"
+        ));
+    }
+    out.push('\n');
     for p in &curve.points {
         out.push_str(&format!(
-            "{:>8}{:>14.2}{:>14.3}{:>14.2}{:>10.3}{:>11}\n",
+            "{:>8}{:>14.2}{:>14.3}{:>14.2}{:>10.3}{:>11}",
             p.threads,
             p.speedup,
             p.native_wall_ms.unwrap_or(f64::NAN),
@@ -225,6 +275,15 @@ pub fn render_native_curve(curve: &SweepResult) -> String {
             p.misspec_rate,
             p.faults_recovered.unwrap_or(0)
         ));
+        if has_mem {
+            if let Some(m) = p.mem {
+                out.push_str(&format!(
+                    "{:>10}{:>11}{:>8}",
+                    m.forwards, m.violations, m.silent_stores
+                ));
+            }
+        }
+        out.push('\n');
     }
     out
 }
@@ -406,7 +465,11 @@ pub struct TracedRun {
 /// As with [`native_sweep`], the committed output is checked
 /// byte-for-byte against the sequential run before anything is
 /// returned — a trace of an execution that broke sequential semantics
-/// would be worse than no trace.
+/// would be worse than no trace. Converted workloads run
+/// conflict-driven on the versioned-memory substrate, so their reports
+/// carry [`NativeReport::mem`] and their timelines the
+/// `VersionOpen`/`VersionReads`/`VersionConflict`/`VersionCommit`
+/// events.
 pub fn trace_native(
     w: &dyn Workload,
     size: InputSize,
@@ -414,15 +477,25 @@ pub fn trace_native(
     threads: usize,
     config: &ExecConfig,
 ) -> TracedRun {
-    let job = w.native_job(size);
-    let seq = job.sequential();
+    let versioned = w.versioned_job(size);
     let plan = match kind {
         PlanKind::Dswp => ExecutionPlan::three_phase(threads),
         PlanKind::Tls => ExecutionPlan::tls(threads),
     };
-    let mut report = job
-        .execute(&plan, config.clone().with_tracing(true))
-        .expect("plan matches machine and faults are recoverable");
+    let (seq, mut report) = if let Some(job) = &versioned {
+        let seq = job.sequential();
+        let (report, _mem) = job
+            .execute(&plan, config.clone().with_tracing(true))
+            .expect("plan matches machine and faults are recoverable");
+        (seq, report)
+    } else {
+        let job = w.native_job(size);
+        let seq = job.sequential();
+        let report = job
+            .execute(&plan, config.clone().with_tracing(true))
+            .expect("plan matches machine and faults are recoverable");
+        (seq, report)
+    };
     assert_eq!(
         report.output,
         seq.output,
@@ -489,6 +562,86 @@ pub fn render_trace_summary(timeline: &Timeline, labels: &[String]) -> String {
             m.service.max,
             m.queue_wait.p50,
             m.commit_latency.p50,
+        ));
+    }
+    out
+}
+
+/// Renders the versioned-memory substrate's per-stage activity as an
+/// ASCII table: versions opened, tracked reads, eager forwards served,
+/// conflict squashes, and version commits (with total committed
+/// writes). Built from the timeline's
+/// `VersionOpen`/`VersionReads`/`VersionConflict`/`VersionCommit`
+/// events; returns the empty string when the timeline carries none
+/// (trace-driven compatibility runs).
+pub fn render_memory_summary(timeline: &Timeline, labels: &[String]) -> String {
+    #[derive(Clone, Copy, Default)]
+    struct StageMem {
+        opens: u64,
+        reads: u64,
+        forwards: u64,
+        conflicts: u64,
+        commits: u64,
+        writes: u64,
+    }
+    let mut stages: Vec<(u8, StageMem)> = Vec::new();
+    let slot = |stage: u8, stages: &mut Vec<(u8, StageMem)>| -> usize {
+        if let Some(i) = stages.iter().position(|(s, _)| *s == stage) {
+            i
+        } else {
+            stages.push((stage, StageMem::default()));
+            stages.sort_by_key(|(s, _)| *s);
+            stages
+                .iter()
+                .position(|(s, _)| *s == stage)
+                .expect("just inserted")
+        }
+    };
+    for e in timeline.events() {
+        match e.kind {
+            TraceEventKind::VersionOpen { stage, .. } => {
+                let i = slot(stage, &mut stages);
+                stages[i].1.opens += 1;
+            }
+            TraceEventKind::VersionReads {
+                stage,
+                reads,
+                forwards,
+                ..
+            } => {
+                let i = slot(stage, &mut stages);
+                stages[i].1.reads += reads;
+                stages[i].1.forwards += forwards;
+            }
+            TraceEventKind::VersionConflict { stage, .. } => {
+                let i = slot(stage, &mut stages);
+                stages[i].1.conflicts += 1;
+            }
+            TraceEventKind::VersionCommit { stage, writes, .. } => {
+                let i = slot(stage, &mut stages);
+                stages[i].1.commits += 1;
+                stages[i].1.writes += writes;
+            }
+            _ => {}
+        }
+    }
+    if stages.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    out.push_str("### memory substrate (per stage; counts are timing-dependent)\n");
+    out.push_str(&format!(
+        "{:<16}{:>9}{:>9}{:>10}{:>11}{:>9}{:>9}\n",
+        "stage", "opens", "reads", "forwards", "conflicts", "commits", "writes"
+    ));
+    for (stage, m) in &stages {
+        let label = labels
+            .get(usize::from(*stage))
+            .cloned()
+            .unwrap_or_else(|| format!("stage {stage}"));
+        out.push_str(&format!(
+            "{label:<16}{:>9}{:>9}{:>10}{:>11}{:>9}{:>9}\n",
+            m.opens, m.reads, m.forwards, m.conflicts, m.commits, m.writes
         ));
     }
     out

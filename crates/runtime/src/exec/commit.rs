@@ -24,6 +24,19 @@
 //! protocol) are charged against a per-task retry budget; exhausting it
 //! makes [`CommitUnit::absorb`] demand the sequential fallback instead
 //! of aborting the run.
+//!
+//! Versioned runs ([`NativeExecutor::run_versioned`](super::NativeExecutor::run_versioned))
+//! swap the misspeculation rung's *source*: instead of replaying the
+//! graph's recorded [`SpecDep`](crate::SpecDep) violations, the frontier
+//! asks the [`ConcurrentVersionedMemory`] whether the attempt's version
+//! survived ([`commit_check`](ConcurrentVersionedMemory::commit_check) —
+//! checked *before* anything irrevocable happens), rolls conflicted
+//! versions back, and publishes the survivor's write buffer as the very
+//! last step of the commit. Conflict squashes are real races detected at
+//! access granularity, so — unlike every other rung — their *count* is
+//! timing-dependent; the committed output and memory state remain
+//! byte-identical to sequential execution, and they are never charged
+//! against the retry budget.
 
 use super::faults::{FaultKind, FaultPlan, RecoveryCounts};
 use super::metrics::{NativeReport, WorkerStat};
@@ -31,6 +44,7 @@ use super::stage::{WorkItem, WorkerDone};
 use super::trace::{SquashReason, TimeUnit, Timeline, TraceBuffer, TraceEvent, TraceEventKind};
 use super::{ExecError, TaskOutput, FALLBACK_ATTEMPT};
 use crate::task::{TaskGraph, TaskId};
+use seqpar_specmem::{CommitError, ConcurrentVersionedMemory, VersionId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -102,10 +116,20 @@ pub(super) struct CommitUnit<'g> {
     /// Frontier-side trace events (squashes, commits, speculation
     /// decisions); a no-op recorder when tracing is off.
     trace: TraceBuffer,
+    /// The versioned memory substrate when this is a
+    /// [`run_versioned`](super::NativeExecutor::run_versioned) run:
+    /// the frontier's squash source and the publisher of each committed
+    /// task's write buffer. `None` on trace-driven runs.
+    mem: Option<&'g ConcurrentVersionedMemory>,
 }
 
 impl<'g> CommitUnit<'g> {
-    pub(super) fn new(graph: &'g TaskGraph, watermark: Arc<AtomicU64>, trace: TraceBuffer) -> Self {
+    pub(super) fn new(
+        graph: &'g TaskGraph,
+        watermark: Arc<AtomicU64>,
+        trace: TraceBuffer,
+        mem: Option<&'g ConcurrentVersionedMemory>,
+    ) -> Self {
         Self {
             graph,
             watermark,
@@ -120,6 +144,22 @@ impl<'g> CommitUnit<'g> {
             recovery: RecoveryCounts::default(),
             retries_by_task: HashMap::new(),
             trace,
+            mem,
+        }
+    }
+
+    /// Discards `task`'s open memory version, if any, so its replay's
+    /// `begin` finds a clean slate. Every non-commit outcome of the
+    /// decision ladder must pass through here before re-dispatching:
+    /// the version may hold partial writes (panic mid-body) or doomed
+    /// state (conflict), and a recycled id with a live version would
+    /// panic the substrate.
+    fn rollback_version(&self, task: u32) {
+        if let Some(m) = self.mem {
+            let v = VersionId(u64::from(task));
+            if m.is_active(v) {
+                m.rollback(v);
+            }
         }
     }
 
@@ -176,6 +216,9 @@ impl<'g> CommitUnit<'g> {
                     attempt: done.attempt,
                     reason: SquashReason::PanicRecovered,
                 });
+                // A body that panicked mid-run may have left its memory
+                // version open with partial writes; discard them.
+                self.rollback_version(done.task);
                 if self.charge(done.task, sup.retry_budget) {
                     return Ok(Absorbed::Fallback);
                 }
@@ -185,14 +228,16 @@ impl<'g> CommitUnit<'g> {
                 });
                 continue;
             }
-            // 2. Misspeculation: the speculated dependence manifested
-            // and this attempt ran ahead of it. Part of the normal
-            // protocol — never charged against the retry budget. (If
-            // attempt 0 panicked instead, the replay is attempt ≥ 1 and
-            // no longer speculative, so this squash never fires and the
-            // task's violations go untallied — deterministically so;
-            // the simulated twin accounts identically.)
-            if violated > 0 && done.attempt == 0 {
+            // 2a. Trace-driven misspeculation: the recorded speculated
+            // dependence manifested and this attempt ran ahead of it.
+            // Part of the normal protocol — never charged against the
+            // retry budget. (If attempt 0 panicked instead, the replay
+            // is attempt ≥ 1 and no longer speculative, so this squash
+            // never fires and the task's violations go untallied —
+            // deterministically so; the simulated twin accounts
+            // identically.) Versioned runs skip this rung entirely:
+            // the memory substrate, not the recording, decides.
+            if self.mem.is_none() && violated > 0 && done.attempt == 0 {
                 self.squashes += 1;
                 self.violations += violated;
                 self.trace.record(TraceEventKind::Squash {
@@ -205,6 +250,44 @@ impl<'g> CommitUnit<'g> {
                     attempt: done.attempt + 1,
                 });
                 continue;
+            }
+            // 2b. Conflict-driven misspeculation: the attempt's memory
+            // version was invalidated by an earlier version's
+            // conflicting write (or a rollback's revoked forward). The
+            // check runs *before* validation and publication — nothing
+            // irrevocable has happened yet — and, like rung 2a, is
+            // never charged against the retry budget.
+            if let Some(m) = self.mem {
+                let v = VersionId(u64::from(done.task));
+                match m.commit_check(v) {
+                    Ok(()) => {}
+                    Err(CommitError::Squashed { by }) => {
+                        self.squashes += 1;
+                        self.violations += 1;
+                        self.trace.record(TraceEventKind::VersionConflict {
+                            stage: task.stage.0,
+                            task: done.task,
+                            by: by.0 as u32,
+                        });
+                        self.trace.record(TraceEventKind::Squash {
+                            task: done.task,
+                            attempt: done.attempt,
+                            reason: SquashReason::MemoryConflict,
+                        });
+                        m.rollback(v);
+                        redispatch.push(WorkItem {
+                            task: done.task,
+                            attempt: done.attempt + 1,
+                        });
+                        continue;
+                    }
+                    Err(e @ (CommitError::NotOldest | CommitError::Unknown)) => {
+                        // In-order commit already published every
+                        // earlier version, and every non-panicked
+                        // attempt opened one, so neither can occur.
+                        unreachable!("versioned commit frontier: {e} for task {}", done.task)
+                    }
+                }
             }
             // 3. Output validation: compare against the body's
             // replayable sequential oracle (attempt ≥ 1 forces the
@@ -219,6 +302,9 @@ impl<'g> CommitUnit<'g> {
                         attempt: done.attempt,
                         reason: SquashReason::CorruptionCaught,
                     });
+                    // The version itself passed the conflict check, but
+                    // the replay will re-open it — discard it first.
+                    self.rollback_version(done.task);
                     if self.charge(done.task, sup.retry_budget) {
                         return Ok(Absorbed::Fallback);
                     }
@@ -238,6 +324,7 @@ impl<'g> CommitUnit<'g> {
                     attempt: done.attempt,
                     reason: SquashReason::SpuriousSquash,
                 });
+                self.rollback_version(done.task);
                 if self.charge(done.task, sup.retry_budget) {
                     return Ok(Absorbed::Fallback);
                 }
@@ -248,16 +335,33 @@ impl<'g> CommitUnit<'g> {
                 continue;
             }
             // 5. Commit.
-            let survived = task.spec_deps.iter().filter(|d| !d.violated).count() as u64;
-            self.speculations_survived += survived;
-            if !task.spec_deps.is_empty() {
-                // The runtime outcome of this task's speculation,
-                // recorded once, at the attempt that commits.
-                self.trace.record(TraceEventKind::SpecDecision {
+            if let Some(m) = self.mem {
+                // Publish the surviving version's write buffer — the
+                // one irrevocable memory step, taken last. The version
+                // is the oldest active and unsquashed (rung 2b, and
+                // nothing after an earlier commit can doom it: writes
+                // only squash *later* readers), so this cannot fail.
+                let v = VersionId(u64::from(done.task));
+                let writes = m.probe(v).map_or(0, |p| p.writes);
+                m.try_commit(v)
+                    .expect("oldest unsquashed version must commit");
+                self.trace.record(TraceEventKind::VersionCommit {
+                    stage: task.stage.0,
                     task: done.task,
-                    violated: violated as u32,
-                    survived: survived as u32,
+                    writes,
                 });
+            } else {
+                let survived = task.spec_deps.iter().filter(|d| !d.violated).count() as u64;
+                self.speculations_survived += survived;
+                if !task.spec_deps.is_empty() {
+                    // The runtime outcome of this task's speculation,
+                    // recorded once, at the attempt that commits.
+                    self.trace.record(TraceEventKind::SpecDecision {
+                        task: done.task,
+                        violated: violated as u32,
+                        survived: survived as u32,
+                    });
+                }
             }
             self.trace.record(TraceEventKind::Commit {
                 task: done.task,
@@ -319,6 +423,7 @@ impl<'g> CommitUnit<'g> {
             fallback_activated,
             workers,
             timeline,
+            mem: self.mem.map(ConcurrentVersionedMemory::stats),
         }
     }
 }

@@ -5,6 +5,7 @@
 use super::faults::RecoveryCounts;
 use super::trace::Timeline;
 use crate::task::StageId;
+use seqpar_specmem::MemStats;
 use std::time::Duration;
 
 /// Timing for one worker thread (one core of the plan).
@@ -74,6 +75,16 @@ pub struct NativeReport {
     /// otherwise, and for empty graphs. See `OBSERVABILITY.md` for how
     /// to read and export it.
     pub timeline: Option<Timeline>,
+    /// A snapshot of the concurrent versioned memory's counters
+    /// (reads, eager forwards, silent stores suppressed, conflict
+    /// squashes, commits, rollbacks) when the run went through
+    /// [`NativeExecutor::run_versioned`](super::NativeExecutor::run_versioned);
+    /// `None` for trace-driven (non-versioned) runs. Unlike the
+    /// frontier-decided counters above, conflict counts here are
+    /// genuinely timing-dependent — they record real races detected at
+    /// access granularity, while the committed output stays
+    /// byte-identical.
+    pub mem: Option<MemStats>,
 }
 
 impl NativeReport {
@@ -97,6 +108,7 @@ impl NativeReport {
             fallback_activated: false,
             workers: Vec::new(),
             timeline: None,
+            mem: None,
         }
     }
 

@@ -18,22 +18,42 @@
 //! * **In-order commit**: a reorder buffer releases task outputs in
 //!   task order (the sequential program order), exactly the commit
 //!   discipline the paper's versioned memory enforces.
-//! * **Misspeculation rollback**: the dynamic dependence events recorded
-//!   in the task graph drive squashes. A task's first attempt is
-//!   dispatched without waiting for its speculated producers — that is
-//!   what makes it speculative — so when a speculated dependence
-//!   *manifested* (a violated [`SpecDep`](crate::SpecDep)), the commit
-//!   unit rejects the attempt, discards its output, and re-dispatches
-//!   the task. The re-execution starts only after every earlier task
+//! * **Misspeculation rollback**, from one of two squash sources:
+//!   * *Trace-driven* ([`NativeExecutor::run`]): the dynamic dependence
+//!     events recorded in the task graph drive squashes. A task's first
+//!     attempt is dispatched without waiting for its speculated
+//!     producers — that is what makes it speculative — so when a
+//!     speculated dependence *manifested* (a violated
+//!     [`SpecDep`](crate::SpecDep)), the commit unit rejects the
+//!     attempt, discards its output, and re-dispatches the task.
+//!   * *Conflict-driven* ([`NativeExecutor::run_versioned`]): the task
+//!     bodies route their speculative state through a shared
+//!     [`ConcurrentVersionedMemory`], each attempt running inside its
+//!     own version. Reads eagerly forward uncommitted stores from
+//!     earlier versions; a non-silent write that contradicts a value a
+//!     later version already observed squashes that version *at the
+//!     memory substrate*, at access granularity — real conflict
+//!     detection, not a replayed recording. The commit frontier checks
+//!     the version ([`ConcurrentVersionedMemory::commit_check`]) before
+//!     irrevocably publishing anything, rolls conflicted versions back,
+//!     and re-dispatches.
+//!
+//!   Either way the re-execution starts only after every earlier task
 //!   has committed (commit is in-order), mirroring how a TLS restart
 //!   re-reads committed memory versions.
 //!
-//! Because commit order is fixed and squash decisions depend only on the
-//! recorded dependence events — not on thread timing — the output byte
-//! stream, the squash count, and the per-task work counters are fully
-//! deterministic across runs and thread interleavings. The differential
-//! suite (`tests/differential_native.rs`) checks both properties against
-//! the simulator for every workload.
+//! Because commit order is fixed and trace-driven squash decisions
+//! depend only on the recorded dependence events — not on thread timing
+//! — [`NativeExecutor::run`]'s output byte stream, squash count, and
+//! per-task work counters are fully deterministic across runs and
+//! thread interleavings. Under [`NativeExecutor::run_versioned`] the
+//! *conflict counts* are genuinely timing-dependent (they record real
+//! races), but the committed output is still byte-identical to
+//! sequential execution: a version only commits when every value it
+//! read matched the state all earlier commits produced. The
+//! differential suites (`tests/differential_native.rs`,
+//! `tests/versioned_native.rs`) check these properties against the
+//! simulator and the sequential oracle for every workload.
 
 mod commit;
 mod faults;
@@ -54,6 +74,7 @@ use crate::sim::SimError;
 use crate::task::{StageId, TaskGraph, TaskId};
 use commit::{Absorbed, CommitUnit, Supervisor};
 use crossbeam::channel::RecvTimeoutError;
+use seqpar_specmem::ConcurrentVersionedMemory;
 use stage::{StageQueues, WorkItem, WorkerDone};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -273,6 +294,16 @@ pub struct TaskCtx<'a> {
     pub attempt: u32,
     /// Live view of the in-order commit frontier.
     pub commits: &'a CommitView,
+    /// The concurrent versioned memory this attempt's speculative state
+    /// flows through, when the run came in via
+    /// [`NativeExecutor::run_versioned`]. The executor has already
+    /// opened version `VersionId(task.0)` for the attempt; the body
+    /// issues `read`/`write` against it and must **not** begin, commit,
+    /// or roll it back itself. `None` on trace-driven runs *and* on the
+    /// sequential oracle / fallback paths — a versioned body must
+    /// compute its sequential result without the substrate when this is
+    /// `None`.
+    pub mem: Option<&'a ConcurrentVersionedMemory>,
 }
 
 impl TaskCtx<'_> {
@@ -344,6 +375,51 @@ impl NativeExecutor {
         plan: &ExecutionPlan,
         body: &dyn NativeBody,
     ) -> Result<NativeReport, ExecError> {
+        self.run_inner(graph, plan, body, None)
+    }
+
+    /// Runs `graph` under `plan` with every attempt's speculative state
+    /// routed through `mem`, a shared [`ConcurrentVersionedMemory`].
+    ///
+    /// This replaces the trace-driven squash source of
+    /// [`NativeExecutor::run`] with real conflict detection at the
+    /// memory substrate: the executor opens version `VersionId(task.0)`
+    /// before each attempt's body runs (handing the substrate to the
+    /// body via [`TaskCtx::mem`]), reads eagerly forward uncommitted
+    /// stores from earlier versions, conflicting non-silent writes
+    /// squash later readers, and the in-order commit frontier publishes
+    /// each surviving version's write buffer
+    /// ([`ConcurrentVersionedMemory::try_commit`]) right as the task
+    /// commits. Conflicted versions are rolled back and their tasks
+    /// re-dispatched — never charged against the retry budget, exactly
+    /// like trace-driven misspeculation.
+    ///
+    /// `mem` must be freshly created (or fully committed/rolled back);
+    /// the caller can inspect [`ConcurrentVersionedMemory::committed`]
+    /// state and [`NativeReport::mem`] counters afterwards. Recorded
+    /// [`SpecDep`](crate::SpecDep) violations in `graph` are *ignored*
+    /// as a squash source here — the substrate decides.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as for [`NativeExecutor::run`].
+    pub fn run_versioned(
+        &self,
+        graph: &TaskGraph,
+        plan: &ExecutionPlan,
+        body: &dyn NativeBody,
+        mem: &ConcurrentVersionedMemory,
+    ) -> Result<NativeReport, ExecError> {
+        self.run_inner(graph, plan, body, Some(mem))
+    }
+
+    fn run_inner(
+        &self,
+        graph: &TaskGraph,
+        plan: &ExecutionPlan,
+        body: &dyn NativeBody,
+        mem: Option<&ConcurrentVersionedMemory>,
+    ) -> Result<NativeReport, ExecError> {
         // A plan that was stamped by the static soundness lint must not
         // have been structurally mutated since: execution would then run
         // a shape the lint never saw. Unstamped (hand-built) plans pass.
@@ -386,7 +462,7 @@ impl NativeExecutor {
         // commit frontier, the dispatcher (this thread), and every
         // worker. All no-ops when tracing is off.
         let clock = TraceClock::new(self.config.trace);
-        let mut commit = CommitUnit::new(graph, watermark, TraceBuffer::new(clock));
+        let mut commit = CommitUnit::new(graph, watermark, TraceBuffer::new(clock), mem);
         let mut dispatch_trace = TraceBuffer::new(clock);
 
         let faults = &self.config.fault_plan;
@@ -403,13 +479,17 @@ impl NativeExecutor {
         let (done_tx, done_rx) = crossbeam::channel::unbounded::<WorkerDone>();
 
         std::thread::scope(|scope| {
-            let workers = queues.spawn_workers(scope, graph, body, &view, &done_tx, faults, clock);
+            let workers =
+                queues.spawn_workers(scope, graph, body, &view, &done_tx, faults, clock, mem);
             drop(done_tx);
 
             // Replays the body sequentially on this thread: the
             // validation oracle and the fallback executor. A panic here
             // is unrecoverable — the body cannot produce the task's
-            // sequential result at all.
+            // sequential result at all. `mem: None` on purpose even for
+            // versioned runs: an oracle replay must compute the task's
+            // sequential result without opening (or double-applying
+            // into) a memory version.
             let mut oracle = |task: u32, attempt: u32| -> Result<TaskOutput, ExecError> {
                 let t = graph.task(TaskId(task));
                 let ctx = TaskCtx {
@@ -417,6 +497,7 @@ impl NativeExecutor {
                     iter: t.iter,
                     attempt,
                     commits: &view,
+                    mem: None,
                 };
                 catch_unwind(AssertUnwindSafe(|| body.run(TaskId(task), &ctx)))
                     .map_err(|_| ExecError::TaskFailed { task: TaskId(task) })

@@ -17,6 +17,7 @@ use super::{NativeBody, TaskCtx, TaskOutput};
 use crate::plan::{ExecutionPlan, StageAssignment};
 use crate::task::{TaskGraph, TaskId};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use seqpar_specmem::{ConcurrentVersionedMemory, VersionId};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread::{Scope, ScopedJoinHandle};
 use std::time::{Duration, Instant};
@@ -149,7 +150,7 @@ impl<'g> StageQueues<'g> {
     /// returns its recorded events alongside its timing stat.
     // Every parameter is one shared facet of the worker environment,
     // forwarded verbatim into `worker_loop`; a bundling struct would
-    // only rename the same eight things.
+    // only rename the same nine things.
     #[allow(clippy::too_many_arguments)]
     pub(super) fn spawn_workers<'scope>(
         &mut self,
@@ -160,12 +161,15 @@ impl<'g> StageQueues<'g> {
         done_tx: &Sender<WorkerDone>,
         faults: &'scope FaultPlan,
         clock: TraceClock,
+        mem: Option<&'scope ConcurrentVersionedMemory>,
     ) -> Vec<ScopedJoinHandle<'scope, (WorkerStat, Vec<TraceEvent>)>> {
         std::mem::take(&mut self.seats)
             .into_iter()
             .map(|seat| {
                 let done_tx = done_tx.clone();
-                scope.spawn(move || worker_loop(seat, graph, body, view, done_tx, faults, clock))
+                scope.spawn(move || {
+                    worker_loop(seat, graph, body, view, done_tx, faults, clock, mem)
+                })
             })
             .collect()
     }
@@ -178,7 +182,7 @@ impl<'g> StageQueues<'g> {
 // Takes `seat` and `done_tx` by value on purpose: each worker thread owns
 // its seat's receiver, and dropping its `done_tx` clone on exit is what
 // disconnects the completion channel.
-#[allow(clippy::needless_pass_by_value)]
+#[allow(clippy::needless_pass_by_value, clippy::too_many_arguments)]
 fn worker_loop(
     seat: WorkerSeat,
     graph: &TaskGraph,
@@ -187,6 +191,7 @@ fn worker_loop(
     done_tx: Sender<WorkerDone>,
     faults: &FaultPlan,
     clock: TraceClock,
+    mem: Option<&ConcurrentVersionedMemory>,
 ) -> (WorkerStat, Vec<TraceEvent>) {
     let mut trace = TraceBuffer::new(clock);
     let mut busy = Duration::ZERO;
@@ -248,16 +253,44 @@ fn worker_loop(
             std::thread::sleep(faults.stall_duration());
         }
         let task = graph.task(TaskId(item.task));
+        // Versioned runs: open the attempt's memory version before the
+        // body runs. A squashed predecessor attempt was rolled back at
+        // the frontier before this re-dispatch, so `begin` never sees a
+        // live duplicate.
+        let version = VersionId(u64::from(item.task));
+        if let Some(m) = mem {
+            m.begin(version);
+            trace.record(TraceEventKind::VersionOpen {
+                stage: seat.stage,
+                task: item.task,
+                attempt: item.attempt,
+            });
+        }
         let ctx = TaskCtx {
             stage: task.stage,
             iter: task.iter,
             attempt: item.attempt,
             commits: view,
+            mem,
         };
         let started = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| body.run(TaskId(item.task), &ctx)));
         busy += started.elapsed();
         tasks += 1;
+        if let (Some(m), Ok(_)) = (mem, &result) {
+            // What the attempt actually did to its version, recorded
+            // from the worker's side while the version is still open
+            // (the frontier decides later whether it commits).
+            if let Some(probe) = m.probe(version) {
+                trace.record(TraceEventKind::VersionReads {
+                    stage: seat.stage,
+                    task: item.task,
+                    attempt: item.attempt,
+                    reads: probe.reads,
+                    forwards: probe.forwards,
+                });
+            }
+        }
         let done = match result {
             Ok(mut output) => {
                 if fault == Some(FaultKind::CorruptOutput) {

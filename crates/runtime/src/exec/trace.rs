@@ -65,6 +65,13 @@ pub enum SquashReason {
     /// The fault plan squashed a perfectly good attempt at the commit
     /// point.
     SpuriousSquash,
+    /// The versioned memory substrate invalidated the attempt's version:
+    /// a read it took was contradicted by an earlier version's
+    /// conflicting (non-silent) write or a rollback's revoked forward.
+    /// This is the squash source of versioned-memory runs, detected at
+    /// access granularity instead of replayed from recorded dependence
+    /// events.
+    MemoryConflict,
 }
 
 impl fmt::Display for SquashReason {
@@ -74,6 +81,7 @@ impl fmt::Display for SquashReason {
             SquashReason::Misspeculation => f.write_str("misspeculation"),
             SquashReason::CorruptionCaught => f.write_str("corruption"),
             SquashReason::SpuriousSquash => f.write_str("spurious"),
+            SquashReason::MemoryConflict => f.write_str("memory-conflict"),
         }
     }
 }
@@ -193,6 +201,58 @@ pub enum TraceEventKind {
     /// The heartbeat watchdog fired: no completion arrived within
     /// [`ExecConfig::watchdog_deadline`](super::ExecConfig::watchdog_deadline).
     WatchdogTrip,
+    /// An attempt opened a version in the concurrent versioned-memory
+    /// substrate (versioned runs only; recorded by the worker at
+    /// dispatch, one instant per attempt).
+    VersionOpen {
+        /// The task's stage.
+        stage: u8,
+        /// The task whose attempt opened the version.
+        task: u32,
+        /// The attempt number (version ids are per-task; each replay
+        /// re-opens the id with a fresh buffer).
+        attempt: u32,
+    },
+    /// The speculative reads an attempt issued through its version:
+    /// how many were tracked into the read set, and how many of those
+    /// were satisfied by *eagerly forwarding* an uncommitted store from
+    /// an earlier active version (paper §2.1).
+    VersionReads {
+        /// The task's stage.
+        stage: u8,
+        /// The reading task.
+        task: u32,
+        /// The attempt that issued the reads.
+        attempt: u32,
+        /// Tracked reads issued.
+        reads: u64,
+        /// Reads satisfied by eager forwarding.
+        forwards: u64,
+    },
+    /// The commit frontier found the attempt's version invalidated: an
+    /// earlier version's non-silent write (or rollback) contradicted a
+    /// value this version observed. Paired with a
+    /// [`Squash`](TraceEventKind::Squash) carrying
+    /// [`SquashReason::MemoryConflict`].
+    VersionConflict {
+        /// The invalidated task's stage.
+        stage: u8,
+        /// The invalidated task.
+        task: u32,
+        /// The task whose version squashed it.
+        by: u32,
+    },
+    /// In-order commit published the version's write buffer to committed
+    /// state (versioned runs only; accompanies the task's
+    /// [`Commit`](TraceEventKind::Commit)).
+    VersionCommit {
+        /// The committing task's stage.
+        stage: u8,
+        /// The committing task.
+        task: u32,
+        /// Buffered writes published.
+        writes: u64,
+    },
 }
 
 impl TraceEventKind {
@@ -206,6 +266,10 @@ impl TraceEventKind {
             | TraceEventKind::Squash { task, .. }
             | TraceEventKind::Commit { task, .. }
             | TraceEventKind::SpecDecision { task, .. }
+            | TraceEventKind::VersionOpen { task, .. }
+            | TraceEventKind::VersionReads { task, .. }
+            | TraceEventKind::VersionConflict { task, .. }
+            | TraceEventKind::VersionCommit { task, .. }
             | TraceEventKind::FallbackActivated { from_task: task } => Some(TaskId(*task)),
             TraceEventKind::WatchdogTrip => None,
         }
@@ -617,7 +681,15 @@ impl Timeline {
                 TraceEventKind::QueuePush { .. }
                 | TraceEventKind::SpecDecision { .. }
                 | TraceEventKind::FallbackActivated { .. }
-                | TraceEventKind::WatchdogTrip => {}
+                | TraceEventKind::WatchdogTrip
+                // Versioned-memory events carry no ordering constraints
+                // of their own: opens/reads are worker-side annotations,
+                // conflicts and version-commits are frontier-side twins
+                // of Squash/Commit events (which ARE constrained above).
+                | TraceEventKind::VersionOpen { .. }
+                | TraceEventKind::VersionReads { .. }
+                | TraceEventKind::VersionConflict { .. }
+                | TraceEventKind::VersionCommit { .. } => {}
             }
         }
         Ok(())
@@ -900,6 +972,53 @@ impl Timeline {
                     entries.push(format!(
                         "{{\"name\":\"watchdog trip\",\"cat\":\"recovery\",\"ph\":\"i\",\
                          \"ts\":{:.3},\"pid\":0,\"tid\":0,\"s\":\"g\",\"args\":{{}}}}",
+                        ts_us(e.ts)
+                    ));
+                }
+                TraceEventKind::VersionOpen {
+                    stage,
+                    task,
+                    attempt,
+                } => {
+                    entries.push(format!(
+                        "{{\"name\":\"version open t{task}#{attempt}\",\"cat\":\"memory\",\
+                         \"ph\":\"i\",\"ts\":{:.3},\"pid\":0,\"tid\":0,\"s\":\"t\",\
+                         \"args\":{{\"task\":{task},\"attempt\":{attempt},\"stage\":{stage}}}}}",
+                        ts_us(e.ts)
+                    ));
+                }
+                TraceEventKind::VersionReads {
+                    stage,
+                    task,
+                    attempt,
+                    reads,
+                    forwards,
+                } => {
+                    entries.push(format!(
+                        "{{\"name\":\"version reads t{task}#{attempt}\",\"cat\":\"memory\",\
+                         \"ph\":\"i\",\"ts\":{:.3},\"pid\":0,\"tid\":0,\"s\":\"t\",\
+                         \"args\":{{\"task\":{task},\"attempt\":{attempt},\"stage\":{stage},\
+                         \"reads\":{reads},\"forwards\":{forwards}}}}}",
+                        ts_us(e.ts)
+                    ));
+                }
+                TraceEventKind::VersionConflict { stage, task, by } => {
+                    entries.push(format!(
+                        "{{\"name\":\"version conflict t{task} by t{by}\",\"cat\":\"memory\",\
+                         \"ph\":\"i\",\"ts\":{:.3},\"pid\":0,\"tid\":0,\"s\":\"t\",\
+                         \"args\":{{\"task\":{task},\"by\":{by},\"stage\":{stage}}}}}",
+                        ts_us(e.ts)
+                    ));
+                }
+                TraceEventKind::VersionCommit {
+                    stage,
+                    task,
+                    writes,
+                } => {
+                    entries.push(format!(
+                        "{{\"name\":\"version commit t{task}\",\"cat\":\"memory\",\
+                         \"ph\":\"i\",\"ts\":{:.3},\"pid\":0,\"tid\":0,\"s\":\"t\",\
+                         \"args\":{{\"task\":{task},\"stage\":{stage},\"writes\":{writes}}}}}",
                         ts_us(e.ts)
                     ));
                 }

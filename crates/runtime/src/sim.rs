@@ -408,6 +408,16 @@ impl Simulator {
     /// attempt 0 and a committing attempt 1; commit order — the
     /// sequential program order — is identical on both sides.
     ///
+    /// The paper's model presumes versioned-memory hardware, so the
+    /// simulated timeline also carries the substrate's event twins:
+    /// a `VersionOpen` at each task's dispatch, a `VersionReads` at its
+    /// completion (one tracked read per speculated dependence, the
+    /// surviving ones counted as eager forwards), a `VersionConflict`
+    /// at the frontier for every manifested dependence, and a
+    /// `VersionCommit` at every commit — the same four instants
+    /// [`NativeExecutor::run_versioned`](crate::NativeExecutor::run_versioned)
+    /// records from real conflict detection.
+    ///
     /// # Errors
     ///
     /// See [`SimError`] for the validation failures.
@@ -429,6 +439,30 @@ impl Simulator {
                     attempt: 0,
                 },
             });
+            exec_events.push(TraceEvent {
+                ts: p.start,
+                kind: TraceEventKind::VersionOpen {
+                    stage: task.stage.0,
+                    task: p.task.0,
+                    attempt: 0,
+                },
+            });
+            if !task.spec_deps.is_empty() {
+                // The modelled version tracks one read per speculated
+                // dependence; the ones that did not manifest were
+                // satisfied by eager forwarding.
+                let survived = task.spec_deps.iter().filter(|d| !d.violated).count() as u64;
+                exec_events.push(TraceEvent {
+                    ts: p.end,
+                    kind: TraceEventKind::VersionReads {
+                        stage: task.stage.0,
+                        task: p.task.0,
+                        attempt: 0,
+                        reads: task.spec_deps.len() as u64,
+                        forwards: survived,
+                    },
+                });
+            }
             exec_events.push(TraceEvent {
                 ts: p.end,
                 kind: TraceEventKind::Complete {
@@ -458,7 +492,27 @@ impl Simulator {
                         survived: task.spec_deps.len() as u32 - violated,
                     },
                 });
+                for dep in task.spec_deps.iter().filter(|d| d.violated) {
+                    frontier_events.push(TraceEvent {
+                        ts: frontier,
+                        kind: TraceEventKind::VersionConflict {
+                            stage: task.stage.0,
+                            task: idx as u32,
+                            by: dep.on.0,
+                        },
+                    });
+                }
             }
+            frontier_events.push(TraceEvent {
+                ts: frontier,
+                kind: TraceEventKind::VersionCommit {
+                    stage: task.stage.0,
+                    task: idx as u32,
+                    // The analytic model carries no write counts; the
+                    // twin records the commit instant, not a volume.
+                    writes: 0,
+                },
+            });
             frontier_events.push(TraceEvent {
                 ts: frontier,
                 kind: TraceEventKind::Commit {

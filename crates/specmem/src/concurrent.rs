@@ -1,0 +1,746 @@
+//! Thread-safe versioned memory: the substrate the native executor
+//! routes speculative state through.
+//!
+//! [`ConcurrentVersionedMemory`] keeps the semantics of
+//! [`VersionedMemory`](crate::VersionedMemory) — privatized per-version
+//! write buffers, eager forwarding of uncommitted stores to later
+//! versions, eager conflict detection, the silent-store rule, strictly
+//! in-order commit — but every operation takes `&self` and is safe to
+//! call from many threads at once:
+//!
+//! * **Address sharding.** Per-address state (write buffers, read sets,
+//!   committed values) is split across [`SHARD_COUNT`] shards by address
+//!   hash, each behind its own mutex, so accesses to different shards
+//!   never contend. A single read or write touches exactly one shard.
+//! * **A global version registry** (`RwLock`) holds one handle per
+//!   active version: its squashed-by mark (an atomic, so a conflicting
+//!   writer in one shard can doom a version without taking any other
+//!   lock) and per-version operation counters. Lock order is always
+//!   registry → shard, never the reverse.
+//! * **Epoch-style reclamation of committed versions.** Commit does not
+//!   scatter a version's writes into a flat map immediately: the write
+//!   buffer is *retired* whole, tagged with the commit epoch, and stays
+//!   walkable (newest-retired-first) for lookups. A retired buffer is
+//!   folded into the flat base map only once every active version began
+//!   after it committed — i.e. once no concurrent version's lookups can
+//!   logically traverse it — mirroring epoch-based reclamation schemes.
+//!   [`ConcurrentVersionedMemory::pending_reclaim`] exposes the
+//!   retired-but-unfolded count.
+//! * **Statistics stay exact under concurrency**: every counter in the
+//!   [`MemStats`] snapshot is an atomic updated inside the operation
+//!   that it counts.
+//!
+//! The intended executor protocol (one version per task attempt):
+//! workers [`begin`](ConcurrentVersionedMemory::begin) a version and
+//! issue [`read`](ConcurrentVersionedMemory::read)s and
+//! [`write`](ConcurrentVersionedMemory::write)s while the attempt runs;
+//! the in-order commit frontier calls
+//! [`commit_check`](ConcurrentVersionedMemory::commit_check) — squashing
+//! and [`rollback`](ConcurrentVersionedMemory::rollback)ing the version
+//! on conflict — and [`try_commit`](ConcurrentVersionedMemory::try_commit)
+//! to publish the write buffer when the attempt survives.
+
+use crate::memory::{Addr, CommitError, VersionId};
+use crate::stats::MemStats;
+use parking_lot::{Mutex, RwLock};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of address shards. Sixteen keeps contention negligible for
+/// the executor's worker counts (≤ the machine's cores) without
+/// oversizing the lock table.
+pub const SHARD_COUNT: usize = 16;
+
+/// Sentinel for "not squashed" in a handle's atomic squashed-by slot.
+const NOT_SQUASHED: u64 = u64::MAX;
+
+/// Per-version bookkeeping that must be reachable from any shard: the
+/// squashed-by mark and the attempt's operation counters.
+#[derive(Debug)]
+struct Handle {
+    /// Epoch at `begin` time; gates reclamation of retired buffers.
+    birth_epoch: u64,
+    /// `VersionId.0` of the squashing version, or [`NOT_SQUASHED`].
+    squashed_by: AtomicU64,
+    reads: AtomicU64,
+    forwards: AtomicU64,
+    writes: AtomicU64,
+    silent_stores: AtomicU64,
+}
+
+impl Handle {
+    fn new(birth_epoch: u64) -> Self {
+        Self {
+            birth_epoch,
+            squashed_by: AtomicU64::new(NOT_SQUASHED),
+            reads: AtomicU64::new(0),
+            forwards: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            silent_stores: AtomicU64::new(0),
+        }
+    }
+
+    fn squashed_by(&self) -> Option<VersionId> {
+        match self.squashed_by.load(Ordering::Acquire) {
+            NOT_SQUASHED => None,
+            by => Some(VersionId(by)),
+        }
+    }
+
+    /// Marks the version squashed by `by` unless already doomed.
+    /// Returns whether this call won the race (counts the violation).
+    fn mark_squashed(&self, by: VersionId) -> bool {
+        self.squashed_by
+            .compare_exchange(NOT_SQUASHED, by.0, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+}
+
+/// One version's footprint within one shard.
+#[derive(Debug, Default)]
+struct ShardVersion {
+    writes: BTreeMap<Addr, u64>,
+    /// Address -> value observed at first read (or silent-store bet).
+    reads: HashMap<Addr, u64>,
+}
+
+/// The state of one address shard.
+#[derive(Debug, Default)]
+struct Shard {
+    /// Active versions' buffers, keyed by `VersionId.0` (commit order).
+    live: BTreeMap<u64, ShardVersion>,
+    /// Committed-but-unreclaimed write buffers: `version -> (commit
+    /// epoch, writes)`. Lookups walk these newest-first after the live
+    /// chain; reclamation folds the old prefix into `base`.
+    retired: BTreeMap<u64, (u64, BTreeMap<Addr, u64>)>,
+    /// Reclaimed committed state.
+    base: HashMap<Addr, u64>,
+}
+
+impl Shard {
+    /// The value visible to `v` at `addr` plus whether it was forwarded
+    /// from another active version's uncommitted buffer.
+    fn lookup(&self, v: VersionId, addr: Addr) -> (u64, bool) {
+        if let Some((id, value)) = self
+            .live
+            .range(..=v.0)
+            .rev()
+            .find_map(|(id, sv)| sv.writes.get(&addr).map(|&value| (*id, value)))
+        {
+            return (value, id != v.0);
+        }
+        let committed = self
+            .retired
+            .values()
+            .rev()
+            .find_map(|(_, writes)| writes.get(&addr))
+            .or_else(|| self.base.get(&addr));
+        (committed.copied().unwrap_or(0), false)
+    }
+}
+
+/// Atomic twins of every [`MemStats`] counter.
+#[derive(Debug, Default)]
+struct AtomicStats {
+    begins: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    forwards: AtomicU64,
+    silent_stores: AtomicU64,
+    violations: AtomicU64,
+    commits: AtomicU64,
+    rollbacks: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> MemStats {
+        MemStats {
+            begins: self.begins.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            forwards: self.forwards.load(Ordering::Relaxed),
+            silent_stores: self.silent_stores.load(Ordering::Relaxed),
+            violations: self.violations.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            rollbacks: self.rollbacks.load(Ordering::Relaxed),
+            nontransactional_writes: 0,
+        }
+    }
+}
+
+/// A per-version operation summary, read from the version's handle
+/// without touching any shard (used by the executor to trace an
+/// attempt's memory behaviour).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VersionProbe {
+    /// Tracked reads the version issued.
+    pub reads: u64,
+    /// Reads satisfied by eager forwarding from an earlier uncommitted
+    /// version.
+    pub forwards: u64,
+    /// Stores issued (including elided silent ones).
+    pub writes: u64,
+    /// Stores elided by the silent-store rule.
+    pub silent_stores: u64,
+}
+
+/// Thread-safe, address-sharded versioned speculative memory.
+///
+/// See the [module docs](self) for the design and
+/// [`VersionedMemory`](crate::VersionedMemory) for the single-threaded
+/// semantics this type preserves. All methods take `&self`.
+///
+/// # Example
+///
+/// ```
+/// use seqpar_specmem::{Addr, ConcurrentVersionedMemory, VersionId};
+///
+/// let mem = ConcurrentVersionedMemory::new();
+/// mem.begin(VersionId(0));
+/// mem.begin(VersionId(1));
+/// mem.write(VersionId(0), Addr(4), 7);
+/// // Eager forwarding, through &self.
+/// assert_eq!(mem.read(VersionId(1), Addr(4)), 7);
+/// mem.try_commit(VersionId(0)).unwrap();
+/// mem.try_commit(VersionId(1)).unwrap();
+/// assert_eq!(mem.committed(Addr(4)), Some(7));
+/// ```
+#[derive(Debug, Default)]
+pub struct ConcurrentVersionedMemory {
+    /// Active versions, keyed by `VersionId.0`. Lock order: registry
+    /// before any shard.
+    registry: RwLock<BTreeMap<u64, Arc<Handle>>>,
+    shards: Vec<Mutex<Shard>>,
+    /// Advances on every commit; versions stamp it at begin.
+    epoch: AtomicU64,
+    /// `1 + VersionId.0` of the newest committed version (0 = none):
+    /// guards against recycling a committed id.
+    committed_watermark: AtomicU64,
+    /// Retired buffers folded into base so far.
+    reclaimed: AtomicU64,
+    stats: AtomicStats,
+}
+
+impl ConcurrentVersionedMemory {
+    /// Creates an empty memory (all addresses read as `0`).
+    pub fn new() -> Self {
+        Self {
+            registry: RwLock::new(BTreeMap::new()),
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            epoch: AtomicU64::new(0),
+            committed_watermark: AtomicU64::new(0),
+            reclaimed: AtomicU64::new(0),
+            stats: AtomicStats::default(),
+        }
+    }
+
+    fn shard(&self, addr: Addr) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        addr.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Opens a new speculative version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the version is already active, or if a version with
+    /// this id has already committed (ids are commit order; re-opening
+    /// a committed id would corrupt it).
+    pub fn begin(&self, v: VersionId) {
+        let mut reg = self.registry.write();
+        assert!(
+            v.0 >= self.committed_watermark.load(Ordering::Acquire),
+            "version {v} has already committed"
+        );
+        let handle = Arc::new(Handle::new(self.epoch.load(Ordering::Acquire)));
+        let prev = reg.insert(v.0, handle);
+        assert!(prev.is_none(), "version {v} is already active");
+        self.stats.begins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Whether `v` is currently active (begun, not yet finished).
+    pub fn is_active(&self, v: VersionId) -> bool {
+        self.registry.read().contains_key(&v.0)
+    }
+
+    /// Whether `v` has been squashed by a conflicting write or a
+    /// rollback's revoked forward.
+    pub fn is_squashed(&self, v: VersionId) -> bool {
+        self.registry
+            .read()
+            .get(&v.0)
+            .is_some_and(|h| h.squashed_by().is_some())
+    }
+
+    /// The committed value at `addr`, if any write has ever committed.
+    pub fn committed(&self, addr: Addr) -> Option<u64> {
+        let shard = self.shard(addr).lock();
+        shard
+            .retired
+            .values()
+            .rev()
+            .find_map(|(_, writes)| writes.get(&addr))
+            .or_else(|| shard.base.get(&addr))
+            .copied()
+    }
+
+    /// Looks up the value visible to `v` at `addr` **without** recording
+    /// it in the read set — lookup split from read-tracking, exactly as
+    /// [`VersionedMemory::peek`](crate::VersionedMemory::peek). A peeked
+    /// value is never validated at commit; computations must use
+    /// [`read`](ConcurrentVersionedMemory::read).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not active.
+    pub fn peek(&self, v: VersionId, addr: Addr) -> u64 {
+        let reg = self.registry.read();
+        assert!(reg.contains_key(&v.0), "peek from inactive version {v}");
+        self.shard(addr).lock().lookup(v, addr).0
+    }
+
+    /// Reads `addr` from version `v`, recording the first observation in
+    /// the read set for commit-time validation. The value is the newest
+    /// write among versions `<= v` (eager forwarding of uncommitted
+    /// stores), else the committed value, else `0`. The read set also
+    /// holds silent-store bets — see
+    /// [`write`](ConcurrentVersionedMemory::write).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not active.
+    pub fn read(&self, v: VersionId, addr: Addr) -> u64 {
+        let reg = self.registry.read();
+        let handle = reg
+            .get(&v.0)
+            .unwrap_or_else(|| panic!("read from inactive version {v}"));
+        let mut shard = self.shard(addr).lock();
+        let (value, forwarded) = shard.lookup(v, addr);
+        if forwarded {
+            self.stats.forwards.fetch_add(1, Ordering::Relaxed);
+            handle.forwards.fetch_add(1, Ordering::Relaxed);
+        }
+        let sv = shard.live.entry(v.0).or_default();
+        if !sv.writes.contains_key(&addr) {
+            sv.reads.entry(addr).or_insert(value);
+        }
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        handle.reads.fetch_add(1, Ordering::Relaxed);
+        value
+    }
+
+    /// Writes `value` to `addr` in version `v`.
+    ///
+    /// **The silent-store rule**: a store whose value equals what `v`
+    /// already observes at `addr` is elided — it enters no write buffer
+    /// and can never squash a later reader — and the elided value is
+    /// recorded into the *read set* as a bet to be validated at commit
+    /// (an earlier version writing a different value later still
+    /// squashes `v`). A store over `v`'s own previous write is never
+    /// silent.
+    ///
+    /// A genuine store eagerly invalidates every later active version
+    /// whose recorded observation of `addr` no longer matches what it
+    /// would now read, returning the versions squashed by this call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not active.
+    pub fn write(&self, v: VersionId, addr: Addr, value: u64) -> Vec<VersionId> {
+        let reg = self.registry.read();
+        let handle = reg
+            .get(&v.0)
+            .unwrap_or_else(|| panic!("write from inactive version {v}"));
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        handle.writes.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(addr).lock();
+        let (visible, _) = shard.lookup(v, addr);
+        let own = shard
+            .live
+            .get(&v.0)
+            .is_some_and(|sv| sv.writes.contains_key(&addr));
+        if visible == value && !own {
+            self.stats.silent_stores.fetch_add(1, Ordering::Relaxed);
+            handle.silent_stores.fetch_add(1, Ordering::Relaxed);
+            shard
+                .live
+                .entry(v.0)
+                .or_default()
+                .reads
+                .entry(addr)
+                .or_insert(value);
+            return Vec::new();
+        }
+        shard
+            .live
+            .entry(v.0)
+            .or_default()
+            .writes
+            .insert(addr, value);
+        // Eager conflict detection against later readers of this shard.
+        let laters: Vec<u64> = shard
+            .live
+            .range((std::ops::Bound::Excluded(v.0), std::ops::Bound::Unbounded))
+            .map(|(id, _)| *id)
+            .collect();
+        let mut squashed = Vec::new();
+        for w in laters {
+            let observed = shard.live[&w].reads.get(&addr).copied();
+            let Some(observed) = observed else { continue };
+            let visible_now = shard.lookup(VersionId(w), addr).0;
+            if observed != visible_now {
+                // The registry read lock we hold keeps `w`'s handle
+                // alive: commit/rollback remove versions only under the
+                // registry write lock.
+                let doomed = reg.get(&w).expect("live version has a handle");
+                if doomed.mark_squashed(v) {
+                    self.stats.violations.fetch_add(1, Ordering::Relaxed);
+                    squashed.push(VersionId(w));
+                }
+            }
+        }
+        squashed
+    }
+
+    /// Checks whether `v` could commit right now, without committing:
+    /// the same squashed/ordering tests as
+    /// [`try_commit`](ConcurrentVersionedMemory::try_commit), split out
+    /// so an in-order commit frontier can resolve conflicts (squash and
+    /// re-dispatch) *before* irrevocably publishing the write buffer.
+    ///
+    /// # Errors
+    ///
+    /// The same as [`try_commit`](ConcurrentVersionedMemory::try_commit).
+    pub fn commit_check(&self, v: VersionId) -> Result<(), CommitError> {
+        let reg = self.registry.read();
+        let Some(handle) = reg.get(&v.0) else {
+            return Err(CommitError::Unknown);
+        };
+        if let Some(by) = handle.squashed_by() {
+            return Err(CommitError::Squashed { by });
+        }
+        if let Some((&oldest, _)) = reg.iter().next() {
+            if oldest != v.0 {
+                return Err(CommitError::NotOldest);
+            }
+        }
+        Ok(())
+    }
+
+    /// Attempts to commit `v`, retiring its write buffer into committed
+    /// state (published immediately; *reclaimed* into the flat base map
+    /// once every active version postdates this commit).
+    ///
+    /// # Errors
+    ///
+    /// * [`CommitError::Unknown`] — `v` is not active;
+    /// * [`CommitError::NotOldest`] — an earlier version must commit
+    ///   first;
+    /// * [`CommitError::Squashed`] — `v` was invalidated; roll it back
+    ///   with [`rollback`](ConcurrentVersionedMemory::rollback) and
+    ///   re-execute.
+    pub fn try_commit(&self, v: VersionId) -> Result<(), CommitError> {
+        let mut reg = self.registry.write();
+        let Some(handle) = reg.get(&v.0) else {
+            return Err(CommitError::Unknown);
+        };
+        if let Some(by) = handle.squashed_by() {
+            return Err(CommitError::Squashed { by });
+        }
+        if let Some((&oldest, _)) = reg.iter().next() {
+            if oldest != v.0 {
+                return Err(CommitError::NotOldest);
+            }
+        }
+        reg.remove(&v.0);
+        let tag = self.epoch.fetch_add(1, Ordering::AcqRel);
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            if let Some(sv) = shard.live.remove(&v.0) {
+                if !sv.writes.is_empty() {
+                    shard.retired.insert(v.0, (tag, sv.writes));
+                }
+            }
+        }
+        self.committed_watermark.store(v.0 + 1, Ordering::Release);
+        self.stats.commits.fetch_add(1, Ordering::Relaxed);
+        self.reclaim(&reg);
+        Ok(())
+    }
+
+    /// Folds retired buffers that predate every active version into the
+    /// base map, oldest-first (the fold must be a prefix so newer
+    /// retired writes keep shadowing older ones during lookups).
+    fn reclaim(&self, reg: &BTreeMap<u64, Arc<Handle>>) {
+        let min_birth = reg
+            .values()
+            .map(|h| h.birth_epoch)
+            .min()
+            .unwrap_or(u64::MAX);
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            while let Some((&version, &(tag, _))) = shard.retired.iter().next() {
+                if tag >= min_birth {
+                    break;
+                }
+                let (_, writes) = shard.retired.remove(&version).expect("peeked entry");
+                for (addr, value) in writes {
+                    shard.base.insert(addr, value);
+                }
+                self.reclaimed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Discards version `v` entirely (its writes never happened). Later
+    /// versions whose recorded observations no longer match — they
+    /// consumed a now-revoked forwarded value — are squashed, and
+    /// returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not active.
+    pub fn rollback(&self, v: VersionId) -> Vec<VersionId> {
+        let mut reg = self.registry.write();
+        reg.remove(&v.0)
+            .unwrap_or_else(|| panic!("rollback of inactive {v}"));
+        self.stats.rollbacks.fetch_add(1, Ordering::Relaxed);
+        let reg = &*reg;
+        let mut squashed = Vec::new();
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            let Some(removed) = shard.live.remove(&v.0) else {
+                continue;
+            };
+            let laters: Vec<u64> = shard
+                .live
+                .range((std::ops::Bound::Excluded(v.0), std::ops::Bound::Unbounded))
+                .map(|(id, _)| *id)
+                .collect();
+            for w in laters {
+                for addr in removed.writes.keys() {
+                    let Some(&observed) = shard.live[&w].reads.get(addr) else {
+                        continue;
+                    };
+                    let visible_now = shard.lookup(VersionId(w), *addr).0;
+                    if observed != visible_now {
+                        let doomed = reg.get(&w).expect("live version has a handle");
+                        if doomed.mark_squashed(v) {
+                            self.stats.violations.fetch_add(1, Ordering::Relaxed);
+                            squashed.push(VersionId(w));
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        squashed
+    }
+
+    /// The number of currently active versions.
+    pub fn active_count(&self) -> usize {
+        self.registry.read().len()
+    }
+
+    /// Committed write buffers retired but not yet folded into the base
+    /// map (awaiting epoch reclamation), summed over shards.
+    pub fn pending_reclaim(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().retired.len()).sum()
+    }
+
+    /// Retired buffers reclaimed (folded into the base map) so far.
+    pub fn reclaimed_versions(&self) -> u64 {
+        self.reclaimed.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of `v`'s operation counters, or `None` if `v` is not
+    /// active.
+    pub fn probe(&self, v: VersionId) -> Option<VersionProbe> {
+        let reg = self.registry.read();
+        let h = reg.get(&v.0)?;
+        Some(VersionProbe {
+            reads: h.reads.load(Ordering::Relaxed),
+            forwards: h.forwards.load(Ordering::Relaxed),
+            writes: h.writes.load(Ordering::Relaxed),
+            silent_stores: h.silent_stores.load(Ordering::Relaxed),
+        })
+    }
+
+    /// A consistent-enough snapshot of the accumulated statistics
+    /// (individual counters are exact; cross-counter invariants may be
+    /// mid-update while other threads operate).
+    pub fn stats(&self) -> MemStats {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+
+    #[test]
+    fn preserves_single_threaded_semantics() {
+        let m = ConcurrentVersionedMemory::new();
+        m.begin(VersionId(0));
+        m.begin(VersionId(1));
+        // Privatization + forwarding.
+        m.write(VersionId(1), Addr(5), 42);
+        assert_eq!(m.read(VersionId(0), Addr(5)), 0);
+        assert_eq!(m.read(VersionId(1), Addr(5)), 42);
+        m.write(VersionId(0), Addr(7), 9);
+        assert_eq!(m.read(VersionId(1), Addr(7)), 9);
+        assert_eq!(m.stats().forwards, 1);
+        // In-order commit.
+        assert_eq!(m.try_commit(VersionId(1)), Err(CommitError::NotOldest));
+        assert_eq!(m.try_commit(VersionId(0)), Ok(()));
+        assert_eq!(m.try_commit(VersionId(1)), Ok(()));
+        assert_eq!(m.committed(Addr(5)), Some(42));
+        assert_eq!(m.committed(Addr(7)), Some(9));
+    }
+
+    #[test]
+    fn stale_read_is_squashed_and_rollback_replays_clean() {
+        let m = ConcurrentVersionedMemory::new();
+        m.begin(VersionId(0));
+        m.begin(VersionId(1));
+        assert_eq!(m.read(VersionId(1), Addr(5)), 0); // reads too early
+        let squashed = m.write(VersionId(0), Addr(5), 9);
+        assert_eq!(squashed, vec![VersionId(1)]);
+        // Squashed takes precedence over ordering, as in VersionedMemory.
+        assert_eq!(
+            m.commit_check(VersionId(1)),
+            Err(CommitError::Squashed { by: VersionId(0) })
+        );
+        m.try_commit(VersionId(0)).unwrap();
+        assert_eq!(
+            m.commit_check(VersionId(1)),
+            Err(CommitError::Squashed { by: VersionId(0) })
+        );
+        m.rollback(VersionId(1));
+        // Replay: re-begin, read the committed value, commit clean.
+        m.begin(VersionId(1));
+        assert_eq!(m.read(VersionId(1), Addr(5)), 9);
+        assert_eq!(m.try_commit(VersionId(1)), Ok(()));
+    }
+
+    #[test]
+    fn silent_store_is_elided_but_bet_is_validated() {
+        let m = ConcurrentVersionedMemory::new();
+        m.begin(VersionId(0));
+        m.begin(VersionId(1));
+        // v1 silently stores the visible value 0: elided, no squash power.
+        assert!(m.write(VersionId(1), Addr(3), 0).is_empty());
+        assert_eq!(m.stats().silent_stores, 1);
+        // v0 then genuinely writes a different value: v1's bet is off.
+        let squashed = m.write(VersionId(0), Addr(3), 4);
+        assert_eq!(squashed, vec![VersionId(1)]);
+    }
+
+    #[test]
+    fn rollback_revokes_forwarded_values() {
+        let m = ConcurrentVersionedMemory::new();
+        m.begin(VersionId(0));
+        m.begin(VersionId(1));
+        m.write(VersionId(0), Addr(5), 7);
+        assert_eq!(m.read(VersionId(1), Addr(5)), 7); // consumed forward
+        let squashed = m.rollback(VersionId(0));
+        assert_eq!(squashed, vec![VersionId(1)]);
+        assert!(m.is_squashed(VersionId(1)));
+    }
+
+    #[test]
+    fn epoch_reclamation_folds_only_prefixes_no_active_version_needs() {
+        let m = ConcurrentVersionedMemory::new();
+        m.begin(VersionId(0));
+        m.write(VersionId(0), Addr(1), 10);
+        // v1 begins BEFORE v0 commits: its birth epoch pins v0's buffer.
+        m.begin(VersionId(1));
+        m.write(VersionId(1), Addr(2), 20);
+        m.try_commit(VersionId(0)).unwrap();
+        assert_eq!(m.pending_reclaim(), 1, "v1 still pins v0's buffer");
+        assert_eq!(m.read(VersionId(1), Addr(1)), 10);
+        m.try_commit(VersionId(1)).unwrap();
+        // No active versions: the next commit's reclaim folds everything.
+        m.begin(VersionId(2));
+        m.try_commit(VersionId(2)).unwrap();
+        assert_eq!(m.pending_reclaim(), 0);
+        assert_eq!(m.reclaimed_versions(), 2);
+        // Folding preserved newest-wins visibility.
+        assert_eq!(m.committed(Addr(1)), Some(10));
+        assert_eq!(m.committed(Addr(2)), Some(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "already active")]
+    fn double_begin_panics() {
+        let m = ConcurrentVersionedMemory::new();
+        m.begin(VersionId(0));
+        m.begin(VersionId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already committed")]
+    fn recycling_a_committed_id_panics() {
+        let m = ConcurrentVersionedMemory::new();
+        m.begin(VersionId(0));
+        m.try_commit(VersionId(0)).unwrap();
+        m.begin(VersionId(0));
+    }
+
+    #[test]
+    fn peek_does_not_enter_the_read_set() {
+        let m = ConcurrentVersionedMemory::new();
+        m.begin(VersionId(0));
+        m.begin(VersionId(1));
+        assert_eq!(m.peek(VersionId(1), Addr(5)), 0);
+        assert!(m.write(VersionId(0), Addr(5), 9).is_empty());
+        assert!(!m.is_squashed(VersionId(1)));
+    }
+
+    #[test]
+    fn concurrent_chain_of_counters_commits_like_sequential_execution() {
+        // N threads, each one version, all incrementing one counter.
+        // A commit-frontier loop squashes/replays until every version
+        // commits; the final value must be exactly N.
+        const N: u64 = 8;
+        let m = ConcurrentVersionedMemory::new();
+        let barrier = Barrier::new(N as usize);
+        let run_attempt = |v: VersionId| {
+            m.begin(v);
+            let cur = m.read(v, Addr(0));
+            m.write(v, Addr(0), cur + 1);
+        };
+        std::thread::scope(|scope| {
+            for i in 0..N {
+                let barrier = &barrier;
+                let run_attempt = &run_attempt;
+                scope.spawn(move || {
+                    barrier.wait();
+                    run_attempt(VersionId(i));
+                });
+            }
+        });
+        for i in 0..N {
+            let v = VersionId(i);
+            loop {
+                match m.try_commit(v) {
+                    Ok(()) => break,
+                    Err(CommitError::Squashed { .. }) => {
+                        m.rollback(v);
+                        run_attempt(v); // replay against committed state
+                    }
+                    Err(e) => panic!("unexpected commit error for {v}: {e}"),
+                }
+            }
+        }
+        assert_eq!(m.committed(Addr(0)), Some(N));
+        assert_eq!(m.stats().commits, N);
+    }
+}

@@ -42,11 +42,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod concurrent;
 pub mod memory;
 pub mod predictor;
 pub mod stats;
 pub mod undo;
 
+pub use concurrent::{ConcurrentVersionedMemory, VersionProbe};
 pub use memory::{Addr, CommitError, VersionId, VersionedMemory};
 pub use predictor::{Confident, LastValue, Predictor, PredictorStats, Stride};
 pub use stats::MemStats;

@@ -108,19 +108,54 @@ impl VersionedMemory {
         self.committed.get(&addr).copied()
     }
 
+    /// The value visible to `v` at `addr` and whether it was *forwarded*
+    /// — satisfied from another (earlier, uncommitted) active version's
+    /// write buffer rather than from `v`'s own buffer or committed
+    /// state.
+    fn lookup(&self, v: VersionId, addr: Addr) -> (u64, bool) {
+        match self
+            .active
+            .range(..=v)
+            .rev()
+            .find_map(|(id, ver)| ver.writes.get(&addr).map(|&value| (*id, value)))
+        {
+            Some((id, value)) => (value, id != v),
+            None => (self.committed(addr).unwrap_or(0), false),
+        }
+    }
+
     /// The value visible to `v` at `addr`: the newest write among versions
     /// `<= v` (eager forwarding), else the committed value, else `0`.
     fn visible(&self, v: VersionId, addr: Addr) -> u64 {
-        self.active
-            .range(..=v)
-            .rev()
-            .find_map(|(_, ver)| ver.writes.get(&addr))
-            .copied()
-            .or_else(|| self.committed(addr))
-            .unwrap_or(0)
+        self.lookup(v, addr).0
     }
 
-    /// Reads `addr` from version `v`, recording it in the read set.
+    /// Looks up the value visible to `v` at `addr` **without** recording
+    /// it in `v`'s read set: pure lookup, split from the read-tracking
+    /// side effect of [`VersionedMemory::read`]. A peeked value is not
+    /// validated at commit, so a computation whose *result* depends on
+    /// the value must use `read` — `peek` is for instrumentation and
+    /// diagnostics only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not active.
+    pub fn peek(&self, v: VersionId, addr: Addr) -> u64 {
+        assert!(
+            self.active.contains_key(&v),
+            "peek from inactive version {v}"
+        );
+        self.visible(v, addr)
+    }
+
+    /// Reads `addr` from version `v`, recording the first observation in
+    /// the read set so a later conflicting store can invalidate it
+    /// (lookup alone, without the tracking side effect, is
+    /// [`VersionedMemory::peek`]).
+    ///
+    /// The read set also holds the *bets* placed by elided silent stores
+    /// (see [`VersionedMemory::write`]), so "observed at `addr`" below
+    /// covers both genuinely-read and silently-stored values.
     ///
     /// # Panics
     ///
@@ -130,7 +165,10 @@ impl VersionedMemory {
             self.active.contains_key(&v),
             "read from inactive version {v}"
         );
-        let value = self.visible(v, addr);
+        let (value, forwarded) = self.lookup(v, addr);
+        if forwarded {
+            self.stats.forwards += 1;
+        }
         let ver = self.active.get_mut(&v).expect("checked active");
         // Reads after the version's own write need no validation; only
         // record the first observation.
@@ -143,11 +181,19 @@ impl VersionedMemory {
 
     /// Writes `value` to `addr` in version `v`.
     ///
-    /// A *silent* store — one whose value equals what `v` already
-    /// observes at `addr` — is elided and can never squash anyone
-    /// (paper §2.1, citing Lepak & Lipasti). A genuine store eagerly
-    /// invalidates every later active version that has observed a
-    /// different value at `addr`, returning the squashed versions.
+    /// **The silent-store rule** (paper §2.1, citing Lepak & Lipasti): a
+    /// store whose value equals what `v` already observes at `addr` is
+    /// *elided* — it enters no write buffer and can never squash a later
+    /// reader. The elision is a bet that the visible value stays as
+    /// observed, so the elided value is recorded into `v`'s **read set**
+    /// and validated like a read: if an earlier version later writes a
+    /// *different* value to `addr`, `v` is squashed even though it
+    /// "only" stored. A store over `v`'s own previous write is never
+    /// silent (the buffer entry must be updated).
+    ///
+    /// A genuine store eagerly invalidates every later active version
+    /// that has observed a different value at `addr`, returning the
+    /// squashed versions.
     ///
     /// # Panics
     ///
@@ -442,6 +488,37 @@ mod tests {
         assert_eq!(s.reads, 1);
         assert_eq!(s.writes, 1);
         assert_eq!(s.violations, 1);
+    }
+
+    #[test]
+    fn peek_does_not_enter_the_read_set() {
+        let mut m = vm();
+        m.begin(VersionId(0));
+        m.begin(VersionId(1));
+        // An untracked lookup: the later conflicting write must NOT
+        // squash, because nothing was recorded to validate.
+        assert_eq!(m.peek(VersionId(1), Addr(5)), 0);
+        let squashed = m.write(VersionId(0), Addr(5), 9);
+        assert!(squashed.is_empty());
+        assert!(!m.is_squashed(VersionId(1)));
+        // A tracked read of the same address IS validated.
+        assert_eq!(m.read(VersionId(1), Addr(5)), 9);
+        assert_eq!(m.try_commit(VersionId(0)), Ok(()));
+        assert_eq!(m.try_commit(VersionId(1)), Ok(()));
+    }
+
+    #[test]
+    fn forwards_count_uncommitted_cross_version_reads_only() {
+        let mut m = vm();
+        m.begin(VersionId(0));
+        m.write(VersionId(0), Addr(1), 7);
+        assert_eq!(m.read(VersionId(0), Addr(1)), 7); // own buffer: not a forward
+        m.begin(VersionId(1));
+        assert_eq!(m.read(VersionId(1), Addr(1)), 7); // forwarded
+        m.try_commit(VersionId(0)).unwrap();
+        m.begin(VersionId(2));
+        assert_eq!(m.read(VersionId(2), Addr(1)), 7); // committed: not a forward
+        assert_eq!(m.stats().forwards, 1);
     }
 
     #[test]

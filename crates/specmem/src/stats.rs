@@ -13,6 +13,10 @@ pub struct MemStats {
     pub reads: u64,
     /// Speculative writes (including silent ones).
     pub writes: u64,
+    /// Reads satisfied by eagerly forwarding an *uncommitted* store from
+    /// an earlier active version (paper §2.1: forwarding avoids the
+    /// misspeculation a committed-state-only read would suffer).
+    pub forwards: u64,
     /// Writes elided because the stored value was already visible.
     pub silent_stores: u64,
     /// Later versions squashed by conflicting writes or rollbacks.
@@ -49,10 +53,11 @@ impl fmt::Display for MemStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "begins={} reads={} writes={} silent={} violations={} commits={} rollbacks={}",
+            "begins={} reads={} writes={} forwards={} silent={} violations={} commits={} rollbacks={}",
             self.begins,
             self.reads,
             self.writes,
+            self.forwards,
             self.silent_stores,
             self.violations,
             self.commits,

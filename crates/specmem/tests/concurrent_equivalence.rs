@@ -1,0 +1,166 @@
+//! Sequential-equivalence property for [`ConcurrentVersionedMemory`]:
+//! for ANY thread interleaving of version open/read/write activity,
+//! driving the commit frontier in order with squash-and-replay must
+//! leave exactly the committed state of running the versions' programs
+//! in program order — the same guarantee the paper's versioned memory
+//! hardware gives the sequential programming model.
+//!
+//! Each generated case is a per-version straight-line program whose
+//! writes *depend on reads* (`dst = src + delta`), so a stale forwarded
+//! or too-early read that escaped conflict detection would corrupt the
+//! final state rather than vanish. Every case is run (a) concurrently,
+//! one real thread per version, with an in-order commit loop that rolls
+//! back and re-executes squashed versions, and (b) single-threaded in
+//! program order through the plain [`VersionedMemory`] — both must land
+//! on the model interpreter's state.
+
+use proptest::prelude::*;
+use seqpar_specmem::{Addr, CommitError, ConcurrentVersionedMemory, VersionId, VersionedMemory};
+use std::collections::HashMap;
+use std::sync::Barrier;
+
+/// One memory operation of a version's program.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Tracked read (its value feeds nothing, but its recording must
+    /// not cause spurious state either).
+    Read { addr: u64 },
+    /// Store a constant.
+    Put { addr: u64, val: u64 },
+    /// `dst = read(src) + delta` — the read-dependent write that makes
+    /// stale reads observable in committed state.
+    Accum { src: u64, dst: u64, delta: u64 },
+}
+
+fn op_strategy(addrs: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..addrs).prop_map(|addr| Op::Read { addr }),
+        (0..addrs, 0..5u64).prop_map(|(addr, val)| Op::Put { addr, val }),
+        (0..addrs, 0..addrs, 1..4u64).prop_map(|(src, dst, delta)| Op::Accum { src, dst, delta }),
+    ]
+}
+
+/// Interprets `programs` in program order against a flat map — the
+/// sequential semantics both memories must reproduce.
+fn interpret(programs: &[Vec<Op>]) -> HashMap<u64, u64> {
+    let mut state: HashMap<u64, u64> = HashMap::new();
+    for program in programs {
+        for op in program {
+            match *op {
+                Op::Read { .. } => {}
+                Op::Put { addr, val } => {
+                    state.insert(addr, val);
+                }
+                Op::Accum { src, dst, delta } => {
+                    let v = state.get(&src).copied().unwrap_or(0) + delta;
+                    state.insert(dst, v);
+                }
+            }
+        }
+    }
+    state
+}
+
+/// Runs one attempt of version `v`'s program (the version must not be
+/// active yet).
+fn run_attempt(mem: &ConcurrentVersionedMemory, v: VersionId, program: &[Op]) {
+    mem.begin(v);
+    for op in program {
+        match *op {
+            Op::Read { addr } => {
+                mem.read(v, Addr(addr));
+            }
+            Op::Put { addr, val } => {
+                mem.write(v, Addr(addr), val);
+            }
+            Op::Accum { src, dst, delta } => {
+                let got = mem.read(v, Addr(src));
+                mem.write(v, Addr(dst), got + delta);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn any_interleaving_commits_program_order_state(
+        programs in proptest::collection::vec(
+            proptest::collection::vec(op_strategy(5), 1..8),
+            2..6,
+        )
+    ) {
+        let expected = interpret(&programs);
+
+        // (a) Concurrent: one thread per version, racing freely.
+        let mem = ConcurrentVersionedMemory::new();
+        let barrier = Barrier::new(programs.len());
+        std::thread::scope(|scope| {
+            for (i, program) in programs.iter().enumerate() {
+                let mem = &mem;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    run_attempt(mem, VersionId(i as u64), program);
+                });
+            }
+        });
+        // In-order commit frontier with squash-and-replay, exactly the
+        // executor's protocol.
+        let mut replays = 0u64;
+        for (i, program) in programs.iter().enumerate() {
+            let v = VersionId(i as u64);
+            loop {
+                match mem.try_commit(v) {
+                    Ok(()) => break,
+                    Err(CommitError::Squashed { .. }) => {
+                        mem.rollback(v);
+                        replays += 1;
+                        prop_assert!(
+                            replays <= 64,
+                            "squash/replay failed to converge"
+                        );
+                        run_attempt(&mem, v, program);
+                    }
+                    Err(e) => prop_assert!(false, "commit of {} failed: {}", v, e),
+                }
+            }
+        }
+        prop_assert_eq!(mem.active_count(), 0);
+        for (addr, val) in &expected {
+            prop_assert_eq!(
+                mem.committed(Addr(*addr)).unwrap_or(0),
+                *val,
+                "concurrent state diverged at {}",
+                addr
+            );
+        }
+
+        // (b) The plain single-threaded memory, driven in program order,
+        // agrees (concurrent refactor preserved the semantics).
+        let mut plain = VersionedMemory::new();
+        for (i, program) in programs.iter().enumerate() {
+            let v = VersionId(i as u64);
+            plain.begin(v);
+            for op in program {
+                match *op {
+                    Op::Read { addr } => {
+                        plain.read(v, Addr(addr));
+                    }
+                    Op::Put { addr, val } => {
+                        plain.write(v, Addr(addr), val);
+                    }
+                    Op::Accum { src, dst, delta } => {
+                        let got = plain.read(v, Addr(src));
+                        plain.write(v, Addr(dst), got + delta);
+                    }
+                }
+            }
+            prop_assert_eq!(plain.try_commit(v), Ok(()));
+        }
+        for (addr, val) in &expected {
+            prop_assert_eq!(plain.committed(Addr(*addr)).unwrap_or(0), *val);
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //! randomness, input sizing, and the [`Workload`] trait.
 
 use crate::meta::WorkloadMeta;
-use crate::native::NativeJob;
+use crate::native::{NativeJob, VersionedJob};
 use seqpar::IterationTrace;
 use seqpar_analysis::profile::LoopProfile;
 use seqpar_ir::{FuncId, Program};
@@ -163,6 +163,20 @@ pub trait Workload: fmt::Debug {
     /// threads (see [`crate::native`]).
     fn native_job(&self, size: InputSize) -> NativeJob;
 
+    /// The kernel packaged for **conflict-driven** native execution,
+    /// its loop-carried state flowing through
+    /// [`Addr`](seqpar_specmem::Addr)-keyed accesses to a
+    /// [`ConcurrentVersionedMemory`](seqpar_specmem::ConcurrentVersionedMemory)
+    /// (see [`VersionedJob`]).
+    ///
+    /// The default is the compatibility shim: `None`, meaning the
+    /// workload has not been converted yet and runs trace-driven only.
+    /// Converted workloads (gzip, mcf, parser) override this.
+    fn versioned_job(&self, size: InputSize) -> Option<VersionedJob> {
+        let _ = size;
+        None
+    }
+
     /// Runs the kernel natively on OS threads under `plan`, committing
     /// iteration outputs in order. The committed stream is byte-identical
     /// to a sequential run (`native_job(size).sequential()`).
@@ -213,6 +227,18 @@ pub fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
     let mut hash = 0xcbf29ce484222325u64;
     for b in bytes {
         hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Folds more bytes into a running FNV-1a-style hash — the loop-carried
+/// accumulator form the versioned workloads thread through memory
+/// (seeded with 0, the value an unwritten [`Addr`](seqpar_specmem::Addr)
+/// reads, rather than the FNV offset basis).
+pub fn fnv1a_fold(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
         hash = hash.wrapping_mul(0x100000001b3);
     }
     hash

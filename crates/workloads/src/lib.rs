@@ -57,7 +57,7 @@ pub mod vpr;
 
 pub use common::{stage_labels, InputSize, Prng, WorkMeter, Workload};
 pub use meta::WorkloadMeta;
-pub use native::{misspec_targets, NativeJob, SequentialRun};
+pub use native::{misspec_targets, NativeJob, SequentialRun, VersionedJob};
 
 /// All eleven workloads, in SPEC numbering order.
 pub fn all_workloads() -> Vec<Box<dyn Workload>> {

@@ -21,10 +21,11 @@
 
 use crate::common::{fnv1a, InputSize, IrModel, Prng, Workload};
 use crate::meta::WorkloadMeta;
-use crate::native::NativeJob;
+use crate::native::{NativeJob, VersionedJob};
 use seqpar::{IterationRecord, IterationTrace, Technique};
 use seqpar_analysis::profile::LoopProfile;
 use seqpar_ir::{ExternEffect, FunctionBuilder, Opcode, Program};
+use seqpar_specmem::Addr;
 
 /// An arc of the flow network.
 #[derive(Clone, Copy, Debug)]
@@ -366,6 +367,97 @@ impl Workload for Mcf {
             let work = (costs.serial + costs.parallel + costs.apply).max(1);
             (bytes, work)
         })
+    }
+
+    fn versioned_job(&self, size: InputSize) -> Option<VersionedJob> {
+        // Loop-carried state through the substrate: the network
+        // simplex's running flow and cost totals, plus the potential-
+        // regeneration counter (`refresh_potential`'s generation — the
+        // very state the paper's mcf speculation bets on). The sweep
+        // itself runs from a per-iteration snapshot; the totals each
+        // iteration emits are read from versioned memory, accumulated,
+        // and written back, so they carry real cross-iteration
+        // dependences for the conflict detector.
+        const FLOW: Addr = Addr(0);
+        const COST: Addr = Addr(1);
+        const POTGEN: Addr = Addr(2);
+        let net = self.network(size);
+        let mut snaps = Vec::new();
+        let mut solver = Solver::new(&net);
+        loop {
+            let before = solver.clone();
+            if solver.step().is_none() {
+                break;
+            }
+            snaps.push(before);
+            if solver.result().iterations > 10_000 {
+                break;
+            }
+        }
+        let iters = snaps.len() as u64;
+        let sweep = move |iter: u64| {
+            let mut solver = snaps[iter as usize].clone();
+            let (costs, flow_delta, cost_delta) = solver
+                .step()
+                .expect("snapshots precede augmenting iterations");
+            let work = (costs.serial + costs.parallel + costs.apply).max(1);
+            (flow_delta, cost_delta, costs.potentials_changed, work)
+        };
+        // Prefix totals for the sequential oracle (wrapping u64
+        // arithmetic over the i64 deltas' bit patterns, the same fold
+        // the memory-backed body performs).
+        let mut prefix = Vec::with_capacity(iters as usize);
+        let (mut flow, mut cost, mut potgen) = (0u64, 0u64, 0u64);
+        for i in 0..iters {
+            let (fd, cd, pot, _) = sweep(i);
+            flow = flow.wrapping_add(fd as u64);
+            cost = cost.wrapping_add(cd as u64);
+            if pot {
+                potgen += 1;
+            }
+            prefix.push((flow, cost, potgen));
+        }
+        let record = |fd: i64, cd: i64, pot: bool, flow: u64, cost: u64, potgen: u64, work: u64| {
+            let mut bytes = Vec::with_capacity(41);
+            bytes.extend(fd.to_le_bytes());
+            bytes.extend(cd.to_le_bytes());
+            bytes.push(u8::from(pot));
+            bytes.extend(flow.to_le_bytes());
+            bytes.extend(cost.to_le_bytes());
+            bytes.extend(potgen.to_le_bytes());
+            (bytes, work)
+        };
+        let oracle = {
+            let sweep = sweep.clone();
+            let prefix = prefix.clone();
+            move |iter: u64| {
+                let (fd, cd, pot, work) = sweep(iter);
+                let (flow, cost, potgen) = prefix[iter as usize];
+                record(fd, cd, pot, flow, cost, potgen, work)
+            }
+        };
+        Some(VersionedJob::new(
+            self.trace(size),
+            move |iter, v, m| {
+                let (fd, cd, pot, work) = sweep(iter);
+                let flow = m.read(v, FLOW).wrapping_add(fd as u64);
+                let cost = m.read(v, COST).wrapping_add(cd as u64);
+                m.write(v, FLOW, flow);
+                m.write(v, COST, cost);
+                // A stable-potential iteration only *reads* the
+                // generation — the silent bet the conflict detector
+                // validates at commit.
+                let potgen = if pot {
+                    let g = m.read(v, POTGEN) + 1;
+                    m.write(v, POTGEN, g);
+                    g
+                } else {
+                    m.read(v, POTGEN)
+                };
+                record(fd, cd, pot, flow, cost, potgen, work)
+            },
+            oracle,
+        ))
     }
 
     fn ir_model(&self) -> IrModel {

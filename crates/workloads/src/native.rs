@@ -26,6 +26,7 @@ use seqpar::IterationTrace;
 use seqpar_runtime::{
     ExecConfig, ExecError, ExecutionPlan, NativeExecutor, NativeReport, TaskCtx, TaskId, TaskOutput,
 };
+use seqpar_specmem::{ConcurrentVersionedMemory, VersionId};
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -157,4 +158,139 @@ impl NativeJob {
 /// misspeculate.
 pub fn misspec_targets(trace: &IterationTrace) -> Vec<Option<u64>> {
     trace.records().iter().map(|r| r.misspec_on).collect()
+}
+
+/// The signature of a versioned job body: run one iteration with its
+/// loop-carried state flowing through version `v` of the shared
+/// [`ConcurrentVersionedMemory`] — reads forward uncommitted stores from
+/// earlier iterations, conflicting writes squash later readers. The
+/// body must issue only `read`/`write` on `v` (the executor owns the
+/// version's lifecycle) and must be a pure function of `(iter, values
+/// read)`, so a squash-and-replay reproduces the sequential result.
+pub type VersionedIterationBody =
+    dyn Fn(u64, VersionId, &ConcurrentVersionedMemory) -> (Vec<u8>, u64) + Send + Sync;
+
+/// The sequential twin of a [`VersionedIterationBody`]: compute the same
+/// iteration's output with no substrate, from precomputed prefix state —
+/// what the validation oracle and the sequential fallback run.
+pub type SequentialIterationBody = dyn Fn(u64) -> (Vec<u8>, u64) + Send + Sync;
+
+/// A workload packaged for **conflict-driven** native execution: unlike
+/// [`NativeJob`], whose squashes replay the trace's recorded dependence
+/// events, a `VersionedJob`'s loop-carried state flows through
+/// [`Addr`](seqpar_specmem::Addr)-keyed accesses to a
+/// [`ConcurrentVersionedMemory`], and squashes originate from the
+/// substrate's conflict detection at access granularity
+/// ([`NativeExecutor::run_versioned`]).
+#[derive(Clone)]
+pub struct VersionedJob {
+    trace: IterationTrace,
+    body: Arc<VersionedIterationBody>,
+    oracle: Arc<SequentialIterationBody>,
+}
+
+impl fmt::Debug for VersionedJob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VersionedJob")
+            .field("iterations", &self.trace.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl VersionedJob {
+    /// Packages `trace` with a memory-backed body and its sequential
+    /// oracle. The two must agree: for every iteration `i`,
+    /// `oracle(i)` returns exactly what `body(i, ...)` returns when its
+    /// reads observe the committed state of iterations `0..i` — that
+    /// equivalence is what makes versioned output byte-identical to
+    /// [`VersionedJob::sequential`], and the differential suite pins it.
+    pub fn new(
+        trace: IterationTrace,
+        body: impl Fn(u64, VersionId, &ConcurrentVersionedMemory) -> (Vec<u8>, u64)
+            + Send
+            + Sync
+            + 'static,
+        oracle: impl Fn(u64) -> (Vec<u8>, u64) + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            trace,
+            body: Arc::new(body),
+            oracle: Arc::new(oracle),
+        }
+    }
+
+    /// The recorded iteration trace (source of the task graph).
+    pub fn trace(&self) -> &IterationTrace {
+        &self.trace
+    }
+
+    /// Number of loop iterations.
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Whether the job has no iterations.
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+
+    /// Runs every iteration in order on the calling thread through the
+    /// sequential oracle — the reference against which versioned native
+    /// output must be byte-identical.
+    pub fn sequential(&self) -> SequentialRun {
+        let started = Instant::now();
+        let mut output = Vec::new();
+        let mut work = 0u64;
+        for i in 0..self.trace.len() as u64 {
+            let (bytes, w) = (self.oracle)(i);
+            output.extend(bytes);
+            work += w;
+        }
+        SequentialRun {
+            output,
+            work,
+            wall: started.elapsed(),
+        }
+    }
+
+    /// Runs the job on real threads under `plan`, with every attempt's
+    /// loop-carried state routed through a fresh
+    /// [`ConcurrentVersionedMemory`]. Returns the report (whose
+    /// [`mem`](NativeReport::mem) field carries the substrate counters)
+    /// together with the memory itself, so callers can inspect the
+    /// committed loop-carried state.
+    ///
+    /// One-stage plans execute the TLS task graph; multi-stage plans
+    /// the three-phase DSWP graph, with only the transform stage
+    /// touching memory and emitting bytes. Oracle and fallback attempts
+    /// see [`TaskCtx::mem`]` == None` and run the sequential twin.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecError`] exactly as [`NativeJob::execute`].
+    pub fn execute(
+        &self,
+        plan: &ExecutionPlan,
+        config: ExecConfig,
+    ) -> Result<(NativeReport, ConcurrentVersionedMemory), ExecError> {
+        let graph = if plan.stage_count() == 1 {
+            self.trace.tls_task_graph()
+        } else {
+            self.trace.task_graph()
+        };
+        let emit_stage = if graph.stage_count() == 1 { 0u8 } else { 1u8 };
+        let mem = ConcurrentVersionedMemory::new();
+        let body = |task: TaskId, ctx: &TaskCtx<'_>| {
+            if ctx.stage.0 != emit_stage {
+                return TaskOutput::empty();
+            }
+            let (bytes, work) = match ctx.mem {
+                Some(m) => (self.body)(ctx.iter, VersionId(u64::from(task.0)), m),
+                None => (self.oracle)(ctx.iter),
+            };
+            TaskOutput { bytes, work }
+        };
+        let report = NativeExecutor::new(config).run_versioned(&graph, plan, &body, &mem)?;
+        Ok((report, mem))
+    }
 }

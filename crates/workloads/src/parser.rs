@@ -17,10 +17,11 @@
 
 use crate::common::{fnv1a, InputSize, IrModel, Prng, WorkMeter, Workload};
 use crate::meta::WorkloadMeta;
-use crate::native::NativeJob;
+use crate::native::{NativeJob, VersionedJob};
 use seqpar::{IterationRecord, IterationTrace, Technique};
 use seqpar_analysis::profile::LoopProfile;
 use seqpar_ir::{CommGroupId, ExternEffect, FunctionBuilder, Opcode, Program};
+use seqpar_specmem::Addr;
 
 /// Part-of-speech tags (terminals of the grammar).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -275,6 +276,64 @@ impl Workload for Parser {
                 }
             }
         })
+    }
+
+    fn versioned_job(&self, size: InputSize) -> Option<VersionedJob> {
+        // Loop-carried state through the substrate: the batch's running
+        // accepted-sentence count (the `results` accumulator the IR
+        // model stores through). Accepting iterations genuinely write
+        // the counter; rejecting iterations and commands write the
+        // value they read back — the silent-store bet the substrate
+        // validates at commit instead of squashing on.
+        const ACCEPTED: Addr = Addr(0);
+        let items = generate_batch(self.batch_size(size), 0x197);
+        let verdict = move |iter: u64| -> (u8, u64) {
+            match &items[iter as usize] {
+                Item::Command => (2u8, 1),
+                Item::Sentence(tags) => {
+                    let mut meter = WorkMeter::new();
+                    let ok = parse(tags, &mut meter);
+                    (u8::from(ok), meter.take().max(1))
+                }
+            }
+        };
+        let prefix: Vec<u64> = {
+            let mut counts = Vec::new();
+            let mut accepted = 0u64;
+            let mut i = 0u64;
+            while (i as usize) < self.batch_size(size) {
+                let (byte, _) = verdict(i);
+                accepted += u64::from(byte == 1);
+                counts.push(accepted);
+                i += 1;
+            }
+            counts
+        };
+        let record = |byte: u8, accepted: u64, work: u64| {
+            let mut bytes = Vec::with_capacity(9);
+            bytes.push(byte);
+            bytes.extend(accepted.to_le_bytes());
+            (bytes, work)
+        };
+        let oracle = {
+            let verdict = verdict.clone();
+            let prefix = prefix.clone();
+            move |iter: u64| {
+                let (byte, work) = verdict(iter);
+                record(byte, prefix[iter as usize], work)
+            }
+        };
+        Some(VersionedJob::new(
+            self.trace(size),
+            move |iter, v, m| {
+                let (byte, work) = verdict(iter);
+                let before = m.read(v, ACCEPTED);
+                let accepted = before + u64::from(byte == 1);
+                m.write(v, ACCEPTED, accepted);
+                record(byte, accepted, work)
+            },
+            oracle,
+        ))
     }
 
     fn ir_model(&self) -> IrModel {

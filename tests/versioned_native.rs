@@ -1,0 +1,211 @@
+//! Differential suite for conflict-driven native execution: the
+//! converted workloads (gzip, mcf, parser) route their loop-carried
+//! state through the [`ConcurrentVersionedMemory`] substrate, squashes
+//! originate from the substrate's conflict detection (not the trace's
+//! recorded `SpecDep` events), and still:
+//!
+//! * the committed output stream is byte-identical to the sequential
+//!   oracle at every thread count and under injected chaos, and
+//! * the native and simulated timelines agree on commit order — the
+//!   sequential program order — with the versioned event schema
+//!   (`VersionOpen`/`VersionReads`/`VersionConflict`/`VersionCommit`)
+//!   present on both sides.
+
+use seqpar_runtime::{
+    ExecConfig, ExecutionPlan, FaultPlan, SimConfig, Simulator, SquashReason, TraceEventKind,
+};
+use seqpar_specmem::Addr;
+use seqpar_workloads::{workload_by_name, InputSize, VersionedJob};
+
+/// Thread counts exercised per workload.
+const THREADS: &[usize] = &[1, 2, 4, 8];
+
+/// The three converted workloads.
+const CONVERTED: &[&str] = &["164.gzip", "181.mcf", "197.parser"];
+
+fn versioned_jobs() -> Vec<(&'static str, VersionedJob)> {
+    CONVERTED
+        .iter()
+        .map(|id| {
+            let w = workload_by_name(id).expect("converted workload exists");
+            let job = w
+                .versioned_job(InputSize::Test)
+                .expect("converted workloads provide a versioned job");
+            (*id, job)
+        })
+        .collect()
+}
+
+/// (a) Conflict-driven native output is byte-identical to the
+/// sequential oracle for every converted workload at every thread
+/// count, on both the TLS and the three-phase plan shapes.
+#[test]
+fn versioned_output_is_byte_identical_to_sequential() {
+    for (id, job) in versioned_jobs() {
+        let seq = job.sequential();
+        assert!(!seq.output.is_empty(), "{id}: sequential produced output");
+        for &t in THREADS {
+            for plan in [ExecutionPlan::tls(t), ExecutionPlan::three_phase(t)] {
+                let (r, _mem) = job
+                    .execute(&plan, ExecConfig::default())
+                    .expect("plan matches graph");
+                assert_eq!(
+                    r.output, seq.output,
+                    "{id}: versioned output diverged from sequential at {t} threads"
+                );
+                assert_eq!(
+                    r.tasks_committed as usize,
+                    r.attempts as usize - r.squashes as usize,
+                    "{id}: every non-committing attempt is a squash"
+                );
+            }
+        }
+    }
+}
+
+/// (b) Squashes originate from the memory substrate: the report carries
+/// `MemStats`, every frontier squash pairs with a substrate violation,
+/// and on a traced fault-free run the *only* squash reason that appears
+/// is `memory-conflict` — the recorded `SpecDep` rung never fires.
+#[test]
+fn versioned_squashes_originate_from_the_substrate() {
+    for (id, job) in versioned_jobs() {
+        let (r, _mem) = job
+            .execute(
+                &ExecutionPlan::tls(8),
+                ExecConfig::default().with_tracing(true),
+            )
+            .expect("plan matches graph");
+        let stats = r.mem.expect("versioned runs report memory stats");
+        assert_eq!(
+            r.squashes, stats.violations,
+            "{id}: frontier squashes must pair 1:1 with substrate violations"
+        );
+        assert_eq!(stats.commits, r.tasks_committed, "{id}");
+        let timeline = r.timeline.as_ref().expect("tracing was on");
+        timeline
+            .validate()
+            .expect("versioned traces are well-formed");
+        for e in timeline.events() {
+            if let TraceEventKind::Squash { reason, .. } = e.kind {
+                assert_eq!(
+                    reason,
+                    SquashReason::MemoryConflict,
+                    "{id}: fault-free versioned runs squash only on memory conflicts"
+                );
+            }
+        }
+        let conflicts = timeline
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::VersionConflict { .. }))
+            .count() as u64;
+        assert_eq!(conflicts, r.squashes, "{id}");
+    }
+}
+
+/// (c) The committed loop-carried memory state equals what a sequential
+/// run computes — parser's accepted-count accumulator checked exactly.
+#[test]
+fn versioned_memory_state_matches_sequential() {
+    let parser = workload_by_name("197.parser").expect("parser exists");
+    let job = parser.versioned_job(InputSize::Test).expect("converted");
+    let seq = job.sequential();
+    // The oracle's last record carries the final accepted count in its
+    // trailing 8 bytes.
+    let expected = u64::from_le_bytes(seq.output[seq.output.len() - 8..].try_into().unwrap());
+    let (r, mem) = job
+        .execute(&ExecutionPlan::tls(4), ExecConfig::default())
+        .expect("plan matches graph");
+    assert!(!r.fallback_activated);
+    assert_eq!(mem.committed(Addr(0)), Some(expected).filter(|&v| v > 0));
+    assert_eq!(mem.active_count(), 0, "no version left open");
+}
+
+/// (d) Chaos: injected panics, stalls, corruptions, and spurious
+/// squashes on top of real memory conflicts still commit the sequential
+/// byte stream, and the traces stay well-formed.
+#[test]
+fn versioned_chaos_runs_stay_byte_identical() {
+    for (id, job) in versioned_jobs() {
+        let seq = job.sequential();
+        for seed in [7u64, 42] {
+            let config = ExecConfig::default()
+                .with_faults(FaultPlan::seeded(seed))
+                .with_retry_budget(4)
+                .with_tracing(true);
+            let (r, _mem) = job
+                .execute(&ExecutionPlan::tls(8), config)
+                .expect("recoverable faults never abort the run");
+            assert_eq!(
+                r.output, seq.output,
+                "{id}: chaos seed {seed} diverged from sequential"
+            );
+            r.timeline
+                .as_ref()
+                .expect("tracing was on")
+                .validate()
+                .expect("versioned chaos traces are well-formed");
+        }
+    }
+}
+
+/// (e) Sim and native timelines agree on commit order (the sequential
+/// program order) and both carry the versioned event schema.
+#[test]
+fn sim_and_native_timelines_agree_on_commit_order() {
+    for (id, job) in versioned_jobs() {
+        let graph = job.trace().tls_task_graph();
+        let plan = ExecutionPlan::tls(4);
+        let (_, sim_timeline) = Simulator::new(SimConfig::default())
+            .run_timeline(&graph, &plan)
+            .expect("sim accepts the TLS plan");
+        let (r, _mem) = job
+            .execute(&plan, ExecConfig::default().with_tracing(true))
+            .expect("plan matches graph");
+        let native_timeline = r.timeline.as_ref().expect("tracing was on");
+        assert_eq!(
+            sim_timeline.commit_order(),
+            native_timeline.commit_order(),
+            "{id}: sim and native must commit in the same (sequential) order"
+        );
+        for (side, timeline) in [("sim", &sim_timeline), ("native", native_timeline)] {
+            let commits = timeline
+                .events()
+                .iter()
+                .filter(|e| matches!(e.kind, TraceEventKind::VersionCommit { .. }))
+                .count();
+            assert_eq!(
+                commits,
+                graph.len(),
+                "{id}: {side} timeline carries one VersionCommit per task"
+            );
+            assert!(
+                timeline
+                    .events()
+                    .iter()
+                    .any(|e| matches!(e.kind, TraceEventKind::VersionOpen { .. })),
+                "{id}: {side} timeline carries VersionOpen events"
+            );
+        }
+    }
+}
+
+/// (f) The compatibility shim: unconverted workloads report no
+/// versioned job and keep running trace-driven.
+#[test]
+fn unconverted_workloads_keep_the_compatibility_shim() {
+    for id in ["256.bzip2", "186.crafty", "255.vortex"] {
+        let w = workload_by_name(id).expect("workload exists");
+        assert!(
+            w.versioned_job(InputSize::Test).is_none(),
+            "{id} has not been converted and must use the shim"
+        );
+        // The trace-driven path still works untouched.
+        let job = w.native_job(InputSize::Test);
+        let r = job
+            .execute(&ExecutionPlan::three_phase(4), ExecConfig::default())
+            .expect("plan matches graph");
+        assert_eq!(r.output, job.sequential().output);
+    }
+}
