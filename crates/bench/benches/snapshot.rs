@@ -1,0 +1,164 @@
+//! The end-to-end perf harness: measures every workload's
+//! conflict-driven native execution and emits a schema-versioned
+//! `BENCH_<pr>.json` snapshot (see `BENCHMARKS.md`).
+//!
+//! Run via `cargo bench -p seqpar-bench --bench snapshot` — arguments
+//! after `--` select the scope:
+//!
+//! ```text
+//! --pr <n>             PR number stamped into the file name/document (default 6)
+//! --size <test|train|ref>   input scale (default test)
+//! --threads <a,b,..>   thread counts (default 1,2,4,8)
+//! --workloads <ids|all>     comma-separated SPEC ids (default all 11)
+//! --out <path>         output path (default BENCH_<pr>.json)
+//! --check <path>       validate an existing snapshot instead of measuring
+//! ```
+//!
+//! The harness always validates what it wrote and exits non-zero on a
+//! malformed snapshot, so CI can gate on it directly.
+
+use seqpar_bench::snapshot::{measure_workload, to_json, validate};
+use seqpar_workloads::{all_workloads, InputSize};
+use std::process::ExitCode;
+
+struct Args {
+    pr: u64,
+    size: InputSize,
+    threads: Vec<usize>,
+    workloads: Vec<String>,
+    out: Option<String>,
+    check: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        pr: 6,
+        size: InputSize::Test,
+        threads: vec![1, 2, 4, 8],
+        workloads: all_workloads()
+            .iter()
+            .map(|w| w.meta().spec_id.to_string())
+            .collect(),
+        out: None,
+        check: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        // Cargo's libtest shim passes `--bench`; ignore it.
+        if flag == "--bench" {
+            i += 1;
+            continue;
+        }
+        let value = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--pr" => args.pr = value.parse().map_err(|e| format!("--pr: {e}"))?,
+            "--size" => {
+                args.size = match value.as_str() {
+                    "test" => InputSize::Test,
+                    "train" => InputSize::Train,
+                    "ref" => InputSize::Ref,
+                    other => return Err(format!("unknown size {other}")),
+                }
+            }
+            "--threads" => {
+                args.threads = value
+                    .split(',')
+                    .map(|t| t.trim().parse().map_err(|e| format!("--threads: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--workloads" => {
+                if value != "all" {
+                    args.workloads = value.split(',').map(|s| s.trim().to_string()).collect();
+                }
+            }
+            "--out" => args.out = Some(value.clone()),
+            "--check" => args.check = Some(value.clone()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    Ok(args)
+}
+
+/// Resolves `path` against the workspace root when relative — cargo
+/// runs benches from the package dir, but snapshot paths are
+/// conventionally given relative to the repository.
+fn from_workspace_root(path: &str) -> String {
+    if std::path::Path::new(path).is_absolute() {
+        path.to_string()
+    } else {
+        format!("{}/../../{path}", env!("CARGO_MANIFEST_DIR"))
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("snapshot: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = &args.check {
+        let path = &from_workspace_root(path);
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("snapshot: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate(&text) {
+            Ok(()) => {
+                println!("{path}: snapshot is well-formed");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: MALFORMED snapshot: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let mut snapshots = Vec::with_capacity(args.workloads.len());
+    for id in &args.workloads {
+        let snap = measure_workload(id, args.size, &args.threads);
+        println!(
+            "{}: sequential {:.3} ms{}",
+            snap.spec_id,
+            snap.sequential_wall_ms,
+            snap.points
+                .iter()
+                .map(|p| format!(
+                    "; {}t {:.3} ms ({:.2}x, {} fwd, {} conf, {} silent)",
+                    p.threads, p.wall_ms, p.speedup, p.forwards, p.conflicts, p.silent
+                ))
+                .collect::<String>()
+        );
+        snapshots.push(snap);
+    }
+
+    let text = to_json(args.pr, args.size, &snapshots);
+    if let Err(e) = validate(&text) {
+        eprintln!("snapshot: generated document failed validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    // Default to the workspace root, so the committed trajectory lives
+    // beside README.md.
+    let out = from_workspace_root(
+        &args
+            .out
+            .unwrap_or_else(|| format!("BENCH_{}.json", args.pr)),
+    );
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("snapshot: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out} ({} workloads)", snapshots.len());
+    ExitCode::SUCCESS
+}

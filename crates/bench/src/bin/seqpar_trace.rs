@@ -152,11 +152,9 @@ fn main() {
     }
     print!("{}", render_timeline_gantt(timeline));
 
-    // Critical path over the same task graph the run executed —
-    // converted workloads ran their versioned job's trace.
-    let trace = w
-        .versioned_job(size)
-        .map_or_else(|| w.native_job(size).trace().clone(), |j| j.trace().clone());
+    // Critical path over the same task graph the run executed — the
+    // versioned job's trace.
+    let trace = w.versioned_job(size).trace().clone();
     let graph = match plan {
         PlanKind::Dswp => trace.task_graph(),
         PlanKind::Tls => trace.tls_task_graph(),

@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod snapshot;
 
 use seqpar::IterationTrace;
 use seqpar_runtime::{
@@ -55,8 +56,7 @@ pub struct SweepPoint {
     /// spurious squashes). `None` for simulator-only sweeps.
     pub faults_recovered: Option<u64>,
     /// Versioned-memory substrate counters for conflict-driven runs.
-    /// `None` for simulator-only sweeps and for workloads still on the
-    /// trace-driven compatibility path.
+    /// `None` for simulator-only sweeps.
     pub mem: Option<MemStats>,
 }
 
@@ -159,11 +159,9 @@ pub fn sweep_workload(w: &dyn Workload, size: InputSize, kind: PlanKind) -> Swee
 /// even when `config` carries a [`FaultPlan`](seqpar_runtime::FaultPlan):
 /// supervised recovery must restore the sequential byte stream.
 ///
-/// Workloads converted to the versioned-memory substrate (gzip, mcf,
-/// parser) run conflict-driven via
-/// [`VersionedJob`](seqpar_workloads::VersionedJob), filling
-/// [`SweepPoint::mem`]; the rest keep the trace-driven compatibility
-/// path and leave it `None`.
+/// Every workload runs conflict-driven through its
+/// [`VersionedJob`](seqpar_workloads::VersionedJob) — the substrate is
+/// the only native path — so every point carries [`SweepPoint::mem`].
 pub fn native_sweep(
     w: &dyn Workload,
     size: InputSize,
@@ -172,18 +170,8 @@ pub fn native_sweep(
     config: &ExecConfig,
 ) -> SweepResult {
     let versioned = w.versioned_job(size);
-    let native = if versioned.is_some() {
-        None
-    } else {
-        Some(w.native_job(size))
-    };
-    let (seq, trace) = versioned.as_ref().map_or_else(
-        || {
-            let j = native.as_ref().expect("one job form exists");
-            (j.sequential(), j.trace().clone())
-        },
-        |j| (j.sequential(), j.trace().clone()),
-    );
+    let seq = versioned.sequential();
+    let trace = versioned.trace().clone();
     let points = threads
         .iter()
         .map(|&t| {
@@ -191,17 +179,10 @@ pub fn native_sweep(
                 PlanKind::Dswp => ExecutionPlan::three_phase(t),
                 PlanKind::Tls => ExecutionPlan::tls(t),
             };
-            let report = match (&versioned, &native) {
-                (Some(j), _) => {
-                    j.execute(&plan, config.clone())
-                        .expect("plan matches machine and faults are recoverable")
-                        .0
-                }
-                (None, Some(j)) => j
-                    .execute(&plan, config.clone())
-                    .expect("plan matches machine and faults are recoverable"),
-                (None, None) => unreachable!("one job form exists"),
-            };
+            let report = versioned
+                .execute(&plan, config.clone())
+                .expect("plan matches machine and faults are recoverable")
+                .0;
             assert_eq!(
                 report.output,
                 seq.output,
@@ -230,11 +211,10 @@ pub fn native_sweep(
 /// Renders a native sweep as an ASCII table with the wall-clock columns:
 /// simulator speedup, native wall time, and native wall-clock speedup.
 ///
-/// Conflict-driven sweeps (those whose points carry
-/// [`SweepPoint::mem`]) gain three substrate columns: eager forwards
-/// served, conflict squashes, and elided silent stores. Their counts
-/// are timing-dependent — only the committed byte stream is
-/// deterministic.
+/// Sweeps are conflict-driven on versioned memory for every workload,
+/// so the three substrate columns — eager forwards served, conflict
+/// squashes, and elided silent stores — always render. Their counts are
+/// timing-dependent; only the committed byte stream is deterministic.
 pub fn render_native_curve(curve: &SweepResult) -> String {
     // wall * wall-speedup recovers the sequential wall time any point
     // was normalized against.
@@ -243,28 +223,23 @@ pub fn render_native_curve(curve: &SweepResult) -> String {
         .iter()
         .find_map(|p| Some(p.native_wall_ms? * p.native_speedup?))
         .unwrap_or(f64::NAN);
-    let has_mem = curve.points.iter().any(|p| p.mem.is_some());
     let mut out = String::new();
     out.push_str(&format!(
-        "## {}: native execution (sequential {seq_wall_ms:.2} ms{})\n",
+        "## {}: native execution (sequential {seq_wall_ms:.2} ms; conflict-driven on versioned memory)\n",
         curve.spec_id,
-        if has_mem {
-            "; conflict-driven on versioned memory"
-        } else {
-            "; trace-driven compatibility path"
-        }
     ));
     out.push_str(&format!(
-        "{:>8}{:>14}{:>14}{:>14}{:>10}{:>11}",
-        "threads", "sim-speedup", "wall(ms)", "wall-speedup", "misspec", "recovered"
+        "{:>8}{:>14}{:>14}{:>14}{:>10}{:>11}{:>10}{:>11}{:>8}\n",
+        "threads",
+        "sim-speedup",
+        "wall(ms)",
+        "wall-speedup",
+        "misspec",
+        "recovered",
+        "forwards",
+        "conflicts",
+        "silent"
     ));
-    if has_mem {
-        out.push_str(&format!(
-            "{:>10}{:>11}{:>8}",
-            "forwards", "conflicts", "silent"
-        ));
-    }
-    out.push('\n');
     for p in &curve.points {
         out.push_str(&format!(
             "{:>8}{:>14.2}{:>14.3}{:>14.2}{:>10.3}{:>11}",
@@ -275,13 +250,12 @@ pub fn render_native_curve(curve: &SweepResult) -> String {
             p.misspec_rate,
             p.faults_recovered.unwrap_or(0)
         ));
-        if has_mem {
-            if let Some(m) = p.mem {
-                out.push_str(&format!(
-                    "{:>10}{:>11}{:>8}",
-                    m.forwards, m.violations, m.silent_stores
-                ));
-            }
+        match p.mem {
+            Some(m) => out.push_str(&format!(
+                "{:>10}{:>11}{:>8}",
+                m.forwards, m.violations, m.silent_stores
+            )),
+            None => out.push_str(&format!("{:>10}{:>11}{:>8}", "-", "-", "-")),
         }
         out.push('\n');
     }
@@ -465,9 +439,9 @@ pub struct TracedRun {
 /// As with [`native_sweep`], the committed output is checked
 /// byte-for-byte against the sequential run before anything is
 /// returned — a trace of an execution that broke sequential semantics
-/// would be worse than no trace. Converted workloads run
-/// conflict-driven on the versioned-memory substrate, so their reports
-/// carry [`NativeReport::mem`] and their timelines the
+/// would be worse than no trace. Every workload runs conflict-driven on
+/// the versioned-memory substrate, so reports carry
+/// [`NativeReport::mem`] and timelines the
 /// `VersionOpen`/`VersionReads`/`VersionConflict`/`VersionCommit`
 /// events.
 pub fn trace_native(
@@ -477,25 +451,15 @@ pub fn trace_native(
     threads: usize,
     config: &ExecConfig,
 ) -> TracedRun {
-    let versioned = w.versioned_job(size);
+    let job = w.versioned_job(size);
     let plan = match kind {
         PlanKind::Dswp => ExecutionPlan::three_phase(threads),
         PlanKind::Tls => ExecutionPlan::tls(threads),
     };
-    let (seq, mut report) = if let Some(job) = &versioned {
-        let seq = job.sequential();
-        let (report, _mem) = job
-            .execute(&plan, config.clone().with_tracing(true))
-            .expect("plan matches machine and faults are recoverable");
-        (seq, report)
-    } else {
-        let job = w.native_job(size);
-        let seq = job.sequential();
-        let report = job
-            .execute(&plan, config.clone().with_tracing(true))
-            .expect("plan matches machine and faults are recoverable");
-        (seq, report)
-    };
+    let seq = job.sequential();
+    let (mut report, _mem) = job
+        .execute(&plan, config.clone().with_tracing(true))
+        .expect("plan matches machine and faults are recoverable");
     assert_eq!(
         report.output,
         seq.output,
@@ -573,7 +537,7 @@ pub fn render_trace_summary(timeline: &Timeline, labels: &[String]) -> String {
 /// writes). Built from the timeline's
 /// `VersionOpen`/`VersionReads`/`VersionConflict`/`VersionCommit`
 /// events; returns the empty string when the timeline carries none
-/// (trace-driven compatibility runs).
+/// (e.g. a trace-driven [`NativeJob`](seqpar_workloads::NativeJob) replay).
 pub fn render_memory_summary(timeline: &Timeline, labels: &[String]) -> String {
     #[derive(Clone, Copy, Default)]
     struct StageMem {
@@ -845,6 +809,48 @@ mod tests {
         assert_eq!(s.points.len(), THREAD_SWEEP.len());
         assert!(s.at(32).unwrap() > s.at(1).unwrap());
         assert!(s.best().speedup >= s.at(1).unwrap());
+    }
+
+    #[test]
+    fn native_curve_renders_substrate_columns_for_every_workload() {
+        // The shim is gone: every workload's native sweep is
+        // conflict-driven, so the rendered table must carry real
+        // forwards/conflicts/silent counts — never the dash
+        // placeholders — for all 11 benchmarks.
+        for w in seqpar_workloads::all_workloads() {
+            let curve = native_sweep(
+                w.as_ref(),
+                InputSize::Test,
+                PlanKind::Tls,
+                &[2],
+                &ExecConfig::default(),
+            );
+            let table = render_native_curve(&curve);
+            assert!(
+                table.contains("conflict-driven on versioned memory"),
+                "{}: native table must be headed conflict-driven",
+                curve.spec_id
+            );
+            for col in ["forwards", "conflicts", "silent"] {
+                assert!(
+                    table.contains(col),
+                    "{}: missing substrate column {col}",
+                    curve.spec_id
+                );
+            }
+            for line in table.lines().skip(2) {
+                assert!(
+                    !line.split_whitespace().any(|cell| cell == "-"),
+                    "{}: shim dash leaked into rendered row: {line}",
+                    curve.spec_id
+                );
+            }
+            assert!(
+                curve.points.iter().all(|p| p.mem.is_some()),
+                "{}: every sweep point carries substrate counters",
+                curve.spec_id
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! Schema-versioned performance snapshots — the `BENCH_<pr>.json`
+//! trajectory (see `BENCHMARKS.md` for the schema and regeneration
+//! instructions).
+//!
+//! A snapshot records, per workload, the sequential oracle's wall time
+//! and one point per thread count of a conflict-driven native run on
+//! [`ConcurrentVersionedMemory`](seqpar_specmem::ConcurrentVersionedMemory):
+//! wall-clock milliseconds, speedup vs sequential, and the substrate
+//! counters (eager forwards, conflict squashes, elided silent stores,
+//! commits) plus the executor's squash count. Wall times vary run to
+//! run; the schema and the counters' invariants (speedup finite and
+//! positive, commits > 0) are what [`validate`] pins for CI.
+
+use crate::json;
+use seqpar_runtime::{ExecConfig, ExecutionPlan};
+use seqpar_workloads::{workload_by_name, InputSize};
+
+/// Version stamped into every snapshot; bump when fields change shape.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One thread count's measurement of one workload.
+#[derive(Clone, Copy, Debug)]
+pub struct SnapshotPoint {
+    /// Worker threads the TLS plan ran.
+    pub threads: usize,
+    /// Wall-clock milliseconds of the native run.
+    pub wall_ms: f64,
+    /// Native wall-clock speedup over the sequential oracle run.
+    pub speedup: f64,
+    /// Reads served by eager forwarding from uncommitted buffers.
+    pub forwards: u64,
+    /// Conflict violations detected by the substrate (== squashes on a
+    /// fault-free run).
+    pub conflicts: u64,
+    /// Writes elided as silent stores (read-set bets).
+    pub silent: u64,
+    /// Versions committed by the substrate.
+    pub commits: u64,
+    /// Frontier squashes the executor performed.
+    pub squashes: u64,
+}
+
+/// One workload's measurements across the thread sweep.
+#[derive(Clone, Debug)]
+pub struct WorkloadSnapshot {
+    /// Benchmark SPEC id (e.g. `164.gzip`).
+    pub spec_id: String,
+    /// Wall-clock milliseconds of the sequential oracle run.
+    pub sequential_wall_ms: f64,
+    /// One point per requested thread count, ascending.
+    pub points: Vec<SnapshotPoint>,
+}
+
+/// Measures one workload: a sequential oracle run, then one
+/// conflict-driven TLS run per thread count, each checked byte-identical
+/// to the oracle before its numbers are recorded.
+///
+/// # Panics
+///
+/// Panics if `id` names no workload or a run's committed output
+/// diverges from the sequential oracle — a snapshot of a broken run
+/// would poison the trajectory.
+pub fn measure_workload(id: &str, size: InputSize, threads: &[usize]) -> WorkloadSnapshot {
+    let w = workload_by_name(id).unwrap_or_else(|| panic!("unknown workload {id}"));
+    let job = w.versioned_job(size);
+    let seq = job.sequential();
+    let points = threads
+        .iter()
+        .map(|&t| {
+            let (report, _mem) = job
+                .execute(&ExecutionPlan::tls(t), ExecConfig::default())
+                .expect("plan matches graph");
+            assert_eq!(
+                report.output, seq.output,
+                "{id}: native output diverged from sequential at {t} threads"
+            );
+            let mem = report.mem.expect("versioned runs report memory stats");
+            SnapshotPoint {
+                threads: t,
+                wall_ms: report.wall.as_secs_f64() * 1e3,
+                speedup: report.speedup_vs(seq.wall),
+                forwards: mem.forwards,
+                conflicts: mem.violations,
+                silent: mem.silent_stores,
+                commits: mem.commits,
+                squashes: report.squashes,
+            }
+        })
+        .collect();
+    WorkloadSnapshot {
+        spec_id: w.meta().spec_id.to_string(),
+        sequential_wall_ms: seq.wall.as_secs_f64() * 1e3,
+        points,
+    }
+}
+
+/// Serializes a snapshot set to the `BENCH_<pr>.json` document.
+pub fn to_json(pr: u64, size: InputSize, snapshots: &[WorkloadSnapshot]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+    out.push_str(&format!("  \"pr\": {pr},\n"));
+    out.push_str(&format!("  \"input_size\": \"{size}\",\n"));
+    out.push_str("  \"workloads\": [\n");
+    for (wi, w) in snapshots.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"spec_id\": \"{}\",\n", w.spec_id));
+        out.push_str(&format!(
+            "      \"sequential_wall_ms\": {:.4},\n",
+            w.sequential_wall_ms
+        ));
+        out.push_str("      \"points\": [\n");
+        for (pi, p) in w.points.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"threads\": {}, \"wall_ms\": {:.4}, \"speedup\": {:.4}, \
+                 \"forwards\": {}, \"conflicts\": {}, \"silent\": {}, \
+                 \"commits\": {}, \"squashes\": {}}}{}\n",
+                p.threads,
+                p.wall_ms,
+                p.speedup,
+                p.forwards,
+                p.conflicts,
+                p.silent,
+                p.commits,
+                p.squashes,
+                if pi + 1 < w.points.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if wi + 1 < snapshots.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Per-point fields [`validate`] requires on every snapshot point.
+const POINT_FIELDS: &[&str] = &[
+    "threads",
+    "wall_ms",
+    "speedup",
+    "forwards",
+    "conflicts",
+    "silent",
+    "commits",
+    "squashes",
+];
+
+/// Validates a `BENCH_<pr>.json` document: parses it, checks the schema
+/// version and every required field, and rejects degenerate
+/// measurements (non-finite or non-positive speedups, zero commits) —
+/// the checks the CI `bench-snapshot` job gates on.
+///
+/// # Errors
+///
+/// Returns a description of the first defect found.
+pub fn validate(text: &str) -> Result<(), String> {
+    let doc = json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let schema = doc
+        .get("schema_version")
+        .and_then(json::Value::as_f64)
+        .ok_or("missing schema_version")?;
+    if schema != SCHEMA_VERSION as f64 {
+        return Err(format!("schema_version {schema} != {SCHEMA_VERSION}"));
+    }
+    doc.get("pr")
+        .and_then(json::Value::as_f64)
+        .ok_or("missing pr")?;
+    doc.get("input_size")
+        .and_then(json::Value::as_str)
+        .ok_or("missing input_size")?;
+    let workloads = doc
+        .get("workloads")
+        .and_then(json::Value::as_array)
+        .ok_or("missing workloads array")?;
+    if workloads.is_empty() {
+        return Err("workloads array is empty".to_string());
+    }
+    for w in workloads {
+        let id = w
+            .get("spec_id")
+            .and_then(json::Value::as_str)
+            .ok_or("workload missing spec_id")?;
+        let seq = w
+            .get("sequential_wall_ms")
+            .and_then(json::Value::as_f64)
+            .ok_or_else(|| format!("{id}: missing sequential_wall_ms"))?;
+        if !seq.is_finite() || seq <= 0.0 {
+            return Err(format!("{id}: degenerate sequential_wall_ms {seq}"));
+        }
+        let points = w
+            .get("points")
+            .and_then(json::Value::as_array)
+            .ok_or_else(|| format!("{id}: missing points array"))?;
+        if points.is_empty() {
+            return Err(format!("{id}: points array is empty"));
+        }
+        for p in points {
+            for field in POINT_FIELDS {
+                p.get(field)
+                    .and_then(json::Value::as_f64)
+                    .ok_or_else(|| format!("{id}: point missing {field}"))?;
+            }
+            let speedup = p
+                .get("speedup")
+                .and_then(json::Value::as_f64)
+                .expect("checked");
+            if !speedup.is_finite() || speedup <= 0.0 {
+                return Err(format!("{id}: degenerate speedup {speedup}"));
+            }
+            let commits = p
+                .get("commits")
+                .and_then(json::Value::as_f64)
+                .expect("checked");
+            if commits <= 0.0 {
+                return Err(format!("{id}: substrate committed nothing"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<WorkloadSnapshot> {
+        vec![WorkloadSnapshot {
+            spec_id: "164.gzip".to_string(),
+            sequential_wall_ms: 12.5,
+            points: vec![SnapshotPoint {
+                threads: 4,
+                wall_ms: 4.2,
+                speedup: 2.97,
+                forwards: 10,
+                conflicts: 1,
+                silent: 3,
+                commits: 20,
+                squashes: 1,
+            }],
+        }]
+    }
+
+    #[test]
+    fn roundtrip_serializes_and_validates() {
+        let text = to_json(6, InputSize::Test, &sample());
+        validate(&text).expect("well-formed snapshot");
+        let doc = json::parse(&text).expect("parses");
+        assert_eq!(
+            doc.get("schema_version").and_then(json::Value::as_f64),
+            Some(SCHEMA_VERSION as f64)
+        );
+        assert_eq!(doc.get("pr").and_then(json::Value::as_f64), Some(6.0));
+        let w = &doc
+            .get("workloads")
+            .and_then(json::Value::as_array)
+            .unwrap()[0];
+        assert_eq!(
+            w.get("spec_id").and_then(json::Value::as_str),
+            Some("164.gzip")
+        );
+        let p = &w.get("points").and_then(json::Value::as_array).unwrap()[0];
+        assert_eq!(p.get("forwards").and_then(json::Value::as_f64), Some(10.0));
+    }
+
+    #[test]
+    fn validate_rejects_missing_fields_and_bad_speedups() {
+        assert!(validate("{}").is_err(), "missing everything");
+        assert!(validate("not json").is_err());
+
+        let mut snaps = sample();
+        snaps[0].points[0].speedup = 0.0;
+        let zero = to_json(6, InputSize::Test, &snaps);
+        assert!(
+            validate(&zero).unwrap_err().contains("degenerate speedup"),
+            "zero speedup must be rejected"
+        );
+
+        snaps[0].points[0].speedup = f64::NAN;
+        let nan = to_json(6, InputSize::Test, &snaps);
+        assert!(
+            validate(&nan).is_err(),
+            "NaN speedup must be rejected (unparsable or degenerate)"
+        );
+
+        let missing = to_json(6, InputSize::Test, &sample()).replace("\"squashes\"", "\"sqashes\"");
+        assert!(
+            validate(&missing).unwrap_err().contains("missing squashes"),
+            "missing point field must be named in the error"
+        );
+    }
+
+    #[test]
+    fn measure_workload_produces_validating_snapshot() {
+        let snap = measure_workload("164.gzip", InputSize::Test, &[1, 2]);
+        assert_eq!(snap.points.len(), 2);
+        let text = to_json(6, InputSize::Test, &[snap]);
+        validate(&text).expect("measured snapshot validates");
+    }
+}

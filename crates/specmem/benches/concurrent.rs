@@ -1,0 +1,268 @@
+//! Criterion micro-benchmarks for [`ConcurrentVersionedMemory`] — the
+//! numbers behind the substrate's two tuning knobs (shard count and
+//! epoch-reclamation cadence, see `MemConfig`) and the per-operation
+//! costs on the speculative hot path.
+//!
+//! Three layers:
+//!
+//! * `specmem/ops` — single-threaded cost of each primitive: committed
+//!   read, eagerly forwarded read, non-silent write, silent write,
+//!   `commit_check`, `try_commit`, `rollback`.
+//! * `specmem/mix` — whole speculative pipelines (begin → read/write
+//!   program → in-order commit with squash-and-replay) at 1–32 worker
+//!   threads under a low-conflict mix (disjoint address ranges), a
+//!   high-conflict mix (all versions accumulate on four shared
+//!   addresses), and a silent-store-heavy mix (repeated same-value
+//!   writes that become read-set bets).
+//! * `specmem/shards`, `specmem/reclaim` — the high-contention mix
+//!   swept across shard counts, and commit throughput swept across
+//!   reclamation cadences.
+//!
+//! Run with `cargo bench -p seqpar-specmem`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use seqpar_specmem::{Addr, ConcurrentVersionedMemory, MemConfig, VersionId};
+use std::sync::Barrier;
+
+/// Worker-thread counts the pipeline mixes sweep.
+const THREADS: &[usize] = &[1, 2, 4, 8, 16, 32];
+
+/// Memory operations per version in the pipeline mixes.
+const OPS: usize = 64;
+
+/// The access pattern a pipeline's versions run.
+#[derive(Clone, Copy, Debug)]
+enum Mix {
+    /// Disjoint per-version address ranges: no conflicts, forwarding
+    /// only through the committed prefix.
+    LowConflict,
+    /// Every version read-accumulates the same four addresses: maximal
+    /// forwarding and real conflict squashes.
+    HighConflict,
+    /// Every version re-writes the same value to the same four
+    /// addresses: after the first writer commits, every later write is
+    /// silent and becomes a read-set bet.
+    SilentHeavy,
+}
+
+impl Mix {
+    fn label(self) -> &'static str {
+        match self {
+            Mix::LowConflict => "low-conflict",
+            Mix::HighConflict => "high-conflict",
+            Mix::SilentHeavy => "silent-heavy",
+        }
+    }
+}
+
+/// One attempt of version `t`'s program under `mix`.
+fn attempt(mem: &ConcurrentVersionedMemory, t: usize, mix: Mix) {
+    let v = VersionId(t as u64);
+    mem.begin(v);
+    for i in 0..OPS {
+        match mix {
+            Mix::LowConflict => {
+                let a = Addr((1 + t * OPS + i) as u64);
+                let x = mem.read(v, a);
+                mem.write(v, a, x + 1);
+            }
+            Mix::HighConflict => {
+                let a = Addr((i % 4) as u64);
+                let x = mem.read(v, a);
+                mem.write(v, a, x.wrapping_add(t as u64 + 1));
+            }
+            Mix::SilentHeavy => {
+                let a = Addr((i % 4) as u64);
+                mem.read(v, a);
+                mem.write(v, a, 42);
+            }
+        }
+    }
+}
+
+/// Races `threads` versions against `mem`, then drives the in-order
+/// commit frontier with squash-and-replay — the executor's protocol.
+fn pipeline(mem: &ConcurrentVersionedMemory, threads: usize, mix: Mix) {
+    let barrier = Barrier::new(threads);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                attempt(mem, t, mix);
+            });
+        }
+    });
+    for t in 0..threads {
+        let v = VersionId(t as u64);
+        let mut replays = 0u32;
+        while mem.try_commit(v).is_err() {
+            mem.rollback(v);
+            replays += 1;
+            assert!(replays <= 1_000, "squash/replay failed to converge");
+            attempt(mem, t, mix);
+        }
+    }
+}
+
+fn bench_primitive_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("specmem/ops");
+
+    g.bench_function("read/committed", |b| {
+        let mem = ConcurrentVersionedMemory::new();
+        mem.begin(VersionId(0));
+        mem.write(VersionId(0), Addr(1), 7);
+        mem.try_commit(VersionId(0)).expect("nothing conflicts");
+        mem.begin(VersionId(1));
+        b.iter(|| mem.read(VersionId(1), Addr(1)));
+    });
+
+    g.bench_function("read/forwarded", |b| {
+        // The producing version stays active, so every read is served
+        // by eager forwarding from its uncommitted buffer.
+        let mem = ConcurrentVersionedMemory::new();
+        mem.begin(VersionId(0));
+        mem.write(VersionId(0), Addr(1), 7);
+        mem.begin(VersionId(1));
+        b.iter(|| mem.read(VersionId(1), Addr(1)));
+    });
+
+    g.bench_function("write/non-silent", |b| {
+        let mem = ConcurrentVersionedMemory::new();
+        mem.begin(VersionId(0));
+        let mut x = 0u64;
+        b.iter(|| {
+            x += 1;
+            mem.write(VersionId(0), Addr(1), x)
+        });
+    });
+
+    g.bench_function("write/silent", |b| {
+        let mem = ConcurrentVersionedMemory::new();
+        mem.begin(VersionId(0));
+        mem.write(VersionId(0), Addr(1), 7);
+        b.iter(|| mem.write(VersionId(0), Addr(1), 7));
+    });
+
+    g.bench_function("commit_check", |b| {
+        let mem = ConcurrentVersionedMemory::new();
+        mem.begin(VersionId(0));
+        for i in 0..8u64 {
+            let x = mem.read(VersionId(0), Addr(i));
+            mem.write(VersionId(0), Addr(i), x + 1);
+        }
+        b.iter(|| mem.commit_check(VersionId(0)));
+    });
+
+    g.bench_function("try_commit", |b| {
+        b.iter_batched(
+            || {
+                let mem = ConcurrentVersionedMemory::new();
+                mem.begin(VersionId(0));
+                for i in 0..8u64 {
+                    mem.write(VersionId(0), Addr(i), i + 1);
+                }
+                mem
+            },
+            |mem| mem.try_commit(VersionId(0)).expect("nothing conflicts"),
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("rollback", |b| {
+        b.iter_batched(
+            || {
+                let mem = ConcurrentVersionedMemory::new();
+                mem.begin(VersionId(0));
+                for i in 0..8u64 {
+                    mem.write(VersionId(0), Addr(i), i + 1);
+                }
+                // A later reader whose forwarded reads the rollback must
+                // invalidate — the expensive half of the operation.
+                mem.begin(VersionId(1));
+                for i in 0..8u64 {
+                    mem.read(VersionId(1), Addr(i));
+                }
+                mem
+            },
+            |mem| mem.rollback(VersionId(0)),
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.finish();
+}
+
+fn bench_pipeline_mixes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("specmem/mix");
+    g.sample_size(20);
+    for mix in [Mix::LowConflict, Mix::HighConflict, Mix::SilentHeavy] {
+        for &t in THREADS {
+            g.bench_function(format!("{}/{t}threads", mix.label()), |b| {
+                b.iter_batched(
+                    ConcurrentVersionedMemory::new,
+                    |mem| pipeline(&mem, t, mix),
+                    BatchSize::SmallInput,
+                );
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_shard_counts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("specmem/shards");
+    g.sample_size(20);
+    for shards in [1usize, 4, 16, 64] {
+        for mix in [Mix::LowConflict, Mix::HighConflict] {
+            g.bench_function(format!("{}/{shards}shards/8threads", mix.label()), |b| {
+                b.iter_batched(
+                    || ConcurrentVersionedMemory::with_shards(shards),
+                    |mem| pipeline(&mem, 8, mix),
+                    BatchSize::SmallInput,
+                );
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_reclaim_cadence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("specmem/reclaim");
+    g.sample_size(20);
+    // A long single-threaded commit chain: every version writes a
+    // disjoint address and commits immediately, so the measured cost is
+    // begin + write + try_commit + the amortized reclamation fold.
+    const CHAIN: u64 = 256;
+    for cadence in [1u64, 8, 64] {
+        g.bench_function(format!("cadence{cadence}/chain{CHAIN}"), |b| {
+            b.iter_batched(
+                || {
+                    ConcurrentVersionedMemory::with_config(MemConfig {
+                        reclaim_cadence: cadence,
+                        ..MemConfig::default()
+                    })
+                },
+                |mem| {
+                    for i in 0..CHAIN {
+                        let v = VersionId(i);
+                        mem.begin(v);
+                        mem.write(v, Addr(i % 32), i);
+                        mem.try_commit(v).expect("nothing conflicts");
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_primitive_ops,
+    bench_pipeline_mixes,
+    bench_shard_counts,
+    bench_reclaim_cadence,
+);
+criterion_main!(benches);

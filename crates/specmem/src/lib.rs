@@ -48,7 +48,7 @@ pub mod predictor;
 pub mod stats;
 pub mod undo;
 
-pub use concurrent::{ConcurrentVersionedMemory, VersionProbe};
+pub use concurrent::{ConcurrentVersionedMemory, MemConfig, VersionProbe};
 pub use memory::{Addr, CommitError, VersionId, VersionedMemory};
 pub use predictor::{Confident, LastValue, Predictor, PredictorStats, Stride};
 pub use stats::MemStats;

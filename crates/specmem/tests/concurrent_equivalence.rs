@@ -10,9 +10,11 @@
 //! or too-early read that escaped conflict detection would corrupt the
 //! final state rather than vanish. Every case is run (a) concurrently,
 //! one real thread per version, with an in-order commit loop that rolls
-//! back and re-executes squashed versions, and (b) single-threaded in
-//! program order through the plain [`VersionedMemory`] — both must land
-//! on the model interpreter's state.
+//! back and re-executes squashed versions — repeated at shard counts
+//! {1, 4, 16, 64} so the configurable shard knob cannot silently break
+//! linearized equivalence — and (b) single-threaded in program order
+//! through the plain [`VersionedMemory`] — all must land on the model
+//! interpreter's state.
 
 use proptest::prelude::*;
 use seqpar_specmem::{Addr, CommitError, ConcurrentVersionedMemory, VersionId, VersionedMemory};
@@ -81,6 +83,60 @@ fn run_attempt(mem: &ConcurrentVersionedMemory, v: VersionId, program: &[Op]) {
     }
 }
 
+/// Shard counts the concurrent check is repeated across: the degenerate
+/// single-shard lock, the default, and an over-sharded extreme. The
+/// shard knob must never change linearized equivalence, only contention.
+const SHARD_COUNTS: &[usize] = &[1, 4, 16, 64];
+
+/// Races one thread per version against `mem`, then drives the in-order
+/// commit frontier with squash-and-replay and checks the committed
+/// state against the model interpreter's. Panics on divergence (the
+/// vendored proptest stub reports failures by panic).
+fn check_concurrent(
+    mem: &ConcurrentVersionedMemory,
+    programs: &[Vec<Op>],
+    expected: &HashMap<u64, u64>,
+) {
+    let barrier = Barrier::new(programs.len());
+    std::thread::scope(|scope| {
+        for (i, program) in programs.iter().enumerate() {
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                run_attempt(mem, VersionId(i as u64), program);
+            });
+        }
+    });
+    // In-order commit frontier with squash-and-replay, exactly the
+    // executor's protocol.
+    let mut replays = 0u64;
+    for (i, program) in programs.iter().enumerate() {
+        let v = VersionId(i as u64);
+        loop {
+            match mem.try_commit(v) {
+                Ok(()) => break,
+                Err(CommitError::Squashed { .. }) => {
+                    mem.rollback(v);
+                    replays += 1;
+                    assert!(replays <= 64, "squash/replay failed to converge");
+                    run_attempt(mem, v, program);
+                }
+                Err(e) => panic!("commit of {v} failed: {e}"),
+            }
+        }
+    }
+    assert_eq!(mem.active_count(), 0);
+    for (addr, val) in expected {
+        assert_eq!(
+            mem.committed(Addr(*addr)).unwrap_or(0),
+            *val,
+            "concurrent state diverged at {} (shards {})",
+            addr,
+            mem.shard_count()
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -93,48 +149,12 @@ proptest! {
     ) {
         let expected = interpret(&programs);
 
-        // (a) Concurrent: one thread per version, racing freely.
-        let mem = ConcurrentVersionedMemory::new();
-        let barrier = Barrier::new(programs.len());
-        std::thread::scope(|scope| {
-            for (i, program) in programs.iter().enumerate() {
-                let mem = &mem;
-                let barrier = &barrier;
-                scope.spawn(move || {
-                    barrier.wait();
-                    run_attempt(mem, VersionId(i as u64), program);
-                });
-            }
-        });
-        // In-order commit frontier with squash-and-replay, exactly the
-        // executor's protocol.
-        let mut replays = 0u64;
-        for (i, program) in programs.iter().enumerate() {
-            let v = VersionId(i as u64);
-            loop {
-                match mem.try_commit(v) {
-                    Ok(()) => break,
-                    Err(CommitError::Squashed { .. }) => {
-                        mem.rollback(v);
-                        replays += 1;
-                        prop_assert!(
-                            replays <= 64,
-                            "squash/replay failed to converge"
-                        );
-                        run_attempt(&mem, v, program);
-                    }
-                    Err(e) => prop_assert!(false, "commit of {} failed: {}", v, e),
-                }
-            }
-        }
-        prop_assert_eq!(mem.active_count(), 0);
-        for (addr, val) in &expected {
-            prop_assert_eq!(
-                mem.committed(Addr(*addr)).unwrap_or(0),
-                *val,
-                "concurrent state diverged at {}",
-                addr
-            );
+        // (a) Concurrent: one thread per version, racing freely —
+        // repeated at every shard count so the configurable knob can't
+        // silently break linearized equivalence.
+        for &shards in SHARD_COUNTS {
+            let mem = ConcurrentVersionedMemory::with_shards(shards);
+            check_concurrent(&mem, &programs, &expected);
         }
 
         // (b) The plain single-threaded memory, driven in program order,

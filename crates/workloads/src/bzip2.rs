@@ -10,9 +10,9 @@
 //! of blocks (the paper: "the input file's size ... only a few
 //! independent blocks exist to compress in parallel").
 
-use crate::common::{fnv1a, synthetic_text, InputSize, IrModel, WorkMeter, Workload};
+use crate::common::{fnv1a, fnv1a_fold, synthetic_text, InputSize, IrModel, WorkMeter, Workload};
 use crate::meta::WorkloadMeta;
-use crate::native::NativeJob;
+use crate::native::{NativeJob, VersionedJob};
 use seqpar::{IterationRecord, IterationTrace, Technique};
 use seqpar_analysis::profile::LoopProfile;
 use seqpar_ir::{ExternEffect, FunctionBuilder, Opcode, Program};
@@ -401,6 +401,32 @@ impl Workload for Bzip2 {
                 meter.take().max(1),
             )
         })
+    }
+
+    fn versioned_job(&self, size: InputSize) -> VersionedJob {
+        // Loop-carried state through the substrate: the output stream's
+        // rolling checksum and cumulative compressed length — the
+        // combined-CRC and bit-stream position a real bzip2 carries
+        // across blocks. Block compression itself is block-local.
+        let data = self.input(size);
+        let block_size = self.block_size(size);
+        VersionedJob::accumulating(
+            self.trace(size),
+            move |iter| {
+                let start = iter as usize * block_size;
+                let end = (start + block_size).min(data.len());
+                let mut meter = WorkMeter::new();
+                (
+                    compress_block(&data[start..end], &mut meter),
+                    meter.take().max(1),
+                )
+            },
+            2,
+            |_, bytes, acc| {
+                acc[0] = fnv1a_fold(acc[0], bytes);
+                acc[1] += bytes.len() as u64;
+            },
+        )
     }
 
     fn ir_model(&self) -> IrModel {

@@ -169,13 +169,12 @@ pub trait Workload: fmt::Debug {
     /// [`ConcurrentVersionedMemory`](seqpar_specmem::ConcurrentVersionedMemory)
     /// (see [`VersionedJob`]).
     ///
-    /// The default is the compatibility shim: `None`, meaning the
-    /// workload has not been converted yet and runs trace-driven only.
-    /// Converted workloads (gzip, mcf, parser) override this.
-    fn versioned_job(&self, size: InputSize) -> Option<VersionedJob> {
-        let _ = size;
-        None
-    }
+    /// Every workload provides one — this is the native path benchmarks
+    /// and figures measure
+    /// ([`NativeExecutor::run_versioned`](seqpar_runtime::NativeExecutor::run_versioned));
+    /// the trace-driven [`Workload::native_job`] twin remains as the
+    /// deterministic replay harness for the differential tests.
+    fn versioned_job(&self, size: InputSize) -> VersionedJob;
 
     /// Runs the kernel natively on OS threads under `plan`, committing
     /// iteration outputs in order. The committed stream is byte-identical

@@ -17,7 +17,7 @@
 
 use crate::common::{InputSize, IrModel, WorkMeter, Workload};
 use crate::meta::WorkloadMeta;
-use crate::native::NativeJob;
+use crate::native::{NativeJob, VersionedJob};
 use seqpar::{IterationRecord, IterationTrace, Technique};
 use seqpar_analysis::profile::LoopProfile;
 use seqpar_ir::{CommGroupId, ExternEffect, FunctionBuilder, Opcode, Program};
@@ -266,6 +266,46 @@ impl Workload for Crafty {
             );
             (score.to_le_bytes().to_vec(), meter.take().max(1))
         })
+    }
+
+    fn versioned_job(&self, size: InputSize) -> VersionedJob {
+        // Loop-carried state: the running best root score and a wrapping
+        // tally of all subtree scores — the alpha bound and node
+        // statistics a real search threads across root moves. Most
+        // subtrees fail to improve the best score, so its write-back is
+        // usually *silent* and becomes a read-set bet the conflict
+        // detector validates at commit.
+        let mut tasks = Vec::new();
+        for d in 2..=self.depth(size) {
+            for (_, reply, sub_depth) in root_tasks(Self::ROOT, d) {
+                tasks.push((reply, sub_depth));
+            }
+        }
+        VersionedJob::accumulating(
+            self.trace(size),
+            move |iter| {
+                let (reply, sub_depth) = tasks[iter as usize];
+                let mut meter = WorkMeter::new();
+                let mut tt = TransTable::new();
+                let score = search(
+                    reply,
+                    sub_depth,
+                    i32::MIN + 1,
+                    i32::MAX - 1,
+                    &mut tt,
+                    &mut meter,
+                );
+                (score.to_le_bytes().to_vec(), meter.take().max(1))
+            },
+            2,
+            |iter, bytes, acc| {
+                let score = i64::from(i32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]));
+                if iter == 0 || score > acc[0] as i64 {
+                    acc[0] = score as u64;
+                }
+                acc[1] = acc[1].wrapping_add(score as u64);
+            },
+        )
     }
 
     fn ir_model(&self) -> IrModel {

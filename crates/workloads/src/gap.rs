@@ -17,9 +17,9 @@
 //! generated program's variable dataflow, and GC misspeculations from the
 //! collector actually running when the arena fills.
 
-use crate::common::{fnv1a, InputSize, IrModel, Prng, WorkMeter, Workload};
+use crate::common::{fnv1a, fnv1a_fold, InputSize, IrModel, Prng, WorkMeter, Workload};
 use crate::meta::WorkloadMeta;
-use crate::native::NativeJob;
+use crate::native::{NativeJob, VersionedJob};
 use seqpar::{IterationRecord, IterationTrace, Technique};
 use seqpar_analysis::profile::LoopProfile;
 use seqpar_ir::{CommGroupId, ExternEffect, FunctionBuilder, Opcode, Program};
@@ -386,6 +386,49 @@ impl Workload for Gap {
             bytes.push(u8::from(collected));
             (bytes, meter.take().max(1))
         })
+    }
+
+    fn versioned_job(&self, size: InputSize) -> VersionedJob {
+        // Loop-carried state: a rolling hash of every statement's result
+        // value and the cumulative garbage-collection count — the heap
+        // summary and GC clock the interpreter threads across statements.
+        // Each record is value (8 bytes le) + collected flag (1 byte).
+        let program = generate_program(self.statement_count(size), 0x254);
+        const K: usize = 8;
+        let mut ckpts = Vec::with_capacity(program.len() / K + 1);
+        let mut interp = Interp::new(Self::ARENA);
+        let mut prepass = WorkMeter::new();
+        for (i, stmt) in program.iter().enumerate() {
+            if i % K == 0 {
+                ckpts.push(interp.clone());
+            }
+            interp.exec(*stmt, &mut prepass);
+        }
+        VersionedJob::accumulating(
+            self.trace(size),
+            move |iter| {
+                let i = iter as usize;
+                let mut interp = ckpts[i / K].clone();
+                let mut meter = WorkMeter::new();
+                for stmt in &program[(i / K) * K..i] {
+                    interp.exec(*stmt, &mut meter);
+                }
+                let collected = interp.exec(program[i], &mut meter);
+                let value = match interp.var(program[i].writes()) {
+                    Val::Int(x) => x,
+                    Val::Ref(r) => r as i64 + 1_000_000,
+                    Val::Nil => -1,
+                };
+                let mut bytes = value.to_le_bytes().to_vec();
+                bytes.push(u8::from(collected));
+                (bytes, meter.take().max(1))
+            },
+            2,
+            |_, bytes, acc| {
+                acc[0] = fnv1a_fold(acc[0], &bytes[..8]);
+                acc[1] += u64::from(bytes[8]);
+            },
+        )
     }
 
     fn ir_model(&self) -> IrModel {

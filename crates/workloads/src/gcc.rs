@@ -18,9 +18,9 @@
 //!   syntactically, equivalent output. Both numbering schemes are
 //!   implemented so the ablation is visible.
 
-use crate::common::{fnv1a, InputSize, IrModel, Prng, WorkMeter, Workload};
+use crate::common::{fnv1a, fnv1a_fold, InputSize, IrModel, Prng, WorkMeter, Workload};
 use crate::meta::WorkloadMeta;
-use crate::native::NativeJob;
+use crate::native::{NativeJob, VersionedJob};
 use seqpar::{IterationRecord, IterationTrace, Technique};
 use seqpar_analysis::profile::LoopProfile;
 use seqpar_ir::{CommGroupId, ExternEffect, FunctionBuilder, Opcode, Program};
@@ -635,6 +635,37 @@ impl Workload for Gcc {
             );
             (asm.into_bytes(), meter.take().max(1))
         })
+    }
+
+    fn versioned_job(&self, size: InputSize) -> VersionedJob {
+        // Loop-carried state: a rolling hash of the emitted assembly and
+        // the cumulative assembly length — the object-file checksum and
+        // write cursor the driver threads across functions. Compilation
+        // itself is function-local under per-function label numbering.
+        let unit = generate_unit(self.function_count(size), 0x176);
+        VersionedJob::accumulating(
+            self.trace(size),
+            move |iter| {
+                let func = &unit[iter as usize];
+                let mut meter = WorkMeter::new();
+                let mut symtab = SymbolTable::new();
+                let mut label_base = 0u32;
+                let (asm, _) = compile_function(
+                    func,
+                    &mut symtab,
+                    &mut label_base,
+                    LabelNumbering::PerFunction,
+                    iter as u32,
+                    &mut meter,
+                );
+                (asm.into_bytes(), meter.take().max(1))
+            },
+            2,
+            |_, bytes, acc| {
+                acc[0] = fnv1a_fold(acc[0], bytes);
+                acc[1] += bytes.len() as u64;
+            },
+        )
     }
 
     fn ir_model(&self) -> IrModel {

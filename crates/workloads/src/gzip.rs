@@ -349,7 +349,7 @@ impl Workload for Gzip {
         })
     }
 
-    fn versioned_job(&self, size: InputSize) -> Option<VersionedJob> {
+    fn versioned_job(&self, size: InputSize) -> VersionedJob {
         // Loop-carried state through the substrate: the deflate stream's
         // rolling output checksum and cumulative compressed length.
         // Block compression itself is block-local (primed from the raw
@@ -401,7 +401,7 @@ impl Workload for Gzip {
                 record(bytes, hash, emitted, work)
             }
         };
-        Some(VersionedJob::new(
+        VersionedJob::new(
             self.trace(size),
             move |iter, v, m| {
                 let (bytes, work) = compress(iter);
@@ -412,7 +412,7 @@ impl Workload for Gzip {
                 record(bytes, hash, emitted, work)
             },
             oracle,
-        ))
+        )
     }
 
     fn ir_model(&self) -> IrModel {

@@ -369,7 +369,7 @@ impl Workload for Mcf {
         })
     }
 
-    fn versioned_job(&self, size: InputSize) -> Option<VersionedJob> {
+    fn versioned_job(&self, size: InputSize) -> VersionedJob {
         // Loop-carried state through the substrate: the network
         // simplex's running flow and cost totals, plus the potential-
         // regeneration counter (`refresh_potential`'s generation — the
@@ -436,7 +436,7 @@ impl Workload for Mcf {
                 record(fd, cd, pot, flow, cost, potgen, work)
             }
         };
-        Some(VersionedJob::new(
+        VersionedJob::new(
             self.trace(size),
             move |iter, v, m| {
                 let (fd, cd, pot, work) = sweep(iter);
@@ -457,7 +457,7 @@ impl Workload for Mcf {
                 record(fd, cd, pot, flow, cost, potgen, work)
             },
             oracle,
-        ))
+        )
     }
 
     fn ir_model(&self) -> IrModel {

@@ -26,7 +26,7 @@ use seqpar::IterationTrace;
 use seqpar_runtime::{
     ExecConfig, ExecError, ExecutionPlan, NativeExecutor, NativeReport, TaskCtx, TaskId, TaskOutput,
 };
-use seqpar_specmem::{ConcurrentVersionedMemory, VersionId};
+use seqpar_specmem::{Addr, ConcurrentVersionedMemory, VersionId};
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -219,6 +219,68 @@ impl VersionedJob {
         }
     }
 
+    /// Packages a kernel whose iterations are individually pure — the
+    /// common shape across the suite's native bodies — with `slots`
+    /// loop-carried accumulators threaded through versioned memory at
+    /// `Addr(0) .. Addr(slots)`.
+    ///
+    /// Each iteration computes its bytes via `compute`, reads every
+    /// accumulator slot, merges the bytes into the slot values via
+    /// `fold(iter, bytes, slots)`, writes every slot back (writes whose
+    /// value did not change are elided by the substrate's silent-store
+    /// rule and become read-set bets), and appends the folded slot
+    /// values little-endian to its emitted record — so a stale racing
+    /// read that escaped conflict detection would corrupt the committed
+    /// byte stream, which the differential suite pins against the
+    /// sequential oracle.
+    ///
+    /// The oracle is derived at construction by folding the slots in
+    /// program order, so body/oracle agreement holds for any `fold`.
+    pub fn accumulating(
+        trace: IterationTrace,
+        compute: impl Fn(u64) -> (Vec<u8>, u64) + Send + Sync + 'static,
+        slots: usize,
+        fold: impl Fn(u64, &[u8], &mut [u64]) + Send + Sync + 'static,
+    ) -> Self {
+        let compute: Arc<SequentialIterationBody> = Arc::new(compute);
+        let fold = Arc::new(fold);
+        // Prefix accumulator states, in program order: prefix[i] is the
+        // slot vector *after* iteration i folded in.
+        let mut prefix: Vec<Vec<u64>> = Vec::with_capacity(trace.len());
+        let mut state = vec![0u64; slots];
+        for i in 0..trace.len() as u64 {
+            let (bytes, _) = compute(i);
+            fold(i, &bytes, &mut state);
+            prefix.push(state.clone());
+        }
+        let emit = |mut bytes: Vec<u8>, state: &[u64], work: u64| {
+            for v in state {
+                bytes.extend(v.to_le_bytes());
+            }
+            (bytes, work)
+        };
+        let oracle = {
+            let compute = Arc::clone(&compute);
+            move |iter: u64| {
+                let (bytes, work) = compute(iter);
+                emit(bytes, &prefix[iter as usize], work)
+            }
+        };
+        let body = {
+            let compute = Arc::clone(&compute);
+            move |iter: u64, v: VersionId, m: &ConcurrentVersionedMemory| {
+                let (bytes, work) = compute(iter);
+                let mut state: Vec<u64> = (0..slots as u64).map(|s| m.read(v, Addr(s))).collect();
+                fold(iter, &bytes, &mut state);
+                for (s, val) in state.iter().enumerate() {
+                    m.write(v, Addr(s as u64), *val);
+                }
+                emit(bytes, &state, work)
+            }
+        };
+        Self::new(trace, body, oracle)
+    }
+
     /// The recorded iteration trace (source of the task graph).
     pub fn trace(&self) -> &IterationTrace {
         &self.trace
@@ -273,13 +335,30 @@ impl VersionedJob {
         plan: &ExecutionPlan,
         config: ExecConfig,
     ) -> Result<(NativeReport, ConcurrentVersionedMemory), ExecError> {
+        self.execute_with_memory(plan, config, ConcurrentVersionedMemory::new())
+    }
+
+    /// As [`VersionedJob::execute`], but routing state through a
+    /// caller-constructed `mem` — the hook the bench harness uses to
+    /// sweep [`MemConfig`](seqpar_specmem::MemConfig) tunings (shard
+    /// count, reclamation cadence). `mem` must be fresh: no versions
+    /// opened, no state committed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecError`] exactly as [`NativeJob::execute`].
+    pub fn execute_with_memory(
+        &self,
+        plan: &ExecutionPlan,
+        config: ExecConfig,
+        mem: ConcurrentVersionedMemory,
+    ) -> Result<(NativeReport, ConcurrentVersionedMemory), ExecError> {
         let graph = if plan.stage_count() == 1 {
             self.trace.tls_task_graph()
         } else {
             self.trace.task_graph()
         };
         let emit_stage = if graph.stage_count() == 1 { 0u8 } else { 1u8 };
-        let mem = ConcurrentVersionedMemory::new();
         let body = |task: TaskId, ctx: &TaskCtx<'_>| {
             if ctx.stage.0 != emit_stage {
                 return TaskOutput::empty();

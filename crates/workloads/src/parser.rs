@@ -278,7 +278,7 @@ impl Workload for Parser {
         })
     }
 
-    fn versioned_job(&self, size: InputSize) -> Option<VersionedJob> {
+    fn versioned_job(&self, size: InputSize) -> VersionedJob {
         // Loop-carried state through the substrate: the batch's running
         // accepted-sentence count (the `results` accumulator the IR
         // model stores through). Accepting iterations genuinely write
@@ -323,7 +323,7 @@ impl Workload for Parser {
                 record(byte, prefix[iter as usize], work)
             }
         };
-        Some(VersionedJob::new(
+        VersionedJob::new(
             self.trace(size),
             move |iter, v, m| {
                 let (byte, work) = verdict(iter);
@@ -333,7 +333,7 @@ impl Workload for Parser {
                 record(byte, accepted, work)
             },
             oracle,
-        ))
+        )
     }
 
     fn ir_model(&self) -> IrModel {

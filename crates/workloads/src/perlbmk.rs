@@ -17,9 +17,9 @@
 //! mostly violated. The generated input here has the same density of
 //! true inter-statement dependences.
 
-use crate::common::{fnv1a, InputSize, IrModel, Prng, WorkMeter, Workload};
+use crate::common::{fnv1a, fnv1a_fold, InputSize, IrModel, Prng, WorkMeter, Workload};
 use crate::meta::WorkloadMeta;
-use crate::native::NativeJob;
+use crate::native::{NativeJob, VersionedJob};
 use seqpar::{IterationRecord, IterationTrace, Technique};
 use seqpar_analysis::profile::LoopProfile;
 use seqpar_ir::{ExternEffect, FunctionBuilder, Opcode as IrOp, Program};
@@ -315,6 +315,48 @@ impl Workload for Perlbmk {
             let bytes = vm.output().iter().flat_map(|x| x.to_le_bytes()).collect();
             (bytes, meter.take().max(1))
         })
+    }
+
+    fn versioned_job(&self, size: InputSize) -> VersionedJob {
+        // Loop-carried state: a rolling hash of every printed value and
+        // the cumulative printed-word count — the output-buffer summary
+        // the interpreter threads across statements. Statements that
+        // print nothing leave both slots unchanged, so their write-backs
+        // are silent-store bets.
+        let program = generate_program(self.statement_count(size), 0x253);
+        let stmts: Vec<Vec<Op>> = statements(&program)
+            .into_iter()
+            .map(<[Op]>::to_vec)
+            .collect();
+        let mut vars_before = Vec::with_capacity(stmts.len());
+        let mut vm = Vm::new();
+        let mut prepass = WorkMeter::new();
+        for stmt in &stmts {
+            vars_before.push(vm.vars());
+            for &op in stmt {
+                vm.step(op, &mut prepass);
+            }
+        }
+        VersionedJob::accumulating(
+            self.trace(size),
+            move |iter| {
+                let i = iter as usize;
+                let mut vm = Vm::with_vars(vars_before[i]);
+                let mut meter = WorkMeter::new();
+                for &op in &stmts[i] {
+                    vm.step(op, &mut meter);
+                }
+                let bytes: Vec<u8> = vm.output().iter().flat_map(|x| x.to_le_bytes()).collect();
+                (bytes, meter.take().max(1))
+            },
+            2,
+            |_, bytes, acc| {
+                if !bytes.is_empty() {
+                    acc[0] = fnv1a_fold(acc[0], bytes);
+                    acc[1] += bytes.len() as u64 / 8;
+                }
+            },
+        )
     }
 
     fn ir_model(&self) -> IrModel {

@@ -18,7 +18,7 @@
 
 use crate::common::{fnv1a, InputSize, IrModel, Prng, WorkMeter, Workload};
 use crate::meta::WorkloadMeta;
-use crate::native::NativeJob;
+use crate::native::{NativeJob, VersionedJob};
 use seqpar::{IterationRecord, IterationTrace, Technique};
 use seqpar_analysis::profile::LoopProfile;
 use seqpar_ir::{CommGroupId, ExternEffect, FunctionBuilder, Opcode, Program};
@@ -348,6 +348,50 @@ impl Workload for Twolf {
             bytes.extend((outcome.nets_touched.len() as u32).to_le_bytes());
             (bytes, meter.take().max(1))
         })
+    }
+
+    fn versioned_job(&self, size: InputSize) -> VersionedJob {
+        // Loop-carried state: the accepted-exchange count and the total
+        // nets touched by accepted exchanges — the cost-table bookkeeping
+        // `uloop` threads across iterations. Rejected exchanges leave
+        // both slots unchanged, so their write-backs are silent-store
+        // bets — the annealer's dominant case at low acceptance rates.
+        let base = self.instance();
+        let iters_per_temp = self.iters_per_temp(size);
+        type Snapshot = (Vec<(u16, u16)>, YacmRandom, f64);
+        let mut snaps: Vec<Snapshot> = Vec::new();
+        let mut place = base.clone();
+        let mut rng = YacmRandom::new(0x300_5EED);
+        for temperature in schedule() {
+            for _ in 0..iters_per_temp {
+                snaps.push((place.pos.clone(), rng.clone(), temperature));
+                let mut m = WorkMeter::new();
+                uloop_iter(&mut place, &mut rng, temperature, &mut m);
+            }
+        }
+        VersionedJob::accumulating(
+            self.trace(size),
+            move |iter| {
+                let i = iter as usize;
+                let mut place = base.clone();
+                place.set_positions(&snaps[i].0);
+                let (_, ref rng0, temperature) = snaps[i];
+                let mut rng = rng0.clone();
+                let mut meter = WorkMeter::new();
+                let outcome = uloop_iter(&mut place, &mut rng, temperature, &mut meter);
+                let mut bytes = vec![u8::from(outcome.accepted)];
+                bytes.extend((outcome.nets_touched.len() as u32).to_le_bytes());
+                (bytes, meter.take().max(1))
+            },
+            2,
+            |_, bytes, acc| {
+                if bytes[0] == 1 {
+                    acc[0] += 1;
+                    acc[1] +=
+                        u64::from(u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]));
+                }
+            },
+        )
     }
 
     fn ir_model(&self) -> IrModel {

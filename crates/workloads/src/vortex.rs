@@ -18,7 +18,7 @@
 
 use crate::common::{fnv1a, InputSize, IrModel, Prng, WorkMeter, Workload};
 use crate::meta::WorkloadMeta;
-use crate::native::NativeJob;
+use crate::native::{NativeJob, VersionedJob};
 use seqpar::{IterationRecord, IterationTrace, Technique};
 use seqpar_analysis::profile::LoopProfile;
 use seqpar_ir::{ExternEffect, FunctionBuilder, Opcode, Program};
@@ -595,6 +595,50 @@ impl Workload for Vortex {
             bytes.extend(rebalances.to_le_bytes());
             (bytes, meter.take().max(1))
         })
+    }
+
+    fn versioned_job(&self, size: InputSize) -> VersionedJob {
+        // Loop-carried state: the not-found transaction count and the
+        // cumulative rebalance total — the error log and structural-edit
+        // clock the database threads across transactions. Read-only
+        // lookups that hit leave both slots unchanged, so their
+        // write-backs are silent-store bets.
+        let txns = generate_txns(self.txn_count(size), 0x255);
+        const K: usize = 16;
+        let mut setup = WorkMeter::new();
+        let mut tree = self.seeded_tree(&mut setup);
+        let mut ckpts = Vec::with_capacity(txns.len() / K + 1);
+        for (i, txn) in txns.iter().enumerate() {
+            if i % K == 0 {
+                ckpts.push(tree.clone());
+            }
+            exec_txn(&mut tree, *txn, &mut setup);
+        }
+        VersionedJob::accumulating(
+            self.trace(size),
+            move |iter| {
+                let i = iter as usize;
+                let mut tree = ckpts[i / K].clone();
+                let mut meter = WorkMeter::new();
+                for txn in &txns[(i / K) * K..i] {
+                    exec_txn(&mut tree, *txn, &mut meter);
+                }
+                let (status, rebalances) = exec_txn(&mut tree, txns[i], &mut meter);
+                let mut bytes = vec![match status {
+                    Status::Normal => 0u8,
+                    Status::NotFound => 1u8,
+                }];
+                bytes.extend(rebalances.to_le_bytes());
+                (bytes, meter.take().max(1))
+            },
+            2,
+            |_, bytes, acc| {
+                acc[0] += u64::from(bytes[0]);
+                acc[1] += u64::from_le_bytes([
+                    bytes[1], bytes[2], bytes[3], bytes[4], bytes[5], bytes[6], bytes[7], bytes[8],
+                ]);
+            },
+        )
     }
 
     fn ir_model(&self) -> IrModel {

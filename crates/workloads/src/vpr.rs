@@ -18,7 +18,7 @@
 
 use crate::common::{fnv1a, InputSize, IrModel, Prng, WorkMeter, Workload};
 use crate::meta::WorkloadMeta;
-use crate::native::NativeJob;
+use crate::native::{NativeJob, VersionedJob};
 use seqpar::{IterationRecord, IterationTrace, Technique};
 use seqpar_analysis::profile::LoopProfile;
 use seqpar_ir::{CommGroupId, ExternEffect, FunctionBuilder, Opcode, Program};
@@ -359,6 +359,52 @@ impl Workload for Vpr {
             bytes.extend(outcome.delta.to_le_bytes());
             (bytes, meter.take().max(1))
         })
+    }
+
+    fn versioned_job(&self, size: InputSize) -> VersionedJob {
+        // Loop-carried state: the accepted-move count and the wrapping
+        // sum of accepted cost deltas — the running placement cost the
+        // annealer threads across moves. Rejected moves leave both slots
+        // unchanged, so their write-backs are silent-store bets.
+        let base = self.instance();
+        let moves_per_temp = self.moves_per_temp(size);
+        type Snapshot = (Vec<(u16, u16)>, Prng, f64);
+        let mut snaps: Vec<Snapshot> = Vec::new();
+        let mut place = base.clone();
+        let mut rng = Prng::new(0xABCD);
+        for temperature in schedule() {
+            for _ in 0..moves_per_temp {
+                snaps.push((place.pos.clone(), rng.clone(), temperature));
+                let mut m = WorkMeter::new();
+                try_swap(&mut place, &mut rng, temperature, &mut m);
+            }
+        }
+        VersionedJob::accumulating(
+            self.trace(size),
+            move |iter| {
+                let i = iter as usize;
+                let mut place = base.clone();
+                place.set_positions(&snaps[i].0);
+                let (_, ref rng0, temperature) = snaps[i];
+                let mut rng = rng0.clone();
+                let mut meter = WorkMeter::new();
+                let outcome = try_swap(&mut place, &mut rng, temperature, &mut meter);
+                let mut bytes = vec![u8::from(outcome.accepted)];
+                bytes.extend(outcome.delta.to_le_bytes());
+                (bytes, meter.take().max(1))
+            },
+            2,
+            |_, bytes, acc| {
+                if bytes[0] == 1 {
+                    acc[0] += 1;
+                    let delta = i64::from_le_bytes([
+                        bytes[1], bytes[2], bytes[3], bytes[4], bytes[5], bytes[6], bytes[7],
+                        bytes[8],
+                    ]);
+                    acc[1] = acc[1].wrapping_add(delta as u64);
+                }
+            },
+        )
     }
 
     fn ir_model(&self) -> IrModel {

@@ -1,11 +1,14 @@
-//! Differential suite for conflict-driven native execution: the
-//! converted workloads (gzip, mcf, parser) route their loop-carried
-//! state through the [`ConcurrentVersionedMemory`] substrate, squashes
-//! originate from the substrate's conflict detection (not the trace's
-//! recorded `SpecDep` events), and still:
+//! Full-matrix differential suite for conflict-driven native
+//! execution: **all 11 workloads** route their loop-carried state
+//! through the [`ConcurrentVersionedMemory`] substrate
+//! (`NativeExecutor::run_versioned` is the only native path —
+//! the `versioned_job` compatibility shim is gone), squashes originate
+//! from the substrate's conflict detection (not the trace's recorded
+//! `SpecDep` events), and still:
 //!
 //! * the committed output stream is byte-identical to the sequential
-//!   oracle at every thread count and under injected chaos, and
+//!   oracle at every thread count in {1, 2, 4, 8} and under injected
+//!   chaos (seeds 7 and 42), and
 //! * the native and simulated timelines agree on commit order — the
 //!   sequential program order — with the versioned event schema
 //!   (`VersionOpen`/`VersionReads`/`VersionConflict`/`VersionCommit`)
@@ -15,30 +18,21 @@ use seqpar_runtime::{
     ExecConfig, ExecutionPlan, FaultPlan, SimConfig, Simulator, SquashReason, TraceEventKind,
 };
 use seqpar_specmem::Addr;
-use seqpar_workloads::{workload_by_name, InputSize, VersionedJob};
+use seqpar_workloads::{all_workloads, workload_by_name, InputSize, VersionedJob};
 
 /// Thread counts exercised per workload.
 const THREADS: &[usize] = &[1, 2, 4, 8];
 
-/// The three converted workloads.
-const CONVERTED: &[&str] = &["164.gzip", "181.mcf", "197.parser"];
-
 fn versioned_jobs() -> Vec<(&'static str, VersionedJob)> {
-    CONVERTED
-        .iter()
-        .map(|id| {
-            let w = workload_by_name(id).expect("converted workload exists");
-            let job = w
-                .versioned_job(InputSize::Test)
-                .expect("converted workloads provide a versioned job");
-            (*id, job)
-        })
+    all_workloads()
+        .into_iter()
+        .map(|w| (w.meta().spec_id, w.versioned_job(InputSize::Test)))
         .collect()
 }
 
 /// (a) Conflict-driven native output is byte-identical to the
-/// sequential oracle for every converted workload at every thread
-/// count, on both the TLS and the three-phase plan shapes.
+/// sequential oracle for every workload at every thread count, on both
+/// the TLS and the three-phase plan shapes.
 #[test]
 fn versioned_output_is_byte_identical_to_sequential() {
     for (id, job) in versioned_jobs() {
@@ -109,7 +103,7 @@ fn versioned_squashes_originate_from_the_substrate() {
 #[test]
 fn versioned_memory_state_matches_sequential() {
     let parser = workload_by_name("197.parser").expect("parser exists");
-    let job = parser.versioned_job(InputSize::Test).expect("converted");
+    let job = parser.versioned_job(InputSize::Test);
     let seq = job.sequential();
     // The oracle's last record carries the final accepted count in its
     // trailing 8 bytes.
@@ -124,7 +118,7 @@ fn versioned_memory_state_matches_sequential() {
 
 /// (d) Chaos: injected panics, stalls, corruptions, and spurious
 /// squashes on top of real memory conflicts still commit the sequential
-/// byte stream, and the traces stay well-formed.
+/// byte stream for every workload, and the traces stay well-formed.
 #[test]
 fn versioned_chaos_runs_stay_byte_identical() {
     for (id, job) in versioned_jobs() {
@@ -191,21 +185,27 @@ fn sim_and_native_timelines_agree_on_commit_order() {
     }
 }
 
-/// (f) The compatibility shim: unconverted workloads report no
-/// versioned job and keep running trace-driven.
+/// (f) Every workload's substrate counters are non-trivial: a run that
+/// silently bypassed `ConcurrentVersionedMemory` (regressing to
+/// trace-driven execution) would report zero reads/writes/commits and
+/// fail loudly here.
 #[test]
-fn unconverted_workloads_keep_the_compatibility_shim() {
-    for id in ["256.bzip2", "186.crafty", "255.vortex"] {
-        let w = workload_by_name(id).expect("workload exists");
-        assert!(
-            w.versioned_job(InputSize::Test).is_none(),
-            "{id} has not been converted and must use the shim"
-        );
-        // The trace-driven path still works untouched.
-        let job = w.native_job(InputSize::Test);
-        let r = job
-            .execute(&ExecutionPlan::three_phase(4), ExecConfig::default())
+fn every_workload_exercises_the_substrate() {
+    for (id, job) in versioned_jobs() {
+        let (r, _mem) = job
+            .execute(&ExecutionPlan::tls(4), ExecConfig::default())
             .expect("plan matches graph");
-        assert_eq!(r.output, job.sequential().output);
+        let stats = r.mem.expect("versioned runs report memory stats");
+        assert!(stats.reads > 0, "{id}: no substrate reads recorded");
+        assert!(stats.writes > 0, "{id}: no substrate writes recorded");
+        assert!(stats.commits > 0, "{id}: no substrate commits recorded");
+        assert!(
+            stats.forwards > 0 || stats.commits > 0,
+            "{id}: neither forwards nor commits observed"
+        );
+        assert_eq!(
+            stats.commits, r.tasks_committed,
+            "{id}: one substrate commit per committed task"
+        );
     }
 }
