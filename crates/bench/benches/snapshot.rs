@@ -6,20 +6,29 @@
 //! after `--` select the scope:
 //!
 //! ```text
-//! --pr <n>             PR number stamped into the file name/document (default 6)
+//! --pr <n>             PR number stamped into the file name/document (default 7)
 //! --size <test|train|ref>   input scale (default test)
 //! --threads <a,b,..>   thread counts (default 1,2,4,8)
 //! --workloads <ids|all>     comma-separated SPEC ids (default all 11)
 //! --out <path>         output path (default BENCH_<pr>.json)
 //! --check <path>       validate an existing snapshot instead of measuring
+//! --no-governor        measure with the speculation governor off
+//!                      (default: on, with default knobs)
+//! --baseline <path>    after measuring, fail if any workload's 8-thread
+//!                      speedup drops >10% below this snapshot's
 //! ```
 //!
 //! The harness always validates what it wrote and exits non-zero on a
 //! malformed snapshot, so CI can gate on it directly.
 
-use seqpar_bench::snapshot::{measure_workload, to_json, validate};
+use seqpar_bench::snapshot::{compare_gate, measure_workload, to_json, validate};
+use seqpar_runtime::GovernorConfig;
 use seqpar_workloads::{all_workloads, InputSize};
 use std::process::ExitCode;
+
+/// Thread count and tolerated fractional drop for `--baseline` gating.
+const GATE_THREADS: usize = 8;
+const GATE_TOLERANCE: f64 = 0.10;
 
 struct Args {
     pr: u64,
@@ -28,11 +37,13 @@ struct Args {
     workloads: Vec<String>,
     out: Option<String>,
     check: Option<String>,
+    governor: bool,
+    baseline: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        pr: 6,
+        pr: 7,
         size: InputSize::Test,
         threads: vec![1, 2, 4, 8],
         workloads: all_workloads()
@@ -41,6 +52,8 @@ fn parse_args() -> Result<Args, String> {
             .collect(),
         out: None,
         check: None,
+        governor: true,
+        baseline: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -48,6 +61,11 @@ fn parse_args() -> Result<Args, String> {
         let flag = argv[i].as_str();
         // Cargo's libtest shim passes `--bench`; ignore it.
         if flag == "--bench" {
+            i += 1;
+            continue;
+        }
+        if flag == "--no-governor" {
+            args.governor = false;
             i += 1;
             continue;
         }
@@ -77,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = Some(value.clone()),
             "--check" => args.check = Some(value.clone()),
+            "--baseline" => args.baseline = Some(value.clone()),
             other => return Err(format!("unknown flag {other}")),
         }
         i += 2;
@@ -125,9 +144,10 @@ fn main() -> ExitCode {
         };
     }
 
+    let governor = args.governor.then(GovernorConfig::default);
     let mut snapshots = Vec::with_capacity(args.workloads.len());
     for id in &args.workloads {
-        let snap = measure_workload(id, args.size, &args.threads);
+        let snap = measure_workload(id, args.size, &args.threads, governor);
         println!(
             "{}: sequential {:.3} ms{}",
             snap.spec_id,
@@ -135,8 +155,17 @@ fn main() -> ExitCode {
             snap.points
                 .iter()
                 .map(|p| format!(
-                    "; {}t {:.3} ms ({:.2}x, {} fwd, {} conf, {} silent)",
-                    p.threads, p.wall_ms, p.speedup, p.forwards, p.conflicts, p.silent
+                    "; {}t {:.3} ms ({:.2}x, {} fwd, {} conf, {} silent{})",
+                    p.threads,
+                    p.wall_ms,
+                    p.speedup,
+                    p.forwards,
+                    p.conflicts,
+                    p.silent,
+                    p.governor.map_or(String::new(), |g| format!(
+                        ", w{} {}deg {}bo",
+                        g.final_window, g.degrades, g.backoffs
+                    ))
                 ))
                 .collect::<String>()
         );
@@ -160,5 +189,26 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {out} ({} workloads)", snapshots.len());
+
+    if let Some(baseline) = &args.baseline {
+        let path = from_workspace_root(baseline);
+        let base = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("snapshot: cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match compare_gate(&base, &text, GATE_THREADS, GATE_TOLERANCE) {
+            Ok(()) => println!(
+                "perf gate vs {path}: no {GATE_THREADS}-thread speedup dropped more than {:.0}%",
+                GATE_TOLERANCE * 100.0
+            ),
+            Err(e) => {
+                eprintln!("snapshot: PERF GATE FAILED vs {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }

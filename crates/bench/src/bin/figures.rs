@@ -3,8 +3,9 @@
 //! Usage:
 //!
 //! ```text
-//! figures [--size test|train|ref] [--native] [--fault-seed N] [--lint] \
-//!     [--trace-summary] [fig4|fig5|fig6|fig7|table1|table2|ablations|gantt|all]
+//! figures [--size test|train|ref] [--native] [--no-governor] [--fault-seed N] \
+//!     [--lint] [--trace-summary] \
+//!     [fig4|fig5|fig6|fig7|table1|table2|ablations|gantt|all]
 //! ```
 //!
 //! `--lint` adds a `lint` column to Table 2: each benchmark's partition
@@ -24,6 +25,14 @@
 //! the full timeline toolkit — Gantt view, critical path, Perfetto
 //! export — use the `seqpar-trace` binary.
 //!
+//! Native runs are *governed* by default: the contention-aware
+//! speculation governor (AIMD runahead throttling, squash backoff,
+//! graceful degradation — see DESIGN.md) runs with default knobs, and
+//! the tables gain its columns: `gov-w` (final window cap), `degrades`
+//! (collapses to sequential issue), `reprobes`, and `backoffs` (delayed
+//! plus parked redispatches). `--no-governor` reproduces the ungoverned
+//! executor and drops the columns.
+//!
 //! `--fault-seed N` (native mode only) arms the deterministic fault
 //! injector with `FaultPlan::seeded(N)`: worker panics, corrupted
 //! outputs, stalls, and spurious squashes are injected and the
@@ -39,13 +48,14 @@ use seqpar_bench::{
     native_sweep, render_curves, render_native_curve, render_table1, render_table2, sweep_workload,
     table2, PlanKind, SweepResult, NATIVE_THREAD_SWEEP,
 };
-use seqpar_runtime::{ExecConfig, FaultPlan};
+use seqpar_runtime::{ExecConfig, FaultPlan, GovernorConfig};
 use seqpar_workloads::{all_workloads, workload_by_name, InputSize, Workload};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut size = None;
     let mut native = false;
+    let mut governed = true;
     let mut lint = false;
     let mut trace_summary = false;
     let mut fault_seed = None;
@@ -67,6 +77,7 @@ fn main() {
                 }
             }
             "--native" => native = true,
+            "--no-governor" => governed = false,
             "--fault-seed" => {
                 fault_seed = match iter.next().map(|s| s.parse::<u64>()) {
                     Some(Ok(n)) => Some(n),
@@ -88,10 +99,15 @@ fn main() {
         run_native(
             size.unwrap_or(InputSize::Test),
             &targets,
+            governed,
             fault_seed,
             trace_summary,
         );
         return;
+    }
+    if !governed {
+        eprintln!("--no-governor only applies to --native runs");
+        std::process::exit(2);
     }
     if fault_seed.is_some() {
         eprintln!("--fault-seed only applies to --native runs");
@@ -157,14 +173,20 @@ fn main() {
 /// `--native` mode: each target is a benchmark id (or `all`); every
 /// benchmark is executed on real OS threads and its wall-clock columns
 /// printed next to the simulator's estimate at the same thread count.
-fn run_native(size: InputSize, targets: &[String], fault_seed: Option<u64>, trace_summary: bool) {
+fn run_native(
+    size: InputSize,
+    targets: &[String],
+    governed: bool,
+    fault_seed: Option<u64>,
+    trace_summary: bool,
+) {
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZero::get)
         .unwrap_or(1);
     println!("## Native execution (real OS threads; host exposes {cores} CPU(s))");
     println!("wall-clock speedup is bounded by host parallelism; the simulator");
     println!("column models the paper's 32-core machine at the same thread count\n");
-    let config = match fault_seed {
+    let mut config = match fault_seed {
         Some(seed) => {
             println!("fault injection armed: FaultPlan::seeded({seed}); the supervisor");
             println!("must absorb every injected fault and keep output byte-identical\n");
@@ -172,6 +194,9 @@ fn run_native(size: InputSize, targets: &[String], fault_seed: Option<u64>, trac
         }
         None => ExecConfig::default(),
     };
+    if governed {
+        config = config.with_governor(GovernorConfig::default());
+    }
     let workloads = all_workloads();
     for t in targets {
         let selected: Vec<&dyn Workload> = if t == "all" {
@@ -196,6 +221,10 @@ fn run_native(size: InputSize, targets: &[String], fault_seed: Option<u64>, trac
                 let mem = seqpar_bench::render_memory_summary(&run.timeline, &labels);
                 if !mem.is_empty() {
                     print!("{mem}");
+                }
+                let gov = seqpar_bench::render_governor_summary(&run.timeline);
+                if !gov.is_empty() {
+                    print!("{gov}");
                 }
                 println!();
             }

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! seqpar-trace <workload> [--threads N] [--plan dswp|tls] [--size test|train|ref]
-//!              [--fault-seed N] [--out trace.json]
+//!              [--fault-seed N] [--no-governor] [--out trace.json]
 //! seqpar-trace --check trace.json
 //! ```
 //!
@@ -28,10 +28,10 @@
 //! errors.
 
 use seqpar_bench::{
-    json, render_critical_path, render_memory_summary, render_timeline_gantt, render_trace_summary,
-    trace_native, PlanKind,
+    json, render_critical_path, render_governor_summary, render_memory_summary,
+    render_timeline_gantt, render_trace_summary, trace_native, PlanKind,
 };
-use seqpar_runtime::{ExecConfig, FaultPlan, SimConfig, Simulator};
+use seqpar_runtime::{ExecConfig, FaultPlan, GovernorConfig, SimConfig, Simulator};
 use seqpar_workloads::{all_workloads, stage_labels, InputSize, Workload};
 
 fn main() {
@@ -42,6 +42,7 @@ fn main() {
     let mut fault_seed = None;
     let mut out_path = None;
     let mut check_path = None;
+    let mut governed = true;
     let mut target = None;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
@@ -81,6 +82,7 @@ fn main() {
                 Some(p) => check_path = Some(p.clone()),
                 None => usage("--check needs a path"),
             },
+            "--no-governor" => governed = false,
             other if target.is_none() && !other.starts_with('-') => {
                 target = Some(other.to_string());
             }
@@ -103,6 +105,9 @@ fn main() {
     };
 
     let mut config = ExecConfig::default();
+    if governed {
+        config = config.with_governor(GovernorConfig::default());
+    }
     if let Some(seed) = fault_seed {
         config = config.with_faults(FaultPlan::seeded(seed));
     }
@@ -148,6 +153,22 @@ fn main() {
     let mem_summary = render_memory_summary(timeline, &labels);
     if !mem_summary.is_empty() {
         print!("{mem_summary}");
+        println!();
+    }
+    if let Some(g) = report.governor {
+        let gov_summary = render_governor_summary(timeline);
+        if gov_summary.is_empty() {
+            // A short quiet run can finish inside its opening
+            // calibration stretch: governed, but no decisions to trace.
+            println!("### speculation governor (frontier decisions)");
+            println!("no decisions traced (run ended inside a degraded stretch)");
+        } else {
+            print!("{gov_summary}");
+        }
+        println!(
+            "counters: {} degraded commits, {} reprobes, window finished at {} (min {})",
+            g.degraded_commits, g.reprobes, g.final_window, g.min_window
+        );
         println!();
     }
     print!("{}", render_timeline_gantt(timeline));
@@ -218,9 +239,14 @@ fn check_file(path: &str) {
     match json::check_chrome_trace(&text) {
         Ok(check) => {
             println!(
-                "{path}: valid Chrome trace ({} events: {} slices, {} instants, \
-                 {} counter samples, {} metadata records)",
-                check.events, check.slices, check.instants, check.counters, check.metadata
+                "{path}: valid Chrome trace ({} events: {} slices, {} instants \
+                 ({} governor decisions), {} counter samples, {} metadata records)",
+                check.events,
+                check.slices,
+                check.instants,
+                check.governor,
+                check.counters,
+                check.metadata
             );
         }
         Err(e) => {
@@ -245,7 +271,7 @@ fn usage(message: &str) -> ! {
     eprintln!("{message}");
     eprintln!(
         "usage: seqpar-trace <workload> [--threads N] [--plan dswp|tls] \
-         [--size test|train|ref] [--fault-seed N] [--out trace.json]\n\
+         [--size test|train|ref] [--fault-seed N] [--no-governor] [--out trace.json]\n\
          \x20      seqpar-trace --check trace.json"
     );
     std::process::exit(2);

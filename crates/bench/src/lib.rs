@@ -12,8 +12,8 @@ pub mod snapshot;
 
 use seqpar::IterationTrace;
 use seqpar_runtime::{
-    CriticalPath, ExecConfig, ExecutionPlan, NativeReport, SimConfig, SimResult, Simulator,
-    TimeUnit, Timeline, TraceEventKind,
+    CriticalPath, ExecConfig, ExecutionPlan, GovernorStats, NativeReport, SimConfig, SimResult,
+    Simulator, TimeUnit, Timeline, TraceEventKind,
 };
 use seqpar_specmem::MemStats;
 use seqpar_workloads::{InputSize, Workload, WorkloadMeta};
@@ -58,6 +58,10 @@ pub struct SweepPoint {
     /// Versioned-memory substrate counters for conflict-driven runs.
     /// `None` for simulator-only sweeps.
     pub mem: Option<MemStats>,
+    /// Speculation-governor counters, when the run was governed
+    /// ([`ExecConfig::governor`] set). `None` for simulator-only sweeps
+    /// and ungoverned native runs.
+    pub governor: Option<GovernorStats>,
 }
 
 /// A full speedup curve for one benchmark.
@@ -134,6 +138,7 @@ pub fn sweep_trace(
                 native_speedup: None,
                 faults_recovered: None,
                 mem: None,
+                governor: None,
             }
         })
         .collect();
@@ -199,6 +204,7 @@ pub fn native_sweep(
                 native_speedup: Some(report.speedup_vs(seq.wall)),
                 faults_recovered: Some(report.recovery.faults_recovered()),
                 mem: report.mem,
+                governor: report.governor,
             }
         })
         .collect();
@@ -228,8 +234,12 @@ pub fn render_native_curve(curve: &SweepResult) -> String {
         "## {}: native execution (sequential {seq_wall_ms:.2} ms; conflict-driven on versioned memory)\n",
         curve.spec_id,
     ));
+    // The governor columns render only for governed curves: every
+    // point of a governed sweep carries stats (the same `ExecConfig`
+    // produced each point), and an ungoverned table stays byte-stable.
+    let governed = curve.points.iter().all(|p| p.governor.is_some());
     out.push_str(&format!(
-        "{:>8}{:>14}{:>14}{:>14}{:>10}{:>11}{:>10}{:>11}{:>8}\n",
+        "{:>8}{:>14}{:>14}{:>14}{:>10}{:>11}{:>10}{:>11}{:>8}",
         "threads",
         "sim-speedup",
         "wall(ms)",
@@ -240,6 +250,13 @@ pub fn render_native_curve(curve: &SweepResult) -> String {
         "conflicts",
         "silent"
     ));
+    if governed {
+        out.push_str(&format!(
+            "{:>7}{:>9}{:>9}{:>9}",
+            "gov-w", "degrades", "reprobes", "backoffs"
+        ));
+    }
+    out.push('\n');
     for p in &curve.points {
         out.push_str(&format!(
             "{:>8}{:>14.2}{:>14.3}{:>14.2}{:>10.3}{:>11}",
@@ -256,6 +273,16 @@ pub fn render_native_curve(curve: &SweepResult) -> String {
                 m.forwards, m.violations, m.silent_stores
             )),
             None => out.push_str(&format!("{:>10}{:>11}{:>8}", "-", "-", "-")),
+        }
+        if governed {
+            let g = p.governor.expect("governed curve");
+            out.push_str(&format!(
+                "{:>7}{:>9}{:>9}{:>9}",
+                g.final_window,
+                g.degrades,
+                g.reprobes,
+                g.backoffs + g.parks
+            ));
         }
         out.push('\n');
     }
@@ -611,6 +638,78 @@ pub fn render_memory_summary(timeline: &Timeline, labels: &[String]) -> String {
     out
 }
 
+/// Renders the speculation governor's decision stream as a short
+/// summary block: window moves (split up/down with the final cap),
+/// delayed and parked redispatches, collapses to sequential issue (with
+/// the misspeculation rate that tripped the last one), and re-probes.
+/// Built from the timeline's `GovernorThrottle` / `GovernorBackoff` /
+/// `GovernorDegrade` / `GovernorReprobe` events; returns the empty
+/// string when the timeline carries none (an ungoverned run).
+pub fn render_governor_summary(timeline: &Timeline) -> String {
+    let mut ups = 0u64;
+    let mut downs = 0u64;
+    let mut final_window: Option<u32> = None;
+    let mut delayed = 0u64;
+    let mut delay_ticks = 0u64;
+    let mut parked = 0u64;
+    let mut degrades = 0u64;
+    let mut last_rate: Option<u32> = None;
+    let mut reprobes = 0u64;
+    for e in timeline.events() {
+        match e.kind {
+            TraceEventKind::GovernorThrottle { from, to, .. } => {
+                if to > from {
+                    ups += 1;
+                } else {
+                    downs += 1;
+                }
+                final_window = Some(to);
+            }
+            TraceEventKind::GovernorBackoff { behind, delay, .. } => {
+                if behind.is_some() {
+                    parked += 1;
+                } else {
+                    delayed += 1;
+                    delay_ticks += delay;
+                }
+            }
+            TraceEventKind::GovernorDegrade { rate_permille, .. } => {
+                degrades += 1;
+                last_rate = Some(rate_permille);
+                final_window = Some(1);
+            }
+            TraceEventKind::GovernorReprobe { window, .. } => {
+                reprobes += 1;
+                final_window = Some(window);
+            }
+            _ => {}
+        }
+    }
+    if ups + downs + delayed + parked + degrades + reprobes == 0 {
+        return String::new();
+    }
+    let mut out = String::new();
+    out.push_str("### speculation governor (frontier decisions)\n");
+    out.push_str(&format!(
+        "throttle: {} window moves ({ups} up, {downs} down), final window {}\n",
+        ups + downs,
+        final_window.unwrap_or(1)
+    ));
+    out.push_str(&format!(
+        "backoff:  {delayed} delayed redispatches ({delay_ticks} ticks total), {parked} parked\n"
+    ));
+    match last_rate {
+        Some(rate) => out.push_str(&format!(
+            "degrade:  {degrades} collapses to sequential issue (last at {rate}\u{2030} misspec), \
+             {reprobes} re-probes\n"
+        )),
+        None => out.push_str(&format!(
+            "degrade:  {degrades} collapses to sequential issue, {reprobes} re-probes\n"
+        )),
+    }
+    out
+}
+
 /// Renders a timeline as an ASCII Gantt chart, one row per core, built
 /// from its dispatch/complete slices — the executed-schedule twin of
 /// [`render_gantt`] (which draws simulator placements).
@@ -906,6 +1005,36 @@ mod tests {
         let line = render_critical_path(&path, timeline.unit());
         assert!(line.contains("critical path"));
         assert!(line.contains("cycles"));
+
+        // Ungoverned timelines have no governor block.
+        assert!(render_governor_summary(&timeline).is_empty());
+    }
+
+    #[test]
+    fn governor_summary_renders_the_governed_twin() {
+        use seqpar_runtime::GovernorConfig;
+        let mut trace = IterationTrace::new();
+        for _ in 0..120 {
+            trace.push(seqpar::IterationRecord::new(2, 20, 2));
+        }
+        let graph = trace.task_graph();
+        let sim = Simulator::new(SimConfig {
+            cores: 4,
+            comm_latency: 0,
+            ..SimConfig::default()
+        });
+        let cfg = GovernorConfig {
+            reprobe_period: 16,
+            ..GovernorConfig::default()
+        };
+        let (_, timeline, stats) = sim
+            .run_timeline_governed(&graph, &ExecutionPlan::three_phase(4), &cfg)
+            .unwrap();
+        assert!(stats.reprobes > 0, "long quiet run re-probes");
+        let block = render_governor_summary(&timeline);
+        assert!(block.contains("speculation governor"));
+        assert!(block.contains("re-probes"));
+        assert!(block.contains("window moves"));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! positive, commits > 0) are what [`validate`] pins for CI.
 
 use crate::json;
-use seqpar_runtime::{ExecConfig, ExecutionPlan};
+use seqpar_runtime::{ExecConfig, ExecutionPlan, GovernorConfig, GovernorStats};
 use seqpar_workloads::{workload_by_name, InputSize};
 
 /// Version stamped into every snapshot; bump when fields change shape.
@@ -38,6 +38,10 @@ pub struct SnapshotPoint {
     pub commits: u64,
     /// Frontier squashes the executor performed.
     pub squashes: u64,
+    /// The speculation governor's decision counters when the run was
+    /// governed; `None` when it was off. Serialized as additive
+    /// `gov_*` point fields so older snapshots keep validating.
+    pub governor: Option<GovernorStats>,
 }
 
 /// One workload's measurements across the thread sweep.
@@ -51,45 +55,86 @@ pub struct WorkloadSnapshot {
     pub points: Vec<SnapshotPoint>,
 }
 
-/// Measures one workload: a sequential oracle run, then one
+/// Interleaved repetitions per measurement (sequential and every thread
+/// point). The recorded wall time is the per-quantity median, so a
+/// scheduler hiccup or a lazy-page warm-up in any single run cannot
+/// skew a speedup — on shared/virtualized hardware back-to-back runs of
+/// the same binary routinely differ by double-digit percentages.
+const MEASURE_REPS: usize = 3;
+
+/// Measures one workload: a sequential oracle run plus one
 /// conflict-driven TLS run per thread count, each checked byte-identical
 /// to the oracle before its numbers are recorded.
+///
+/// All quantities are measured `MEASURE_REPS` (3) times in interleaved
+/// rounds (sequential, then each thread count, repeat) and reported at
+/// their median wall time, so slow drift in machine load biases every
+/// quantity equally instead of whichever was measured last. The
+/// substrate counters come from the median-wall run of each point.
 ///
 /// # Panics
 ///
 /// Panics if `id` names no workload or a run's committed output
 /// diverges from the sequential oracle — a snapshot of a broken run
 /// would poison the trajectory.
-pub fn measure_workload(id: &str, size: InputSize, threads: &[usize]) -> WorkloadSnapshot {
+pub fn measure_workload(
+    id: &str,
+    size: InputSize,
+    threads: &[usize],
+    governor: Option<GovernorConfig>,
+) -> WorkloadSnapshot {
     let w = workload_by_name(id).unwrap_or_else(|| panic!("unknown workload {id}"));
     let job = w.versioned_job(size);
-    let seq = job.sequential();
-    let points = threads
-        .iter()
-        .map(|&t| {
+    let mut seq_walls = Vec::with_capacity(MEASURE_REPS);
+    let mut runs: Vec<Vec<SnapshotPoint>> = vec![Vec::with_capacity(MEASURE_REPS); threads.len()];
+    let mut expected = None;
+    for _rep in 0..MEASURE_REPS {
+        let seq = job.sequential();
+        seq_walls.push(seq.wall.as_secs_f64() * 1e3);
+        let expected = expected.get_or_insert(seq.output);
+        for (ti, &t) in threads.iter().enumerate() {
+            let mut config = ExecConfig::default();
+            if let Some(g) = governor {
+                config = config.with_governor(g);
+            }
             let (report, _mem) = job
-                .execute(&ExecutionPlan::tls(t), ExecConfig::default())
+                .execute(&ExecutionPlan::tls(t), config)
                 .expect("plan matches graph");
             assert_eq!(
-                report.output, seq.output,
+                &report.output, expected,
                 "{id}: native output diverged from sequential at {t} threads"
             );
             let mem = report.mem.expect("versioned runs report memory stats");
-            SnapshotPoint {
+            runs[ti].push(SnapshotPoint {
                 threads: t,
                 wall_ms: report.wall.as_secs_f64() * 1e3,
-                speedup: report.speedup_vs(seq.wall),
+                speedup: 0.0, // filled in against the median sequential wall
                 forwards: mem.forwards,
                 conflicts: mem.violations,
                 silent: mem.silent_stores,
                 commits: mem.commits,
                 squashes: report.squashes,
-            }
+                governor: report.governor,
+            });
+        }
+    }
+    let median = |walls: &mut Vec<f64>| -> f64 {
+        walls.sort_by(f64::total_cmp);
+        walls[walls.len() / 2]
+    };
+    let seq_wall_ms = median(&mut seq_walls);
+    let points = runs
+        .into_iter()
+        .map(|mut reps| {
+            reps.sort_by(|a, b| a.wall_ms.total_cmp(&b.wall_ms));
+            let mut point = reps.swap_remove(reps.len() / 2);
+            point.speedup = seq_wall_ms / point.wall_ms;
+            point
         })
         .collect();
     WorkloadSnapshot {
         spec_id: w.meta().spec_id.to_string(),
-        sequential_wall_ms: seq.wall.as_secs_f64() * 1e3,
+        sequential_wall_ms: seq_wall_ms,
         points,
     }
 }
@@ -110,10 +155,18 @@ pub fn to_json(pr: u64, size: InputSize, snapshots: &[WorkloadSnapshot]) -> Stri
         ));
         out.push_str("      \"points\": [\n");
         for (pi, p) in w.points.iter().enumerate() {
+            let gov = p.governor.map_or(String::new(), |g| {
+                format!(
+                    ", \"gov_shrinks\": {}, \"gov_grows\": {}, \"gov_degrades\": {}, \
+                     \"gov_backoffs\": {}, \"gov_degraded_commits\": {}, \
+                     \"gov_final_window\": {}",
+                    g.shrinks, g.grows, g.degrades, g.backoffs, g.degraded_commits, g.final_window
+                )
+            });
             out.push_str(&format!(
                 "        {{\"threads\": {}, \"wall_ms\": {:.4}, \"speedup\": {:.4}, \
                  \"forwards\": {}, \"conflicts\": {}, \"silent\": {}, \
-                 \"commits\": {}, \"squashes\": {}}}{}\n",
+                 \"commits\": {}, \"squashes\": {}{}}}{}\n",
                 p.threads,
                 p.wall_ms,
                 p.speedup,
@@ -122,6 +175,7 @@ pub fn to_json(pr: u64, size: InputSize, snapshots: &[WorkloadSnapshot]) -> Stri
                 p.silent,
                 p.commits,
                 p.squashes,
+                gov,
                 if pi + 1 < w.points.len() { "," } else { "" }
             ));
         }
@@ -221,6 +275,78 @@ pub fn validate(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Compares a freshly measured snapshot against a committed baseline:
+/// for every workload present in both, the `threads`-point speedup may
+/// not drop more than `tolerance` (a fraction, e.g. `0.10`) below the
+/// baseline's. This is the CI perf gate — it catches a governor or
+/// executor change that quietly trades one workload's throughput for
+/// another's.
+///
+/// Workloads only in the baseline are an error (coverage must never
+/// shrink); workloads only in the current snapshot are fine (coverage
+/// may grow). Both documents must pass [`validate`] first.
+///
+/// # Errors
+///
+/// Returns a description of every regressing workload, joined with
+/// `; `, or the first structural defect found.
+pub fn compare_gate(
+    baseline: &str,
+    current: &str,
+    threads: usize,
+    tolerance: f64,
+) -> Result<(), String> {
+    let point_speedup = |doc: &json::Value, id: &str| -> Option<f64> {
+        doc.get("workloads")
+            .and_then(json::Value::as_array)?
+            .iter()
+            .find(|w| w.get("spec_id").and_then(json::Value::as_str) == Some(id))?
+            .get("points")
+            .and_then(json::Value::as_array)?
+            .iter()
+            .find(|p| p.get("threads").and_then(json::Value::as_f64) == Some(threads as f64))?
+            .get("speedup")
+            .and_then(json::Value::as_f64)
+    };
+    validate(baseline).map_err(|e| format!("baseline snapshot invalid: {e}"))?;
+    validate(current).map_err(|e| format!("current snapshot invalid: {e}"))?;
+    let base = json::parse(baseline).expect("validated");
+    let cur = json::parse(current).expect("validated");
+    let ids: Vec<String> = base
+        .get("workloads")
+        .and_then(json::Value::as_array)
+        .expect("validated")
+        .iter()
+        .filter_map(|w| w.get("spec_id").and_then(json::Value::as_str))
+        .map(str::to_string)
+        .collect();
+    let mut failures = Vec::new();
+    for id in &ids {
+        let Some(was) = point_speedup(&base, id) else {
+            // The baseline has no point at this thread count — nothing
+            // to gate for this workload.
+            continue;
+        };
+        let Some(now) = point_speedup(&cur, id) else {
+            failures.push(format!("{id}: missing from the current snapshot"));
+            continue;
+        };
+        let floor = was * (1.0 - tolerance);
+        if now < floor {
+            failures.push(format!(
+                "{id}: {threads}-thread speedup {now:.4} fell below {floor:.4} \
+                 (baseline {was:.4} - {:.0}%)",
+                tolerance * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +364,7 @@ mod tests {
                 silent: 3,
                 commits: 20,
                 squashes: 1,
+                governor: None,
             }],
         }]
     }
@@ -293,9 +420,48 @@ mod tests {
 
     #[test]
     fn measure_workload_produces_validating_snapshot() {
-        let snap = measure_workload("164.gzip", InputSize::Test, &[1, 2]);
+        let snap = measure_workload("164.gzip", InputSize::Test, &[1, 2], None);
         assert_eq!(snap.points.len(), 2);
+        assert!(snap.points.iter().all(|p| p.governor.is_none()));
         let text = to_json(6, InputSize::Test, &[snap]);
         validate(&text).expect("measured snapshot validates");
+    }
+
+    #[test]
+    fn governed_measurement_adds_additive_fields_and_still_validates() {
+        let snap = measure_workload(
+            "164.gzip",
+            InputSize::Test,
+            &[2],
+            Some(GovernorConfig::default()),
+        );
+        assert!(snap.points[0].governor.is_some(), "governed run has stats");
+        let text = to_json(7, InputSize::Test, &[snap]);
+        assert!(text.contains("gov_final_window"), "gov_* fields serialized");
+        validate(&text).expect("governed snapshot validates under the old schema");
+    }
+
+    #[test]
+    fn compare_gate_passes_within_tolerance_and_names_regressions() {
+        let baseline = to_json(6, InputSize::Test, &sample());
+        let mut snaps = sample();
+        snaps[0].points[0].speedup = 2.97 * 0.95; // -5%: inside a 10% gate
+        let ok = to_json(7, InputSize::Test, &snaps);
+        compare_gate(&baseline, &ok, 4, 0.10).expect("5% drop passes a 10% gate");
+
+        snaps[0].points[0].speedup = 2.97 * 0.85; // -15%: outside
+        let bad = to_json(7, InputSize::Test, &snaps);
+        let err = compare_gate(&baseline, &bad, 4, 0.10).unwrap_err();
+        assert!(err.contains("164.gzip"), "regression names the workload");
+
+        // A workload disappearing from the current snapshot fails too.
+        let mut renamed = sample();
+        renamed[0].spec_id = "999.other".to_string();
+        let shrunk = to_json(7, InputSize::Test, &renamed);
+        let err = compare_gate(&baseline, &shrunk, 4, 0.10).unwrap_err();
+        assert!(err.contains("missing from the current snapshot"));
+
+        // No baseline point at the gated thread count: nothing to gate.
+        compare_gate(&baseline, &bad, 8, 0.10).expect("ungated thread count passes");
     }
 }

@@ -311,8 +311,8 @@ mod tests {
         // Task B2 (index 7) has a violated dep on B0 (index 1) and a
         // surviving spec dep on B1.
         let b2 = &g.tasks()[7];
-        assert_eq!(b2.spec_deps.len(), 2);
-        assert!(b2.spec_deps.iter().any(|s| s.violated));
-        assert!(b2.spec_deps.iter().any(|s| !s.violated));
+        assert_eq!(g.spec_deps(b2).len(), 2);
+        assert!(g.spec_deps(b2).iter().any(|s| s.violated));
+        assert!(g.spec_deps(b2).iter().any(|s| !s.violated));
     }
 }

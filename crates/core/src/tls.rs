@@ -55,7 +55,7 @@ pub fn violation_count(graph: &TaskGraph) -> u64 {
     graph
         .tasks()
         .iter()
-        .flat_map(|t| t.spec_deps.iter())
+        .flat_map(|t| graph.spec_deps(t).iter())
         .filter(|s: &&SpecDep| s.violated)
         .count() as u64
 }
@@ -99,8 +99,8 @@ mod tests {
         let t = trace(50);
         let g = task_graph(&t, CarriedHandling::Synchronize);
         assert_eq!(violation_count(&g), 0);
-        assert!(g.tasks().iter().all(|task| task.spec_deps.is_empty()));
-        assert!(g.tasks().iter().skip(1).all(|task| task.deps.len() == 1));
+        assert!(g.tasks().iter().all(|task| g.spec_deps(task).is_empty()));
+        assert!(g.tasks().iter().skip(1).all(|task| g.deps(task).len() == 1));
     }
 
     #[test]

@@ -39,12 +39,13 @@
 //! against the retry budget.
 
 use super::faults::{FaultKind, FaultPlan, RecoveryCounts};
+use super::governor::{BackoffDecision, Governor, GovernorEvent};
 use super::metrics::{NativeReport, WorkerStat};
 use super::stage::{WorkItem, WorkerDone};
 use super::trace::{SquashReason, TimeUnit, Timeline, TraceBuffer, TraceEvent, TraceEventKind};
-use super::{ExecError, TaskOutput, FALLBACK_ATTEMPT};
+use super::{ExecError, TaskOutput, DEGRADED_ATTEMPT, FALLBACK_ATTEMPT};
 use crate::task::{TaskGraph, TaskId};
-use seqpar_specmem::{CommitError, ConcurrentVersionedMemory, VersionId};
+use seqpar_specmem::{Addr, CommitError, ConcurrentVersionedMemory, VersionId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -86,10 +87,43 @@ pub(super) struct Supervisor<'p> {
     pub validate: bool,
 }
 
+/// When the dispatcher should put a squashed attempt back in play.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(super) enum Release {
+    /// Requeue right away (every redispatch when the governor is off).
+    Now,
+    /// Hold for this many absorbed-completion ticks (governor backoff).
+    AfterTick(u64),
+    /// Hold until the named task has committed (governor park).
+    AfterCommit(u32),
+}
+
+/// A squashed attempt headed back to its stage queue, with the
+/// governor's release decision attached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(super) struct Redispatch {
+    /// The work item to requeue (attempt already incremented).
+    pub item: WorkItem,
+    /// When to requeue it.
+    pub release: Release,
+}
+
+impl Redispatch {
+    fn now(task: u32, attempt: u32) -> Self {
+        Self {
+            item: WorkItem {
+                task,
+                attempt: attempt + 1,
+            },
+            release: Release::Now,
+        }
+    }
+}
+
 /// What absorbing a completion asks the dispatcher to do next.
 pub(super) enum Absorbed {
     /// Keep pipelining; re-dispatch these squashed attempts.
-    Continue(Vec<WorkItem>),
+    Continue(Vec<Redispatch>),
     /// A task exhausted its retry budget: abandon worker dispatch and
     /// commit the remaining tasks in order on the supervisor thread.
     Fallback,
@@ -121,6 +155,14 @@ pub(super) struct CommitUnit<'g> {
     /// the frontier's squash source and the publisher of each committed
     /// task's write buffer. `None` on trace-driven runs.
     mem: Option<&'g ConcurrentVersionedMemory>,
+    /// The speculation governor, when
+    /// [`ExecConfig::governor`](super::ExecConfig::governor) turned it
+    /// on. Fed strictly at the frontier (plus early conflict squashes),
+    /// it owns the runahead window cap and the backoff decisions.
+    governor: Option<Governor>,
+    /// Run start, the zero of the commit clock fed to the governor's
+    /// throughput pay-off checks.
+    started: std::time::Instant,
 }
 
 impl<'g> CommitUnit<'g> {
@@ -129,6 +171,7 @@ impl<'g> CommitUnit<'g> {
         watermark: Arc<AtomicU64>,
         trace: TraceBuffer,
         mem: Option<&'g ConcurrentVersionedMemory>,
+        governor: Option<Governor>,
     ) -> Self {
         Self {
             graph,
@@ -145,7 +188,104 @@ impl<'g> CommitUnit<'g> {
             retries_by_task: HashMap::new(),
             trace,
             mem,
+            governor,
+            started: std::time::Instant::now(),
         }
+    }
+
+    /// The exclusive upper bound on task ids the dispatcher may release,
+    /// when the governor is gating runahead: the commit frontier plus
+    /// the current window cap, or the frontier alone while degraded
+    /// (inline issue replaces dispatch). `None` when ungoverned.
+    pub(super) fn dispatch_limit(&self) -> Option<u64> {
+        self.governor.as_ref().map(|g| {
+            if g.degraded() {
+                self.next as u64
+            } else {
+                self.next as u64 + u64::from(g.window())
+            }
+        })
+    }
+
+    /// Whether the governor has collapsed the loop to sequential inline
+    /// issue.
+    pub(super) fn governor_degraded(&self) -> bool {
+        self.governor.as_ref().is_some_and(Governor::degraded)
+    }
+
+    /// Translates governor events into frontier trace events, stamped
+    /// with the frontier task that drove the decision.
+    fn trace_governor(&mut self, task: u32, events: Vec<GovernorEvent>) {
+        for e in events {
+            self.trace.record(match e {
+                GovernorEvent::Throttle { from, to } => {
+                    TraceEventKind::GovernorThrottle { task, from, to }
+                }
+                GovernorEvent::Degrade { rate_permille } => TraceEventKind::GovernorDegrade {
+                    task,
+                    rate_permille,
+                },
+                GovernorEvent::Reprobe { window } => {
+                    TraceEventKind::GovernorReprobe { task, window }
+                }
+            });
+        }
+    }
+
+    /// Builds the redispatch for a conflict-squashed attempt, feeding
+    /// the squash into the governor (when on) and translating its
+    /// backoff decision. Ungoverned runs always release immediately —
+    /// the pre-governor protocol, bit for bit.
+    fn conflict_redispatch(
+        &mut self,
+        task: u32,
+        attempt: u32,
+        addr: Option<Addr>,
+        by: Option<u32>,
+        at_frontier: bool,
+    ) -> Redispatch {
+        let Some(g) = self.governor.as_mut() else {
+            return Redispatch::now(task, attempt);
+        };
+        let (decision, events) = g.on_conflict(task, attempt, addr.map(|a| a.0), by, at_frontier);
+        self.trace_governor(task, events);
+        let item = WorkItem {
+            task,
+            attempt: attempt + 1,
+        };
+        let release = match decision {
+            BackoffDecision::Immediate => Release::Now,
+            BackoffDecision::Delay(delay) => {
+                self.trace.record(TraceEventKind::GovernorBackoff {
+                    task,
+                    attempt,
+                    delay,
+                    behind: None,
+                });
+                Release::AfterTick(delay)
+            }
+            BackoffDecision::Park { behind } => {
+                self.trace.record(TraceEventKind::GovernorBackoff {
+                    task,
+                    attempt,
+                    delay: 0,
+                    behind: Some(behind),
+                });
+                Release::AfterCommit(behind)
+            }
+        };
+        Redispatch { item, release }
+    }
+
+    /// Feeds one commit into the governor — stamped with wall time for
+    /// the throughput pay-off checks — and traces its reactions.
+    fn governor_commit(&mut self, task: u32) {
+        let now = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let events = match self.governor.as_mut() {
+            Some(g) => g.on_commit(now),
+            None => return,
+        };
+        self.trace_governor(task, events);
     }
 
     /// Discards `task`'s open memory version, if any, so its replay's
@@ -198,7 +338,69 @@ impl<'g> CommitUnit<'g> {
             // protocol; tolerated defensively).
             return Ok(Absorbed::Continue(Vec::new()));
         }
+        // Early conflict squash (governed versioned runs only): a
+        // completion whose version is already doomed need not wait in
+        // the reorder buffer for the frontier to discover the conflict —
+        // squashing it on arrival is what lets the governor's backoff
+        // shape the *re*-dispatch instead of re-racing the hot address.
+        // Panicked attempts are excluded (the frontier's panic rung owns
+        // their rollback and their retry-budget charge), as is the
+        // frontier task itself (its redispatch may never be delayed).
+        if self.governor.is_some() && !done.panicked && (done.task as usize) > self.next {
+            if let Some(m) = self.mem {
+                let v = VersionId(u64::from(done.task));
+                if let Some((by, addr)) = m.squash_info(v) {
+                    let stage = self.graph.task(TaskId(done.task)).stage.0;
+                    // Charged here instead of at the frontier: this
+                    // attempt never reaches the reorder buffer, and the
+                    // `committed == attempts - squashes` invariant must
+                    // keep holding.
+                    self.attempts += 1;
+                    if done.stalled {
+                        self.recovery.stalls_absorbed += 1;
+                    }
+                    self.squashes += 1;
+                    self.violations += 1;
+                    self.trace.record(TraceEventKind::VersionConflict {
+                        stage,
+                        task: done.task,
+                        by: by.0 as u32,
+                    });
+                    self.trace.record(TraceEventKind::Squash {
+                        task: done.task,
+                        attempt: done.attempt,
+                        reason: SquashReason::MemoryConflict,
+                    });
+                    m.rollback(v);
+                    let r = self.conflict_redispatch(
+                        done.task,
+                        done.attempt,
+                        addr,
+                        Some(by.0 as u32),
+                        false,
+                    );
+                    return Ok(Absorbed::Continue(vec![r]));
+                }
+            }
+        }
         self.buffer.insert(done.task, done);
+        self.drain(sup, oracle)
+    }
+
+    /// Commits as far in task order as the reorder buffer allows,
+    /// applying the recovery ladder to each attempt reaching the
+    /// frontier. Also called standalone after a degraded inline commit,
+    /// to flush buffered successors past the advanced frontier.
+    pub(super) fn drain(
+        &mut self,
+        sup: &Supervisor<'_>,
+        oracle: &mut dyn FnMut(u32, u32) -> Result<TaskOutput, ExecError>,
+    ) -> Result<Absorbed, ExecError> {
+        // Fast path for the governed tight loop: with nothing buffered
+        // (the common case while degraded) there is nothing to flush.
+        if self.buffer.is_empty() {
+            return Ok(Absorbed::Continue(Vec::new()));
+        }
         let mut redispatch = Vec::new();
         while let Some(done) = self.buffer.remove(&(self.next as u32)) {
             self.attempts += 1;
@@ -206,7 +408,12 @@ impl<'g> CommitUnit<'g> {
                 self.recovery.stalls_absorbed += 1;
             }
             let task = self.graph.task(TaskId(done.task));
-            let violated = task.spec_deps.iter().filter(|d| d.violated).count() as u64;
+            let violated = self
+                .graph
+                .spec_deps(task)
+                .iter()
+                .filter(|d| d.violated)
+                .count() as u64;
             // 1. Worker panic (injected or real): discard like a
             // misspeculation and replay, charged against the budget.
             if done.panicked {
@@ -222,10 +429,7 @@ impl<'g> CommitUnit<'g> {
                 if self.charge(done.task, sup.retry_budget) {
                     return Ok(Absorbed::Fallback);
                 }
-                redispatch.push(WorkItem {
-                    task: done.task,
-                    attempt: done.attempt + 1,
-                });
+                redispatch.push(Redispatch::now(done.task, done.attempt));
                 continue;
             }
             // 2a. Trace-driven misspeculation: the recorded speculated
@@ -245,10 +449,11 @@ impl<'g> CommitUnit<'g> {
                     attempt: done.attempt,
                     reason: SquashReason::Misspeculation,
                 });
-                redispatch.push(WorkItem {
-                    task: done.task,
-                    attempt: done.attempt + 1,
-                });
+                // The governor treats a trace-driven misspeculation as a
+                // frontier conflict with no address: it feeds the window
+                // controller but never delays the frontier's replay.
+                let r = self.conflict_redispatch(done.task, done.attempt, None, None, true);
+                redispatch.push(r);
                 continue;
             }
             // 2b. Conflict-driven misspeculation: the attempt's memory
@@ -274,11 +479,16 @@ impl<'g> CommitUnit<'g> {
                             attempt: done.attempt,
                             reason: SquashReason::MemoryConflict,
                         });
+                        let addr = m.squash_info(v).and_then(|(_, a)| a);
                         m.rollback(v);
-                        redispatch.push(WorkItem {
-                            task: done.task,
-                            attempt: done.attempt + 1,
-                        });
+                        let r = self.conflict_redispatch(
+                            done.task,
+                            done.attempt,
+                            addr,
+                            Some(by.0 as u32),
+                            true,
+                        );
+                        redispatch.push(r);
                         continue;
                     }
                     Err(e @ (CommitError::NotOldest | CommitError::Unknown)) => {
@@ -308,10 +518,7 @@ impl<'g> CommitUnit<'g> {
                     if self.charge(done.task, sup.retry_budget) {
                         return Ok(Absorbed::Fallback);
                     }
-                    redispatch.push(WorkItem {
-                        task: done.task,
-                        attempt: done.attempt + 1,
-                    });
+                    redispatch.push(Redispatch::now(done.task, done.attempt));
                     continue;
                 }
             }
@@ -328,10 +535,7 @@ impl<'g> CommitUnit<'g> {
                 if self.charge(done.task, sup.retry_budget) {
                     return Ok(Absorbed::Fallback);
                 }
-                redispatch.push(WorkItem {
-                    task: done.task,
-                    attempt: done.attempt + 1,
-                });
+                redispatch.push(Redispatch::now(done.task, done.attempt));
                 continue;
             }
             // 5. Commit.
@@ -351,9 +555,14 @@ impl<'g> CommitUnit<'g> {
                     writes,
                 });
             } else {
-                let survived = task.spec_deps.iter().filter(|d| !d.violated).count() as u64;
+                let survived = self
+                    .graph
+                    .spec_deps(task)
+                    .iter()
+                    .filter(|d| !d.violated)
+                    .count() as u64;
                 self.speculations_survived += survived;
-                if !task.spec_deps.is_empty() {
+                if !self.graph.spec_deps(task).is_empty() {
                     // The runtime outcome of this task's speculation,
                     // recorded once, at the attempt that commits.
                     self.trace.record(TraceEventKind::SpecDecision {
@@ -371,8 +580,75 @@ impl<'g> CommitUnit<'g> {
             self.work += done.output.work;
             self.next += 1;
             self.watermark.store(self.next as u64, Ordering::Release);
+            self.governor_commit(done.task);
         }
         Ok(Absorbed::Continue(redispatch))
+    }
+
+    /// Commits the frontier task from an output computed inline on the
+    /// supervisor thread while the governor holds the loop degraded.
+    /// Unlike [`commit_inline`](Self::commit_inline) this is *not*
+    /// terminal: the version opened for the inline attempt is published
+    /// through the substrate, and the governor keeps counting toward its
+    /// next re-probe, after which pipelined dispatch resumes.
+    ///
+    /// The inline version cannot have been squashed: it opened after
+    /// every earlier task committed, writes and rollbacks only squash
+    /// *later* readers, and forwarding only flows earlier→later.
+    ///
+    /// `inline_fast` says the attempt ran on the substrate's inline
+    /// fast path ([`try_begin_inline`](ConcurrentVersionedMemory::try_begin_inline))
+    /// and must be sealed with
+    /// [`commit_inline`](ConcurrentVersionedMemory::commit_inline)
+    /// rather than the versioned commit sweep.
+    pub(super) fn commit_degraded(&mut self, output: &TaskOutput, inline_fast: bool) {
+        let task = self.next as u32;
+        self.attempts += 1;
+        if let Some(m) = self.mem {
+            let v = VersionId(u64::from(task));
+            let writes = if inline_fast {
+                m.commit_inline(v)
+            } else {
+                let writes = m.probe(v).map_or(0, |p| p.writes);
+                m.try_commit(v)
+                    .expect("a version opened at the frontier cannot be squashed");
+                writes
+            };
+            self.trace.record(TraceEventKind::VersionCommit {
+                stage: self.graph.task(TaskId(task)).stage.0,
+                task,
+                writes,
+            });
+        } else {
+            // Trace-driven runs tally survivors at every commit (rung 5
+            // does the same for replays); a degraded inline commit ran
+            // non-speculatively, so nothing manifested and everything
+            // recorded survives.
+            let t = self.graph.task(TaskId(task));
+            let survived = self
+                .graph
+                .spec_deps(t)
+                .iter()
+                .filter(|d| !d.violated)
+                .count() as u64;
+            self.speculations_survived += survived;
+            if !self.graph.spec_deps(t).is_empty() {
+                self.trace.record(TraceEventKind::SpecDecision {
+                    task,
+                    violated: 0,
+                    survived: survived as u32,
+                });
+            }
+        }
+        self.trace.record(TraceEventKind::Commit {
+            task,
+            attempt: DEGRADED_ATTEMPT,
+        });
+        self.output.extend_from_slice(&output.bytes);
+        self.work += output.work;
+        self.next += 1;
+        self.watermark.store(self.next as u64, Ordering::Release);
+        self.governor_commit(task);
     }
 
     /// Commits one task executed in-order on the supervisor thread —
@@ -424,6 +700,7 @@ impl<'g> CommitUnit<'g> {
             workers,
             timeline,
             mem: self.mem.map(ConcurrentVersionedMemory::stats),
+            governor: self.governor.as_ref().map(Governor::stats),
         }
     }
 }

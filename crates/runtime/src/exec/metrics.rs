@@ -3,6 +3,7 @@
 //! wall-clock / per-worker timing.
 
 use super::faults::RecoveryCounts;
+use super::governor::GovernorStats;
 use super::trace::Timeline;
 use crate::task::StageId;
 use seqpar_specmem::MemStats;
@@ -85,6 +86,12 @@ pub struct NativeReport {
     /// access granularity, while the committed output stays
     /// byte-identical.
     pub mem: Option<MemStats>,
+    /// The speculation governor's decision counters (window moves,
+    /// degraded periods, backoffs) when the run was governed
+    /// ([`ExecConfig::governor`](super::ExecConfig::governor)); `None`
+    /// when the governor was off. Like conflict counts, these are
+    /// timing-dependent — they react to real races.
+    pub governor: Option<GovernorStats>,
 }
 
 impl NativeReport {
@@ -109,6 +116,7 @@ impl NativeReport {
             workers: Vec::new(),
             timeline: None,
             mem: None,
+            governor: None,
         }
     }
 

@@ -57,12 +57,14 @@
 
 mod commit;
 mod faults;
+pub(crate) mod governor;
 mod metrics;
 mod stage;
 mod trace;
 
 pub use commit::CommitView;
 pub use faults::{supervise_task, FaultKind, FaultPlan, RecoveryCounts, TaskSupervision};
+pub use governor::{GovernorConfig, GovernorStats};
 pub use metrics::{NativeReport, WorkerStat};
 pub use trace::{
     CriticalPath, DurationStats, SquashReason, StageMetrics, TimeUnit, Timeline, TraceDefect,
@@ -72,9 +74,10 @@ pub use trace::{
 use crate::plan::ExecutionPlan;
 use crate::sim::SimError;
 use crate::task::{StageId, TaskGraph, TaskId};
-use commit::{Absorbed, CommitUnit, Supervisor};
+use commit::{Absorbed, CommitUnit, Redispatch, Release, Supervisor};
 use crossbeam::channel::RecvTimeoutError;
-use seqpar_specmem::ConcurrentVersionedMemory;
+use governor::Governor;
+use seqpar_specmem::{ConcurrentVersionedMemory, VersionId};
 use stage::{StageQueues, WorkItem, WorkerDone};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -88,6 +91,13 @@ use trace::{TraceBuffer, TraceClock};
 /// Trace consumers see it on the [`TraceEventKind::Commit`] events of
 /// fallback-committed tasks, which have no worker-side dispatch.
 pub const FALLBACK_ATTEMPT: u32 = u32::MAX;
+
+/// The attempt number governor-degraded inline commits run at. Like
+/// [`FALLBACK_ATTEMPT`] these tasks execute on the supervisor thread
+/// with no worker-side dispatch events — but unlike the fallback they
+/// still run *through* the versioned-memory substrate and the run stays
+/// live: pipelined dispatch resumes at the governor's next re-probe.
+pub const DEGRADED_ATTEMPT: u32 = u32::MAX - 1;
 
 /// Why a native run could not produce a report.
 ///
@@ -191,6 +201,13 @@ pub struct ExecConfig {
     /// returned on [`NativeReport::timeline`]. Off by default — when
     /// off, recording is a single branch per would-be event.
     pub trace: bool,
+    /// The contention-aware speculation governor: AIMD runahead
+    /// throttling, per-address squash backoff, and graceful degradation
+    /// to sequential inline issue under conflict storms (see
+    /// [`GovernorConfig`]). `None` (the default) reproduces the
+    /// ungoverned protocol exactly — every conflict redispatches
+    /// immediately and runahead is bounded only by queue capacity.
+    pub governor: Option<GovernorConfig>,
 }
 
 impl Default for ExecConfig {
@@ -202,6 +219,7 @@ impl Default for ExecConfig {
             fault_plan: FaultPlan::none(),
             validate_outputs: false,
             trace: false,
+            governor: None,
         }
     }
 }
@@ -253,6 +271,13 @@ impl ExecConfig {
     /// [`ExecConfig::trace`]).
     pub fn with_tracing(mut self, trace: bool) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Enables the speculation governor with the given knobs (see
+    /// [`ExecConfig::governor`]; set the field to `None` to disable).
+    pub fn with_governor(mut self, governor: GovernorConfig) -> Self {
+        self.governor = Some(governor);
         self
     }
 }
@@ -441,8 +466,9 @@ impl NativeExecutor {
         let mut deps_left: Vec<usize> = vec![0; n];
         let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); n];
         for (idx, task) in graph.tasks().iter().enumerate() {
-            deps_left[idx] = task.deps.len();
-            for d in &task.deps {
+            let task_deps = graph.deps(task);
+            deps_left[idx] = task_deps.len();
+            for d in task_deps {
                 dependents[d.0 as usize].push(idx as u32);
             }
         }
@@ -462,7 +488,13 @@ impl NativeExecutor {
         // commit frontier, the dispatcher (this thread), and every
         // worker. All no-ops when tracing is off.
         let clock = TraceClock::new(self.config.trace);
-        let mut commit = CommitUnit::new(graph, watermark, TraceBuffer::new(clock), mem);
+        let mut commit = CommitUnit::new(
+            graph,
+            watermark,
+            TraceBuffer::new(clock),
+            mem,
+            self.config.governor.map(Governor::new),
+        );
         let mut dispatch_trace = TraceBuffer::new(clock);
 
         let faults = &self.config.fault_plan;
@@ -479,9 +511,17 @@ impl NativeExecutor {
         let (done_tx, done_rx) = crossbeam::channel::unbounded::<WorkerDone>();
 
         std::thread::scope(|scope| {
-            let workers =
-                queues.spawn_workers(scope, graph, body, &view, &done_tx, faults, clock, mem);
-            drop(done_tx);
+            // Worker threads spawn lazily, on the first pipelined
+            // dispatch. A run the governor holds degraded end-to-end
+            // issues every task inline on this thread and never pays
+            // thread startup at all — on short loops that fixed cost
+            // alone is a double-digit share of the sequential runtime.
+            // The sender lives in an Option so spawning can drop the
+            // supervisor's clone: from then on worker exits disconnect
+            // `done_rx` exactly as an eager spawn would.
+            let mut workers: Vec<std::thread::ScopedJoinHandle<'_, (WorkerStat, Vec<TraceEvent>)>> =
+                Vec::new();
+            let mut done_tx = Some(done_tx);
 
             // Replays the body sequentially on this thread: the
             // validation oracle and the fallback executor. A panic here
@@ -504,6 +544,9 @@ impl NativeExecutor {
             };
 
             // Seed: release every stage's dep-free prefix.
+            let mut in_flight = vec![false; n];
+            let mut in_flight_count = 0usize;
+            let limit = commit.dispatch_limit();
             for s in 0..stage_count {
                 Self::release_ready(
                     s,
@@ -512,20 +555,228 @@ impl NativeExecutor {
                     &deps_left,
                     &queues,
                     &mut dispatch_trace,
+                    limit,
+                    &mut in_flight,
+                    &mut in_flight_count,
                 );
             }
 
             let mut watchdog_trips = 0u64;
             let mut fallback = false;
+            // Governor backoff holding pens. Delayed items mature at an
+            // absorbed-completion tick (deterministic given the trace,
+            // unlike wall time); parked items when the task they lost to
+            // commits. Both force-release the moment they become the
+            // frontier task or the pipeline drains empty — the liveness
+            // rule that makes backoff unable to stall the run.
+            let mut tick = 0u64;
+            let mut delayed: Vec<(WorkItem, u64)> = Vec::new();
+            let mut parked: Vec<(WorkItem, u32)> = Vec::new();
             // Readiness is propagated on a task's first *productive*
             // completion (a panicked attempt ran nothing, so its
             // replay's completion propagates instead); this flag keeps
             // it once-per-task.
             let mut deps_propagated = vec![false; n];
-            let supervise = loop {
+            let supervise = 'sup: loop {
                 if commit.committed_tasks() >= n {
                     break Ok(());
                 }
+
+                // Mature governor backoffs back into the requeues.
+                if !delayed.is_empty() || !parked.is_empty() {
+                    let next = commit.committed_tasks() as u32;
+                    let force = in_flight_count == 0;
+                    let mut ripe = |item: WorkItem| {
+                        let stage = graph.task(TaskId(item.task)).stage.0 as usize;
+                        requeue[stage].push_back(item);
+                    };
+                    let mut i = 0;
+                    while i < delayed.len() {
+                        let (item, at) = delayed[i];
+                        if tick >= at || item.task <= next || force {
+                            delayed.remove(i);
+                            ripe(item);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    let mut i = 0;
+                    while i < parked.len() {
+                        let (item, behind) = parked[i];
+                        if behind < next || item.task <= next || force {
+                            parked.remove(i);
+                            ripe(item);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+
+                // Degraded inline issue: while the governor holds the
+                // loop collapsed, the supervisor runs the frontier task
+                // on this thread — *through* the substrate, so committed
+                // memory state stays exact for the eventual re-probe —
+                // instead of paying cross-thread dispatch for window-1
+                // throughput. The stretch runs as a tight inner loop:
+                // per-commit it pays the substrate's inline fast path
+                // plus one buffered-completion check, not the full
+                // dispatch/recv round trip. Straggler completions from
+                // before the collapse still drain through `absorb`
+                // below, and any pending backoff pen breaks the stretch
+                // so maturation at the loop top keeps its liveness rule.
+                while commit.governor_degraded() {
+                    let next = commit.committed_tasks();
+                    if next >= n {
+                        break;
+                    }
+                    let next32 = next as u32;
+                    let stage = graph.task(TaskId(next32)).stage.0 as usize;
+                    // The frontier task is almost always the released
+                    // order's front while degraded; the positional scans
+                    // only run for stragglers and requeued squashes.
+                    let taken = !in_flight[next]
+                        && deps_left[next] == 0
+                        && (if stage_tasks[stage].front() == Some(&next32) {
+                            stage_tasks[stage].pop_front();
+                            true
+                        } else {
+                            stage_tasks[stage]
+                                .iter()
+                                .position(|&t| t == next32)
+                                .map(|pos| {
+                                    stage_tasks[stage].remove(pos);
+                                })
+                                .is_some()
+                        } || requeue[stage]
+                            .iter()
+                            .position(|w| w.task == next32)
+                            .map(|pos| {
+                                requeue[stage].remove(pos);
+                            })
+                            .is_some());
+                    if !taken {
+                        break;
+                    }
+                    let t = graph.task(TaskId(next32));
+                    // Prefer the substrate's inline fast path: with
+                    // nothing speculative in flight, per-version
+                    // machinery (registry handles, shard buffers,
+                    // the commit sweep) is pure overhead, and it is
+                    // exactly what would drag inline issue below
+                    // the sequential baseline the governor promises
+                    // to stay near. Stragglers from before the
+                    // collapse force the full versioned protocol.
+                    let mut inline_fast = false;
+                    if let Some(m) = mem {
+                        let v = VersionId(u64::from(next32));
+                        inline_fast = in_flight_count == 0 && m.try_begin_inline(v);
+                        if !inline_fast {
+                            m.begin(v);
+                        }
+                        dispatch_trace.record(TraceEventKind::VersionOpen {
+                            stage: t.stage.0,
+                            task: next32,
+                            attempt: DEGRADED_ATTEMPT,
+                        });
+                    }
+                    let ctx = TaskCtx {
+                        stage: t.stage,
+                        iter: t.iter,
+                        attempt: DEGRADED_ATTEMPT,
+                        commits: &view,
+                        mem,
+                    };
+                    let output =
+                        match catch_unwind(AssertUnwindSafe(|| body.run(TaskId(next32), &ctx))) {
+                            Ok(output) => output,
+                            Err(_) => {
+                                break 'sup Err(ExecError::TaskFailed {
+                                    task: TaskId(next32),
+                                })
+                            }
+                        };
+                    if !inline_fast {
+                        if let Some(m) = mem {
+                            if let Some(p) = m.probe(VersionId(u64::from(next32))) {
+                                dispatch_trace.record(TraceEventKind::VersionReads {
+                                    stage: t.stage.0,
+                                    task: next32,
+                                    attempt: DEGRADED_ATTEMPT,
+                                    reads: p.reads,
+                                    forwards: p.forwards,
+                                });
+                            }
+                        }
+                    }
+                    commit.commit_degraded(&output, inline_fast);
+                    // The governor may have left degraded mode on
+                    // that commit (re-probe): publish the inline
+                    // stretch's overlay before any pipelined
+                    // version can begin and read around it.
+                    if inline_fast && !commit.governor_degraded() {
+                        if let Some(m) = mem {
+                            m.end_inline();
+                        }
+                    }
+                    if !deps_propagated[next] {
+                        deps_propagated[next] = true;
+                        for &dep in &dependents[next] {
+                            deps_left[dep as usize] -= 1;
+                        }
+                    }
+                    // Flush successors buffered past the frontier.
+                    match commit.drain(&supervisor, &mut oracle) {
+                        Ok(Absorbed::Continue(redispatches)) => {
+                            for r in redispatches {
+                                Self::sort_redispatch(
+                                    r,
+                                    tick,
+                                    graph,
+                                    &mut requeue,
+                                    &mut delayed,
+                                    &mut parked,
+                                );
+                            }
+                        }
+                        Ok(Absorbed::Fallback) => {
+                            fallback = true;
+                            break 'sup Ok(());
+                        }
+                        Err(e) => break 'sup Err(e),
+                    }
+                    // A pen gaining an item (a straggler redispatched
+                    // with backoff) hands control back to the loop top
+                    // so maturation and force-release run.
+                    if !delayed.is_empty() || !parked.is_empty() {
+                        break;
+                    }
+                }
+                if commit.committed_tasks() >= n {
+                    break Ok(());
+                }
+
+                let limit = commit.dispatch_limit();
+                for s in 0..stage_count {
+                    Self::release_ready(
+                        s,
+                        &mut stage_tasks,
+                        &mut requeue,
+                        &deps_left,
+                        &queues,
+                        &mut dispatch_trace,
+                        limit,
+                        &mut in_flight,
+                        &mut in_flight_count,
+                    );
+                }
+
+                if in_flight_count > 0 {
+                    if let Some(tx) = done_tx.take() {
+                        workers = queues
+                            .spawn_workers(scope, graph, body, &view, &tx, faults, clock, mem);
+                    }
+                }
+
                 let done = match done_rx.recv_timeout(self.config.watchdog_deadline) {
                     Ok(done) => done,
                     Err(RecvTimeoutError::Timeout) => {
@@ -543,6 +794,11 @@ impl NativeExecutor {
                         });
                     }
                 };
+                tick += 1;
+                if in_flight[done.task as usize] {
+                    in_flight[done.task as usize] = false;
+                    in_flight_count -= 1;
+                }
                 if !done.panicked && !deps_propagated[done.task as usize] {
                     deps_propagated[done.task as usize] = true;
                     for &dep in &dependents[done.task as usize] {
@@ -551,12 +807,19 @@ impl NativeExecutor {
                 }
                 match commit.absorb(done, &supervisor, &mut oracle) {
                     Ok(Absorbed::Continue(redispatches)) => {
-                        for squashed in redispatches {
-                            // Rollback: discard the discarded attempt's
-                            // output and re-dispatch the task to its
-                            // stage, ahead of any not-yet-released work.
-                            let stage = graph.task(TaskId(squashed.task)).stage.0 as usize;
-                            requeue[stage].push_back(squashed);
+                        for r in redispatches {
+                            // Rollback: the discarded attempt's output is
+                            // gone; the task re-enters its stage ahead of
+                            // any not-yet-released work, immediately or
+                            // behind the governor's backoff.
+                            Self::sort_redispatch(
+                                r,
+                                tick,
+                                graph,
+                                &mut requeue,
+                                &mut delayed,
+                                &mut parked,
+                            );
                         }
                     }
                     Ok(Absorbed::Fallback) => {
@@ -565,17 +828,14 @@ impl NativeExecutor {
                     }
                     Err(e) => break Err(e),
                 }
-                for s in 0..stage_count {
-                    Self::release_ready(
-                        s,
-                        &mut stage_tasks,
-                        &mut requeue,
-                        &deps_left,
-                        &queues,
-                        &mut dispatch_trace,
-                    );
-                }
             };
+
+            // Close any open inline stretch so committed memory state
+            // (and the caller's post-run inspection) reflects every
+            // inline-committed task, on success and error paths alike.
+            if let Some(m) = mem {
+                m.end_inline();
+            }
 
             let supervise = supervise.and_then(|()| {
                 if !fallback {
@@ -633,6 +893,30 @@ impl NativeExecutor {
     /// blocking; anything that does not fit stays pending for the next
     /// event. Requeued (squashed) tasks go first. Each successful push
     /// is traced with the queue's occupancy right after it.
+    /// Route a commit-unit redispatch to its holding structure: `Now`
+    /// straight into the stage's requeue (ahead of unreleased fresh
+    /// work), `AfterTick` into the delayed pen with an absolute
+    /// maturity tick, `AfterCommit` into the parked pen keyed by the
+    /// committer it must wait out.
+    fn sort_redispatch(
+        r: Redispatch,
+        tick: u64,
+        graph: &TaskGraph,
+        requeue: &mut [VecDeque<WorkItem>],
+        delayed: &mut Vec<(WorkItem, u64)>,
+        parked: &mut Vec<(WorkItem, u32)>,
+    ) {
+        match r.release {
+            Release::Now => {
+                let stage = graph.task(TaskId(r.item.task)).stage.0 as usize;
+                requeue[stage].push_back(r.item);
+            }
+            Release::AfterTick(d) => delayed.push((r.item, tick.saturating_add(d))),
+            Release::AfterCommit(behind) => parked.push((r.item, behind)),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn release_ready(
         s: usize,
         stage_tasks: &mut [VecDeque<u32>],
@@ -640,8 +924,23 @@ impl NativeExecutor {
         deps_left: &[usize],
         queues: &StageQueues,
         trace: &mut TraceBuffer,
+        limit: Option<u64>,
+        in_flight: &mut [bool],
+        in_flight_count: &mut usize,
     ) {
-        while let Some(&item) = requeue[s].front() {
+        // Without a governor the limit is `None` and this scan degrades
+        // to the original strict-FIFO drain. With one, items past the
+        // dynamic speculation window stay queued (skipped, not popped)
+        // so a window-blocked front item can never starve an admitted
+        // one behind it — in particular never the frontier task.
+        let admitted = |task: u32| limit.is_none_or(|l| u64::from(task) < l);
+        let mut i = 0;
+        while i < requeue[s].len() {
+            let item = requeue[s][i];
+            if !admitted(item.task) {
+                i += 1;
+                continue;
+            }
             let Some(occupancy) = queues.try_send(s, item) else {
                 return;
             };
@@ -651,10 +950,12 @@ impl NativeExecutor {
                 attempt: item.attempt,
                 occupancy,
             });
-            requeue[s].pop_front();
+            in_flight[item.task as usize] = true;
+            *in_flight_count += 1;
+            requeue[s].remove(i);
         }
         while let Some(&task) = stage_tasks[s].front() {
-            if deps_left[task as usize] > 0 {
+            if deps_left[task as usize] > 0 || !admitted(task) {
                 return;
             }
             let Some(occupancy) = queues.try_send(s, WorkItem { task, attempt: 0 }) else {
@@ -666,6 +967,8 @@ impl NativeExecutor {
                 attempt: 0,
                 occupancy,
             });
+            in_flight[task as usize] = true;
+            *in_flight_count += 1;
             stage_tasks[s].pop_front();
         }
     }

@@ -373,7 +373,7 @@ fn seeded_chaos_is_deterministic_and_matches_the_predictor() {
     let mut attempts = 0u64;
     let mut squashes = 0u64;
     for (idx, task) in graph.tasks().iter().enumerate() {
-        let violated = task.spec_deps.iter().any(|d| d.violated);
+        let violated = graph.spec_deps(task).iter().any(|d| d.violated);
         let sup = supervise_task(&faults, 3, idx as u32, violated);
         assert!(!sup.exhausted);
         predicted.absorb(&sup.counts);

@@ -253,6 +253,46 @@ pub enum TraceEventKind {
         /// Buffered writes published.
         writes: u64,
     },
+    /// The speculation governor moved the runahead window cap (AIMD:
+    /// multiplicative shrink on a conflict burst, additive growth after
+    /// a clean window). `task` is the frontier task whose outcome drove
+    /// the decision.
+    GovernorThrottle {
+        /// The frontier task whose commit/squash triggered the move.
+        task: u32,
+        /// Window cap before the move.
+        from: u32,
+        /// Window cap after the move.
+        to: u32,
+    },
+    /// The governor redispatched a conflict-squashed task with backoff
+    /// instead of re-racing it immediately.
+    GovernorBackoff {
+        /// The squashed task being held back.
+        task: u32,
+        /// The discarded attempt.
+        attempt: u32,
+        /// Delay in absorbed-completion ticks (0 when parked).
+        delay: u64,
+        /// When serialized, the committer the task is parked behind.
+        behind: Option<u32>,
+    },
+    /// The windowed misspeculation rate crossed the ceiling: the
+    /// governor collapsed the loop to sequential inline issue.
+    GovernorDegrade {
+        /// The frontier task whose squash tipped the rate over.
+        task: u32,
+        /// The windowed misspeculation rate at the collapse, permille.
+        rate_permille: u32,
+    },
+    /// The governor left degraded mode to probe speculation again at a
+    /// small pipelined window.
+    GovernorReprobe {
+        /// The frontier task whose commit ended the degraded period.
+        task: u32,
+        /// The probe's window cap.
+        window: u32,
+    },
 }
 
 impl TraceEventKind {
@@ -270,6 +310,10 @@ impl TraceEventKind {
             | TraceEventKind::VersionReads { task, .. }
             | TraceEventKind::VersionConflict { task, .. }
             | TraceEventKind::VersionCommit { task, .. }
+            | TraceEventKind::GovernorThrottle { task, .. }
+            | TraceEventKind::GovernorBackoff { task, .. }
+            | TraceEventKind::GovernorDegrade { task, .. }
+            | TraceEventKind::GovernorReprobe { task, .. }
             | TraceEventKind::FallbackActivated { from_task: task } => Some(TaskId(*task)),
             TraceEventKind::WatchdogTrip => None,
         }
@@ -665,7 +709,10 @@ impl Timeline {
                     }
                 }
                 TraceEventKind::Commit { task, attempt } => {
+                    // Fallback and governor-degraded commits run inline
+                    // on the supervisor thread: no worker-side events.
                     if attempt != super::FALLBACK_ATTEMPT
+                        && attempt != super::DEGRADED_ATTEMPT
                         && !completed_set.contains_key(&(task, attempt))
                     {
                         return Err(TraceDefect::CommitWithoutCompletion { task, attempt });
@@ -689,7 +736,13 @@ impl Timeline {
                 | TraceEventKind::VersionOpen { .. }
                 | TraceEventKind::VersionReads { .. }
                 | TraceEventKind::VersionConflict { .. }
-                | TraceEventKind::VersionCommit { .. } => {}
+                | TraceEventKind::VersionCommit { .. }
+                // Governor decisions are frontier-side annotations with
+                // no cross-thread counterpart to pair up.
+                | TraceEventKind::GovernorThrottle { .. }
+                | TraceEventKind::GovernorBackoff { .. }
+                | TraceEventKind::GovernorDegrade { .. }
+                | TraceEventKind::GovernorReprobe { .. } => {}
             }
         }
         Ok(())
@@ -808,11 +861,13 @@ impl Timeline {
             let w = weight.get(&(idx as u32)).copied().unwrap_or(0);
             let mut longest = 0u64;
             let mut via = None;
-            let serializing = task
-                .deps
-                .iter()
-                .copied()
-                .chain(task.spec_deps.iter().filter(|s| s.violated).map(|s| s.on));
+            let serializing = graph.deps(task).iter().copied().chain(
+                graph
+                    .spec_deps(task)
+                    .iter()
+                    .filter(|s| s.violated)
+                    .map(|s| s.on),
+            );
             for d in serializing {
                 if best[d.0 as usize] >= longest {
                     longest = best[d.0 as usize];
@@ -1019,6 +1074,50 @@ impl Timeline {
                         "{{\"name\":\"version commit t{task}\",\"cat\":\"memory\",\
                          \"ph\":\"i\",\"ts\":{:.3},\"pid\":0,\"tid\":0,\"s\":\"t\",\
                          \"args\":{{\"task\":{task},\"stage\":{stage},\"writes\":{writes}}}}}",
+                        ts_us(e.ts)
+                    ));
+                }
+                TraceEventKind::GovernorThrottle { task, from, to } => {
+                    entries.push(format!(
+                        "{{\"name\":\"governor throttle {from}\\u2192{to}\",\
+                         \"cat\":\"governor\",\"ph\":\"i\",\"ts\":{:.3},\"pid\":0,\
+                         \"tid\":0,\"s\":\"t\",\
+                         \"args\":{{\"task\":{task},\"from\":{from},\"to\":{to}}}}}",
+                        ts_us(e.ts)
+                    ));
+                }
+                TraceEventKind::GovernorBackoff {
+                    task,
+                    attempt,
+                    delay,
+                    behind,
+                } => {
+                    let behind = behind.map_or("null".to_string(), |b| b.to_string());
+                    entries.push(format!(
+                        "{{\"name\":\"governor backoff t{task}#{attempt}\",\
+                         \"cat\":\"governor\",\"ph\":\"i\",\"ts\":{:.3},\"pid\":0,\
+                         \"tid\":0,\"s\":\"t\",\
+                         \"args\":{{\"task\":{task},\"attempt\":{attempt},\
+                         \"delay\":{delay},\"behind\":{behind}}}}}",
+                        ts_us(e.ts)
+                    ));
+                }
+                TraceEventKind::GovernorDegrade {
+                    task,
+                    rate_permille,
+                } => {
+                    entries.push(format!(
+                        "{{\"name\":\"governor degrade\",\"cat\":\"governor\",\
+                         \"ph\":\"i\",\"ts\":{:.3},\"pid\":0,\"tid\":0,\"s\":\"g\",\
+                         \"args\":{{\"task\":{task},\"rate_permille\":{rate_permille}}}}}",
+                        ts_us(e.ts)
+                    ));
+                }
+                TraceEventKind::GovernorReprobe { task, window } => {
+                    entries.push(format!(
+                        "{{\"name\":\"governor reprobe\",\"cat\":\"governor\",\
+                         \"ph\":\"i\",\"ts\":{:.3},\"pid\":0,\"tid\":0,\"s\":\"g\",\
+                         \"args\":{{\"task\":{task},\"window\":{window}}}}}",
                         ts_us(e.ts)
                     ));
                 }

@@ -54,9 +54,10 @@ pub mod validate;
 pub use diag::{Diagnostic, PlanShape, Severity};
 pub use exec::{
     supervise_task, CommitView, CriticalPath, DurationStats, ExecConfig, ExecError, FaultKind,
-    FaultPlan, NativeBody, NativeExecutor, NativeReport, RecoveryCounts, SquashReason,
-    StageMetrics, TaskCtx, TaskOutput, TaskSupervision, TimeUnit, Timeline, TraceDefect,
-    TraceEvent, TraceEventKind, WorkerStat, FALLBACK_ATTEMPT,
+    FaultPlan, GovernorConfig, GovernorStats, NativeBody, NativeExecutor, NativeReport,
+    RecoveryCounts, SquashReason, StageMetrics, TaskCtx, TaskOutput, TaskSupervision, TimeUnit,
+    Timeline, TraceDefect, TraceEvent, TraceEventKind, WorkerStat, DEGRADED_ATTEMPT,
+    FALLBACK_ATTEMPT,
 };
 pub use plan::{ExecutionPlan, StageAssignment};
 pub use sim::{ChannelStat, SimConfig, SimError, SimResult, Simulator, TaskPlacement};

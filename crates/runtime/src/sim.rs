@@ -1,7 +1,9 @@
 //! The performance simulator.
 
+use crate::exec::governor::{Governor, GovernorEvent};
 use crate::exec::{
-    supervise_task, FaultPlan, RecoveryCounts, TimeUnit, Timeline, TraceEvent, TraceEventKind,
+    supervise_task, FaultPlan, GovernorConfig, GovernorStats, RecoveryCounts, TimeUnit, Timeline,
+    TraceEvent, TraceEventKind,
 };
 use crate::plan::{ExecutionPlan, StageAssignment};
 use crate::task::{TaskGraph, TaskId};
@@ -271,8 +273,8 @@ impl Simulator {
 
         for (idx, task) in graph.tasks().iter().enumerate() {
             // Effective dependences: synchronized + violated speculative.
-            let mut dep_ids: Vec<u32> = task.deps.iter().map(|d| d.0).collect();
-            for s in &task.spec_deps {
+            let mut dep_ids: Vec<u32> = graph.deps(task).iter().map(|d| d.0).collect();
+            for s in graph.spec_deps(task) {
                 if s.violated {
                     violations += 1;
                     dep_ids.push(s.on.0);
@@ -426,6 +428,54 @@ impl Simulator {
         graph: &TaskGraph,
         plan: &ExecutionPlan,
     ) -> Result<(SimResult, Timeline), SimError> {
+        let (result, timeline, _) = self.timeline_with(graph, plan, None)?;
+        Ok((result, timeline))
+    }
+
+    /// Like [`Simulator::run_timeline`], but threads the simulated
+    /// frontier through the same speculation-governor automaton the
+    /// native executor runs, so trace consumers can diff the governor's
+    /// decision sequence between the model and the machine.
+    ///
+    /// The governor sees the simulated schedule exactly as the native
+    /// one sees the real schedule: each in-order commit feeds
+    /// `on_commit` with the frontier's virtual clock (cycles), and each
+    /// violated speculated dependence feeds `on_conflict` first. Its
+    /// decisions surface as the same `GovernorThrottle` /
+    /// `GovernorDegrade` / `GovernorReprobe` events the native frontier
+    /// emits, stamped at the frontier cycle, and its counters come back
+    /// as [`GovernorStats`]. `GovernorBackoff` never appears in the
+    /// simulated twin: the analytic model serializes a violated
+    /// speculation instead of replaying it, so there is no redispatch
+    /// to delay — the one structural difference from the native trace.
+    ///
+    /// The timing model itself is *not* re-run under the governor's
+    /// window decisions — the analytic schedule stays the plan's. The
+    /// twin answers "what would the governor have decided given this
+    /// commit cadence", which is what the differential suite needs to
+    /// pin the native governor's determinism; re-timing the model under
+    /// a dynamic window would make the twin's clock disagree with the
+    /// placements it annotates.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`] for the validation failures.
+    pub fn run_timeline_governed(
+        &self,
+        graph: &TaskGraph,
+        plan: &ExecutionPlan,
+        governor: &GovernorConfig,
+    ) -> Result<(SimResult, Timeline, GovernorStats), SimError> {
+        let (result, timeline, stats) = self.timeline_with(graph, plan, Some(governor))?;
+        Ok((result, timeline, stats.unwrap_or_default()))
+    }
+
+    fn timeline_with(
+        &self,
+        graph: &TaskGraph,
+        plan: &ExecutionPlan,
+        governor: Option<&GovernorConfig>,
+    ) -> Result<(SimResult, Timeline, Option<GovernorStats>), SimError> {
         let (result, placements) = self.run_traced(graph, plan)?;
         let mut exec_events: Vec<TraceEvent> = Vec::with_capacity(placements.len() * 2);
         for p in &placements {
@@ -447,18 +497,18 @@ impl Simulator {
                     attempt: 0,
                 },
             });
-            if !task.spec_deps.is_empty() {
+            if !graph.spec_deps(task).is_empty() {
                 // The modelled version tracks one read per speculated
                 // dependence; the ones that did not manifest were
                 // satisfied by eager forwarding.
-                let survived = task.spec_deps.iter().filter(|d| !d.violated).count() as u64;
+                let survived = graph.spec_deps(task).iter().filter(|d| !d.violated).count() as u64;
                 exec_events.push(TraceEvent {
                     ts: p.end,
                     kind: TraceEventKind::VersionReads {
                         stage: task.stage.0,
                         task: p.task.0,
                         attempt: 0,
-                        reads: task.spec_deps.len() as u64,
+                        reads: graph.spec_deps(task).len() as u64,
                         forwards: survived,
                     },
                 });
@@ -479,20 +529,49 @@ impl Simulator {
         // every earlier task have finished.
         let mut frontier_events: Vec<TraceEvent> = Vec::with_capacity(placements.len());
         let mut frontier = 0u64;
+        let mut gov = governor.map(|cfg| Governor::new(*cfg));
+        let push_gov = |events: &mut Vec<TraceEvent>, ts: u64, task: u32, decisions| {
+            for d in decisions {
+                let kind = match d {
+                    GovernorEvent::Throttle { from, to } => {
+                        TraceEventKind::GovernorThrottle { task, from, to }
+                    }
+                    GovernorEvent::Degrade { rate_permille } => TraceEventKind::GovernorDegrade {
+                        task,
+                        rate_permille,
+                    },
+                    GovernorEvent::Reprobe { window } => {
+                        TraceEventKind::GovernorReprobe { task, window }
+                    }
+                };
+                events.push(TraceEvent { ts, kind });
+            }
+        };
         for (idx, p) in placements.iter().enumerate() {
             frontier = frontier.max(p.end);
             let task = graph.task(TaskId(idx as u32));
-            if !task.spec_deps.is_empty() {
-                let violated = task.spec_deps.iter().filter(|d| d.violated).count() as u32;
+            if !graph.spec_deps(task).is_empty() {
+                let violated = graph.spec_deps(task).iter().filter(|d| d.violated).count() as u32;
+                if let Some(g) = gov.as_mut() {
+                    // The model serializes a violated speculation at the
+                    // frontier, so every conflict reaches the governor
+                    // as a frontier squash: immediate redispatch, no
+                    // backoff — but the rate/window automaton still
+                    // advances exactly as on the native side.
+                    for dep in graph.spec_deps(task).iter().filter(|d| d.violated) {
+                        let (_, evs) = g.on_conflict(idx as u32, 0, None, Some(dep.on.0), true);
+                        push_gov(&mut frontier_events, frontier, idx as u32, evs);
+                    }
+                }
                 frontier_events.push(TraceEvent {
                     ts: frontier,
                     kind: TraceEventKind::SpecDecision {
                         task: idx as u32,
                         violated,
-                        survived: task.spec_deps.len() as u32 - violated,
+                        survived: graph.spec_deps(task).len() as u32 - violated,
                     },
                 });
-                for dep in task.spec_deps.iter().filter(|d| d.violated) {
+                for dep in graph.spec_deps(task).iter().filter(|d| d.violated) {
                     frontier_events.push(TraceEvent {
                         ts: frontier,
                         kind: TraceEventKind::VersionConflict {
@@ -520,13 +599,17 @@ impl Simulator {
                     attempt: 0,
                 },
             });
+            if let Some(g) = gov.as_mut() {
+                let evs = g.on_commit(frontier);
+                push_gov(&mut frontier_events, frontier, idx as u32, evs);
+            }
         }
         let timeline = Timeline::stitch(
             TimeUnit::Cycles,
             graph.stage_count(),
             vec![exec_events, frontier_events],
         );
-        Ok((result, timeline))
+        Ok((result, timeline, gov.map(|g| g.stats())))
     }
 
     /// Simulates `graph` under `plan` with `faults` injected — the
@@ -574,7 +657,7 @@ impl Simulator {
         let mut attempts_of = vec![1u32; n];
         let mut fallback_from: Option<usize> = None;
         for (idx, task) in graph.tasks().iter().enumerate() {
-            let violated = task.spec_deps.iter().any(|d| d.violated);
+            let violated = graph.spec_deps(task).iter().any(|d| d.violated);
             let sup = supervise_task(faults, retry_budget, idx as u32, violated);
             recovery.absorb(&sup.counts);
             attempts_of[idx] = sup.attempts;
@@ -588,9 +671,9 @@ impl Simulator {
                 break;
             }
             if sup.misspec_squashed {
-                violations += task.spec_deps.iter().filter(|d| d.violated).count() as u64;
+                violations += graph.spec_deps(task).iter().filter(|d| d.violated).count() as u64;
             }
-            survived += task.spec_deps.iter().filter(|d| !d.violated).count() as u64;
+            survived += graph.spec_deps(task).iter().filter(|d| !d.violated).count() as u64;
         }
         // Second pass: rebuild the graph with fault-inflated costs (a
         // replayed task occupies its core once per attempt) and, after
@@ -608,8 +691,8 @@ impl Simulator {
                     task.stage.0,
                     task.iter,
                     task.cost * attempts_of[idx] as u64,
-                    &task.deps,
-                    &task.spec_deps,
+                    graph.deps(task),
+                    graph.spec_deps(task),
                 )
             };
             prev = Some(id);
@@ -965,6 +1048,76 @@ mod tests {
         let json = timeline.to_chrome_json(&["A".into(), "B".into(), "C".into()]);
         assert!(json.contains("\"traceEvents\""));
         assert!(json.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn governed_timeline_mirrors_the_native_governor_schema() {
+        use crate::exec::GovernorConfig;
+        // A graph with a conflict storm in the middle: tasks 40..60
+        // carry violated speculated dependences on their predecessors.
+        let mut g = TaskGraph::new(1);
+        let mut prev: Option<TaskId> = None;
+        for i in 0..200u64 {
+            let violated = (40..60).contains(&i);
+            let spec: Vec<SpecDep> = prev
+                .filter(|_| violated)
+                .map(|on| SpecDep { on, violated: true })
+                .into_iter()
+                .collect();
+            let deps: Vec<TaskId> = prev.filter(|_| !violated).into_iter().collect();
+            prev = Some(g.add_task(0, i, 10, &deps, &spec));
+        }
+        let sim = Simulator::new(SimConfig::with_cores(4));
+        let cfg = GovernorConfig {
+            reprobe_period: 8,
+            history: 8,
+            ..GovernorConfig::default()
+        };
+        let plan = ExecutionPlan::tls(4);
+        let (_, timeline, stats) = sim.run_timeline_governed(&g, &plan, &cfg).unwrap();
+        timeline
+            .validate()
+            .expect("governed twin stays well-formed");
+        // The calibration stretch plus each post-degrade stretch count
+        // as degraded commits; the storm forces at least one collapse
+        // and the quiet tail at least one re-probe.
+        assert!(stats.degraded_commits > 0, "calibration stretch counted");
+        assert!(stats.reprobes > 0, "quiet stretches re-probe");
+        assert!(stats.degrades > 0, "the storm collapses the window");
+        let kinds: Vec<_> = timeline
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    TraceEventKind::GovernorDegrade { .. }
+                        | TraceEventKind::GovernorReprobe { .. }
+                        | TraceEventKind::GovernorThrottle { .. }
+                )
+            })
+            .collect();
+        assert_eq!(
+            kinds
+                .iter()
+                .filter(|e| matches!(e.kind, TraceEventKind::GovernorReprobe { .. }))
+                .count() as u64,
+            stats.reprobes,
+            "every re-probe surfaces as a trace event"
+        );
+        // Determinism: the twin's decision stream is a pure function of
+        // the simulated schedule.
+        let (_, timeline2, stats2) = sim.run_timeline_governed(&g, &plan, &cfg).unwrap();
+        assert_eq!(stats, stats2);
+        assert_eq!(timeline.events().len(), timeline2.events().len());
+        // The ungoverned path is unchanged: no governor events at all.
+        let (_, plain) = sim.run_timeline(&g, &plan).unwrap();
+        assert!(plain.events().iter().all(|e| !matches!(
+            e.kind,
+            TraceEventKind::GovernorDegrade { .. }
+                | TraceEventKind::GovernorReprobe { .. }
+                | TraceEventKind::GovernorThrottle { .. }
+                | TraceEventKind::GovernorBackoff { .. }
+        )));
     }
 
     #[test]

@@ -39,7 +39,27 @@ pub struct SpecDep {
     pub violated: bool,
 }
 
+/// A contiguous run of entries in one of the graph's dependence arenas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+struct DepRange {
+    start: u32,
+    len: u32,
+}
+
+impl DepRange {
+    fn slice<'a, T>(&self, arena: &'a [T]) -> &'a [T] {
+        let start = self.start as usize;
+        &arena[start..start + self.len as usize]
+    }
+}
+
 /// A dynamic task: one instance of a phase for one loop iteration.
+///
+/// Dependence lists live in flat per-graph arenas (see
+/// [`TaskGraph::deps`] and [`TaskGraph::spec_deps`]) rather than in
+/// per-task `Vec`s: graphs hold three contiguous allocations no matter
+/// how many tasks they contain, which keeps a live graph from
+/// fragmenting the heap under the executor's allocation-heavy bodies.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Task {
     /// The stage (phase) this task belongs to.
@@ -48,10 +68,8 @@ pub struct Task {
     pub iter: u64,
     /// Execution cost in cycles (from native measurement).
     pub cost: u64,
-    /// Synchronized dependences: the task cannot start until these finish.
-    pub deps: Vec<TaskId>,
-    /// Speculated dependences (see [`SpecDep`]).
-    pub spec_deps: Vec<SpecDep>,
+    deps: DepRange,
+    spec_deps: DepRange,
 }
 
 /// The dynamic task graph of one parallelized loop execution.
@@ -63,6 +81,8 @@ pub struct Task {
 pub struct TaskGraph {
     stages: u8,
     tasks: Vec<Task>,
+    dep_arena: Vec<TaskId>,
+    spec_arena: Vec<SpecDep>,
 }
 
 impl TaskGraph {
@@ -76,6 +96,8 @@ impl TaskGraph {
         Self {
             stages,
             tasks: Vec::new(),
+            dep_arena: Vec::new(),
+            spec_arena: Vec::new(),
         }
     }
 
@@ -118,12 +140,22 @@ impl TaskGraph {
                 s.on
             );
         }
+        let dep_range = DepRange {
+            start: self.dep_arena.len() as u32,
+            len: deps.len() as u32,
+        };
+        self.dep_arena.extend_from_slice(deps);
+        let spec_range = DepRange {
+            start: self.spec_arena.len() as u32,
+            len: spec_deps.len() as u32,
+        };
+        self.spec_arena.extend_from_slice(spec_deps);
         self.tasks.push(Task {
             stage: StageId(stage),
             iter,
             cost,
-            deps: deps.to_vec(),
-            spec_deps: spec_deps.to_vec(),
+            deps: dep_range,
+            spec_deps: spec_range,
         });
         id
     }
@@ -135,6 +167,24 @@ impl TaskGraph {
     /// Panics if `id` is out of range.
     pub fn task(&self, id: TaskId) -> &Task {
         &self.tasks[id.0 as usize]
+    }
+
+    /// The synchronized dependences of `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` does not belong to this graph.
+    pub fn deps(&self, task: &Task) -> &[TaskId] {
+        task.deps.slice(&self.dep_arena)
+    }
+
+    /// The speculated dependences of `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` does not belong to this graph.
+    pub fn spec_deps(&self, task: &Task) -> &[SpecDep] {
+        task.spec_deps.slice(&self.spec_arena)
     }
 
     /// All tasks in `(iter, stage)` order.
@@ -162,8 +212,10 @@ impl TaskGraph {
     pub fn channels(&self) -> Vec<(StageId, StageId)> {
         let mut out = Vec::new();
         for t in &self.tasks {
-            for d in t.deps.iter().chain(t.spec_deps.iter().map(|s| &s.on)) {
-                let src = self.task(*d).stage;
+            let deps = self.deps(t).iter().copied();
+            let specs = self.spec_deps(t).iter().map(|s| s.on);
+            for d in deps.chain(specs) {
+                let src = self.task(d).stage;
                 if src != t.stage && !out.contains(&(src, t.stage)) {
                     out.push((src, t.stage));
                 }
@@ -187,6 +239,8 @@ mod tests {
         assert_eq!(g.len(), 4);
         assert_eq!(g.serial_cycles(), 20);
         assert_eq!(g.task(a1).iter, 1);
+        assert_eq!(g.deps(g.task(a1)), &[a]);
+        assert!(g.spec_deps(g.task(a1)).is_empty());
     }
 
     #[test]
@@ -241,5 +295,26 @@ mod tests {
         assert!(g.is_empty());
         assert_eq!(g.serial_cycles(), 0);
         assert!(g.channels().is_empty());
+    }
+
+    #[test]
+    fn dep_arenas_share_flat_storage() {
+        let mut g = TaskGraph::new(2);
+        let a = g.add_task(0, 0, 1, &[], &[]);
+        let b = g.add_task(1, 0, 1, &[a], &[]);
+        let c = g.add_task(
+            0,
+            1,
+            1,
+            &[a, b],
+            &[SpecDep {
+                on: b,
+                violated: true,
+            }],
+        );
+        assert_eq!(g.deps(g.task(c)), &[a, b]);
+        assert_eq!(g.spec_deps(g.task(c)).len(), 1);
+        assert!(g.spec_deps(g.task(c))[0].violated);
+        assert_eq!(g.deps(g.task(a)), &[] as &[TaskId]);
     }
 }

@@ -217,8 +217,14 @@ pub fn check_schedule(
         if !pool.contains(&p.core) {
             violations.push(ScheduleViolation::CoreOutsidePool { task: idx as u32 });
         }
-        let mut deps: Vec<u32> = task.deps.iter().map(|d| d.0).collect();
-        deps.extend(task.spec_deps.iter().filter(|s| s.violated).map(|s| s.on.0));
+        let mut deps: Vec<u32> = graph.deps(task).iter().map(|d| d.0).collect();
+        deps.extend(
+            graph
+                .spec_deps(task)
+                .iter()
+                .filter(|s| s.violated)
+                .map(|s| s.on.0),
+        );
         for d in deps {
             let dp = place(d);
             let lat = if dp.core == p.core {

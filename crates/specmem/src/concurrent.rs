@@ -94,6 +94,14 @@ impl Default for MemConfig {
 /// Sentinel for "not squashed" in a handle's atomic squashed-by slot.
 const NOT_SQUASHED: u64 = u64::MAX;
 
+/// Sentinel for "no inline version active".
+const INLINE_NONE: u64 = u64::MAX;
+
+/// Sentinel for "no recorded conflict address" in a handle's atomic
+/// squashed-at slot (addresses are stored shifted by one so `Addr(0)`
+/// stays representable).
+const NO_ADDR: u64 = 0;
+
 /// Per-version bookkeeping that must be reachable from any shard: the
 /// squashed-by mark and the attempt's operation counters.
 #[derive(Debug)]
@@ -102,6 +110,11 @@ struct Handle {
     birth_epoch: u64,
     /// `VersionId.0` of the squashing version, or [`NOT_SQUASHED`].
     squashed_by: AtomicU64,
+    /// `Addr.0 + 1` of the conflicting address, or [`NO_ADDR`]. Written
+    /// *after* the squashed-by CAS wins, so a concurrent reader can
+    /// observe the squash before the address — the address is advisory
+    /// (contention-steering hints), never a correctness input.
+    squashed_at: AtomicU64,
     reads: AtomicU64,
     forwards: AtomicU64,
     writes: AtomicU64,
@@ -113,6 +126,7 @@ impl Handle {
         Self {
             birth_epoch,
             squashed_by: AtomicU64::new(NOT_SQUASHED),
+            squashed_at: AtomicU64::new(NO_ADDR),
             reads: AtomicU64::new(0),
             forwards: AtomicU64::new(0),
             writes: AtomicU64::new(0),
@@ -127,12 +141,25 @@ impl Handle {
         }
     }
 
-    /// Marks the version squashed by `by` unless already doomed.
-    /// Returns whether this call won the race (counts the violation).
-    fn mark_squashed(&self, by: VersionId) -> bool {
-        self.squashed_by
+    fn squashed_at(&self) -> Option<Addr> {
+        match self.squashed_at.load(Ordering::Acquire) {
+            NO_ADDR => None,
+            shifted => Some(Addr(shifted - 1)),
+        }
+    }
+
+    /// Marks the version squashed by `by` over `addr` unless already
+    /// doomed. Returns whether this call won the race (counts the
+    /// violation).
+    fn mark_squashed(&self, by: VersionId, addr: Addr) -> bool {
+        let won = self
+            .squashed_by
             .compare_exchange(NOT_SQUASHED, by.0, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok()
+            .is_ok();
+        if won {
+            self.squashed_at.store(addr.0 + 1, Ordering::Release);
+        }
+        won
     }
 }
 
@@ -208,6 +235,96 @@ impl AtomicStats {
     }
 }
 
+/// State of the **inline fast path**: a non-speculative stretch in
+/// which exactly one version at a time is open and nobody else touches
+/// the memory (the executor's governor-degraded sequential issue).
+/// Writes accumulate in one flat overlay instead of per-version
+/// buffers; the overlay is published into committed state when the
+/// stretch ends. Keeping the whole stretch in one map is what makes an
+/// inline iteration cost a hash lookup instead of the full versioned
+/// protocol (registry handle, shard buffers, commit sweep).
+#[derive(Debug, Default)]
+struct InlineBuf {
+    /// Dense overlay for small addresses (`addr.0 <
+    /// INLINE_DENSE_LIMIT`): loop-carried slots are tiny indices, and an
+    /// indexed load beats a `HashMap` probe by an order of magnitude on
+    /// the per-op fast path. `dense_set[i]` marks `dense[i]` live.
+    dense: Vec<u64>,
+    dense_set: Vec<bool>,
+    /// Distinct dense addresses currently set (so emptiness and flush
+    /// skip scanning the vectors).
+    dense_dirty: usize,
+    /// Overlay spill for addresses past the dense limit, newest-wins.
+    spill: HashMap<Addr, u64>,
+    /// Writes issued by the currently open inline version (reported by
+    /// [`ConcurrentVersionedMemory::commit_inline`] for tracing).
+    version_writes: u64,
+    /// Reads/writes issued during the stretch, folded into the global
+    /// [`MemStats`] at each inline commit — batching them under the
+    /// already-held overlay lock keeps atomic traffic off the per-op
+    /// path.
+    reads: u64,
+    writes: u64,
+}
+
+/// Addresses below this go to the dense overlay vector; the rest spill
+/// to a map. 4096 slots × 8 bytes keeps the worst-case overlay at one
+/// page-scale allocation.
+const INLINE_DENSE_LIMIT: u64 = 4096;
+
+impl InlineBuf {
+    #[inline]
+    fn get(&self, addr: Addr) -> Option<u64> {
+        let i = addr.0 as usize;
+        if addr.0 < INLINE_DENSE_LIMIT {
+            if i < self.dense.len() && self.dense_set[i] {
+                Some(self.dense[i])
+            } else {
+                None
+            }
+        } else {
+            self.spill.get(&addr).copied()
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, addr: Addr, value: u64) {
+        let i = addr.0 as usize;
+        if addr.0 < INLINE_DENSE_LIMIT {
+            if i >= self.dense.len() {
+                self.dense.resize(i + 1, 0);
+                self.dense_set.resize(i + 1, false);
+            }
+            if !self.dense_set[i] {
+                self.dense_set[i] = true;
+                self.dense_dirty += 1;
+            }
+            self.dense[i] = value;
+        } else {
+            self.spill.insert(addr, value);
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.dense_dirty == 0 && self.spill.is_empty()
+    }
+
+    /// Drains every overlay entry, leaving the buffers empty but with
+    /// their capacity retained for the next stretch.
+    fn drain(&mut self) -> Vec<(Addr, u64)> {
+        let mut out = Vec::with_capacity(self.dense_dirty + self.spill.len());
+        for (i, set) in self.dense_set.iter_mut().enumerate() {
+            if *set {
+                *set = false;
+                out.push((Addr(i as u64), self.dense[i]));
+            }
+        }
+        self.dense_dirty = 0;
+        out.extend(self.spill.drain());
+        out
+    }
+}
+
 /// A per-version operation summary, read from the version's handle
 /// without touching any shard (used by the executor to trace an
 /// attempt's memory behaviour).
@@ -258,6 +375,15 @@ pub struct ConcurrentVersionedMemory {
     committed_watermark: AtomicU64,
     /// Retired buffers folded into base so far.
     reclaimed: AtomicU64,
+    /// Retired-but-unfolded buffers across all shards (a cheap gate so
+    /// quiescing skips the shard walk when nothing is pending).
+    retired_count: AtomicU64,
+    /// `VersionId.0` of the active inline version, or [`INLINE_NONE`].
+    /// Checked first (one relaxed load) by `read`/`write`.
+    inline: AtomicU64,
+    /// The inline stretch's accumulated writes. Lock order:
+    /// registry → `inline_buf` → shard.
+    inline_buf: Mutex<InlineBuf>,
     /// Commits since the last reclamation pass (only mutated under the
     /// registry write lock `try_commit` holds, so plain atomics with
     /// relaxed ordering are race-free here).
@@ -302,6 +428,9 @@ impl ConcurrentVersionedMemory {
             epoch: AtomicU64::new(0),
             committed_watermark: AtomicU64::new(0),
             reclaimed: AtomicU64::new(0),
+            retired_count: AtomicU64::new(0),
+            inline: AtomicU64::new(INLINE_NONE),
+            inline_buf: Mutex::new(InlineBuf::default()),
             commits_since_reclaim: AtomicU64::new(0),
             reclaim_cadence: config.reclaim_cadence.max(1),
             stats: AtomicStats::default(),
@@ -332,10 +461,151 @@ impl ConcurrentVersionedMemory {
             v.0 >= self.committed_watermark.load(Ordering::Acquire),
             "version {v} has already committed"
         );
+        // Self-healing for the inline fast path: the first versioned
+        // begin after an inline stretch closes it (an inline commit
+        // pre-opens the successor id, which this begin may be claiming)
+        // and publishes the stretch's overlay, so a speculative reader
+        // can never observe pre-stretch state or route its ops through
+        // the overlay. (The executor also closes eagerly via
+        // `end_inline`; this keeps correctness independent of that
+        // courtesy.)
+        self.inline.store(INLINE_NONE, Ordering::Release);
+        self.flush_inline();
         let handle = Arc::new(Handle::new(self.epoch.load(Ordering::Acquire)));
         let prev = reg.insert(v.0, handle);
         assert!(prev.is_none(), "version {v} is already active");
         self.stats.begins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Opens `v` on the **inline fast path**: no registry handle, no
+    /// per-version shard buffers — reads and writes go through one flat
+    /// overlay. Only legal when the memory is quiescent (no active
+    /// version); returns `false` without opening anything otherwise, and
+    /// the caller must fall back to [`begin`](Self::begin).
+    ///
+    /// The caller contract is the governor-degraded executor's:
+    /// between `try_begin_inline` and the matching
+    /// [`commit_inline`](Self::commit_inline), no other version may be
+    /// begun and no other thread may touch the memory. Successive
+    /// inline versions may share one stretch; the accumulated overlay
+    /// is published by [`end_inline`](Self::end_inline) (or by the next
+    /// versioned [`begin`](Self::begin), which self-heals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a version with this id has already committed, or if an
+    /// inline version is already open.
+    pub fn try_begin_inline(&self, v: VersionId) -> bool {
+        // Stretch continuation: the previous inline commit pre-opened
+        // exactly this id (and reset the per-version write counter), so
+        // consecutive inline versions cost one atomic load — no
+        // registry lock, no overlay touch. A versioned `begin` in
+        // between would have closed the stretch (`inline` back to the
+        // sentinel) and this falls through to the full open.
+        if self.inline.load(Ordering::Acquire) == v.0 {
+            self.stats.begins.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        let reg = self.registry.read();
+        if !reg.is_empty() {
+            return false;
+        }
+        assert!(
+            v.0 >= self.committed_watermark.load(Ordering::Acquire),
+            "version {v} has already committed"
+        );
+        assert_eq!(
+            self.inline.load(Ordering::Acquire),
+            INLINE_NONE,
+            "inline version already open"
+        );
+        // Quiesce: fold retired buffers into the flat base map so it is
+        // authoritative for inline reads and the eventual flush (a
+        // retired buffer would otherwise shadow flushed values).
+        if self.retired_count.load(Ordering::Acquire) > 0 {
+            self.reclaim(&reg);
+        }
+        self.inline_buf.lock().version_writes = 0;
+        self.inline.store(v.0, Ordering::Release);
+        self.stats.begins.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Commits the open inline version (it cannot have been squashed —
+    /// nothing else was live). Returns the number of writes it issued,
+    /// for tracing. The stretch's overlay stays unpublished so the next
+    /// inline version keeps reading it; see
+    /// [`end_inline`](Self::end_inline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not the open inline version.
+    pub fn commit_inline(&self, v: VersionId) -> u64 {
+        assert_eq!(
+            self.inline.load(Ordering::Acquire),
+            v.0,
+            "commit_inline of a version that is not the open inline version"
+        );
+        let writes = {
+            let mut buf = self.inline_buf.lock();
+            // Fold the stretch's batched op counters into the global
+            // stats while the lock is held anyway.
+            if buf.reads > 0 {
+                self.stats
+                    .reads
+                    .fetch_add(std::mem::take(&mut buf.reads), Ordering::Relaxed);
+            }
+            if buf.writes > 0 {
+                self.stats
+                    .writes
+                    .fetch_add(std::mem::take(&mut buf.writes), Ordering::Relaxed);
+            }
+            std::mem::take(&mut buf.version_writes)
+        };
+        // Pre-open the successor id: in a degraded stretch the executor
+        // commits consecutive frontier tasks, so the next
+        // `try_begin_inline` hits the continuation fast path. Anything
+        // else (a versioned `begin`, `end_inline`) closes the stretch
+        // first.
+        self.inline.store(v.0 + 1, Ordering::Release);
+        self.committed_watermark.store(v.0 + 1, Ordering::Release);
+        self.stats.commits.fetch_add(1, Ordering::Relaxed);
+        writes
+    }
+
+    /// Ends an inline stretch: publishes the overlay's accumulated
+    /// writes into committed state. Idempotent and cheap when no
+    /// stretch is open. The executor calls this when the governor
+    /// re-probes speculation and once at run end (so
+    /// [`committed`](Self::committed) reflects inline work); a
+    /// versioned [`begin`](Self::begin) also flushes defensively.
+    pub fn end_inline(&self) {
+        self.inline.store(INLINE_NONE, Ordering::Release);
+        self.flush_inline();
+    }
+
+    /// Publishes the inline overlay into the base map. Retired buffers
+    /// are empty whenever the overlay is non-empty (the stretch began
+    /// quiescent and nothing committed through shards since), so base
+    /// inserts cannot be shadowed.
+    fn flush_inline(&self) {
+        let mut buf = self.inline_buf.lock();
+        if buf.reads > 0 {
+            self.stats
+                .reads
+                .fetch_add(std::mem::take(&mut buf.reads), Ordering::Relaxed);
+        }
+        if buf.writes > 0 {
+            self.stats
+                .writes
+                .fetch_add(std::mem::take(&mut buf.writes), Ordering::Relaxed);
+        }
+        if buf.is_empty() {
+            return;
+        }
+        for (addr, value) in buf.drain() {
+            self.shard(addr).lock().base.insert(addr, value);
+        }
     }
 
     /// Whether `v` is currently active (begun, not yet finished).
@@ -390,6 +660,14 @@ impl ConcurrentVersionedMemory {
     ///
     /// Panics if `v` is not active.
     pub fn read(&self, v: VersionId, addr: Addr) -> u64 {
+        if self.inline.load(Ordering::Acquire) == v.0 {
+            let value = {
+                let mut buf = self.inline_buf.lock();
+                buf.reads += 1;
+                buf.get(addr)
+            };
+            return value.unwrap_or_else(|| self.committed(addr).unwrap_or(0));
+        }
         let reg = self.registry.read();
         let handle = reg
             .get(&v.0)
@@ -427,6 +705,13 @@ impl ConcurrentVersionedMemory {
     ///
     /// Panics if `v` is not active.
     pub fn write(&self, v: VersionId, addr: Addr, value: u64) -> Vec<VersionId> {
+        if self.inline.load(Ordering::Acquire) == v.0 {
+            let mut buf = self.inline_buf.lock();
+            buf.writes += 1;
+            buf.set(addr, value);
+            buf.version_writes += 1;
+            return Vec::new();
+        }
         let reg = self.registry.read();
         let handle = reg
             .get(&v.0)
@@ -473,7 +758,7 @@ impl ConcurrentVersionedMemory {
                 // alive: commit/rollback remove versions only under the
                 // registry write lock.
                 let doomed = reg.get(&w).expect("live version has a handle");
-                if doomed.mark_squashed(v) {
+                if doomed.mark_squashed(v, addr) {
                     self.stats.violations.fetch_add(1, Ordering::Relaxed);
                     squashed.push(VersionId(w));
                 }
@@ -539,6 +824,7 @@ impl ConcurrentVersionedMemory {
             if let Some(sv) = shard.live.remove(&v.0) {
                 if !sv.writes.is_empty() {
                     shard.retired.insert(v.0, (tag, sv.writes));
+                    self.retired_count.fetch_add(1, Ordering::Release);
                 }
             }
         }
@@ -576,6 +862,7 @@ impl ConcurrentVersionedMemory {
                     shard.base.insert(addr, value);
                 }
                 self.reclaimed.fetch_add(1, Ordering::Relaxed);
+                self.retired_count.fetch_sub(1, Ordering::Release);
             }
         }
     }
@@ -613,7 +900,7 @@ impl ConcurrentVersionedMemory {
                     let visible_now = shard.lookup(VersionId(w), *addr).0;
                     if observed != visible_now {
                         let doomed = reg.get(&w).expect("live version has a handle");
-                        if doomed.mark_squashed(v) {
+                        if doomed.mark_squashed(v, *addr) {
                             self.stats.violations.fetch_add(1, Ordering::Relaxed);
                             squashed.push(VersionId(w));
                         }
@@ -652,6 +939,19 @@ impl ConcurrentVersionedMemory {
             writes: h.writes.load(Ordering::Relaxed),
             silent_stores: h.silent_stores.load(Ordering::Relaxed),
         })
+    }
+
+    /// If `v` is live and doomed, reports who squashed it and — best
+    /// effort — over which address. The address is advisory: it is
+    /// stored after the squash CAS is won, so a reader racing the
+    /// squasher may see `None` even for a doomed version. Returns
+    /// `None` when `v` is unknown (already committed or rolled back)
+    /// or not squashed.
+    pub fn squash_info(&self, v: VersionId) -> Option<(VersionId, Option<Addr>)> {
+        let reg = self.registry.read();
+        let h = reg.get(&v.0)?;
+        let by = h.squashed_by()?;
+        Some((by, h.squashed_at()))
     }
 
     /// A consistent-enough snapshot of the accumulated statistics

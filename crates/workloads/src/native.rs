@@ -145,7 +145,8 @@ impl NativeJob {
             // A first attempt whose recorded dependence manifested is the
             // one speculation would have gotten wrong: produce the stale
             // value so rollback is observable.
-            let stale = ctx.speculative() && graph.task(task).spec_deps.iter().any(|d| d.violated);
+            let stale =
+                ctx.speculative() && graph.spec_deps(graph.task(task)).iter().any(|d| d.violated);
             let (bytes, work) = (self.body)(ctx.iter, stale);
             TaskOutput { bytes, work }
         };
@@ -178,7 +179,7 @@ pub type SequentialIterationBody = dyn Fn(u64) -> (Vec<u8>, u64) + Send + Sync;
 /// A workload packaged for **conflict-driven** native execution: unlike
 /// [`NativeJob`], whose squashes replay the trace's recorded dependence
 /// events, a `VersionedJob`'s loop-carried state flows through
-/// [`Addr`](seqpar_specmem::Addr)-keyed accesses to a
+/// [`Addr`]-keyed accesses to a
 /// [`ConcurrentVersionedMemory`], and squashes originate from the
 /// substrate's conflict detection at access granularity
 /// ([`NativeExecutor::run_versioned`]).

@@ -106,10 +106,13 @@ pub fn parse(tags: &[Tag], meter: &mut WorkMeter) -> bool {
     if n == 0 {
         return false;
     }
-    // chart[i][j] = bitmask of nonterminals deriving tags[i..=j].
-    let mut chart = vec![vec![0u16; n]; n];
+    // chart[i * n + j] = bitmask of nonterminals deriving tags[i..=j].
+    // One flat allocation: the real parser's custom allocator hands out
+    // chart rows from a contiguous 60 MB pool, and a vec-of-vecs here
+    // would make per-sentence cost hostage to heap fragmentation.
+    let mut chart = vec![0u16; n * n];
     for (i, &t) in tags.iter().enumerate() {
-        chart[i][i] = promote(1 << lexical(t) as u16);
+        chart[i * n + i] = promote(1 << lexical(t) as u16);
         meter.add(1);
     }
     for span in 2..=n {
@@ -117,8 +120,8 @@ pub fn parse(tags: &[Tag], meter: &mut WorkMeter) -> bool {
             let j = i + span - 1;
             let mut mask = 0u16;
             for k in i..j {
-                let left = chart[i][k];
-                let right = chart[k + 1][j];
+                let left = chart[i * n + k];
+                let right = chart[(k + 1) * n + j];
                 if left == 0 || right == 0 {
                     meter.add(1);
                     continue;
@@ -130,11 +133,11 @@ pub fn parse(tags: &[Tag], meter: &mut WorkMeter) -> bool {
                     }
                 }
             }
-            chart[i][j] = promote(mask);
+            chart[i * n + j] = promote(mask);
         }
     }
     const { assert!(NT_COUNT <= 16, "bitmask chart needs <= 16 nonterminals") };
-    chart[0][n - 1] & (1 << Nt::S as u16) != 0
+    chart[n - 1] & (1 << Nt::S as u16) != 0
 }
 
 /// A batch item: a sentence to parse or a parser command.

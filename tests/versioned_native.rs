@@ -15,7 +15,8 @@
 //!   present on both sides.
 
 use seqpar_runtime::{
-    ExecConfig, ExecutionPlan, FaultPlan, SimConfig, Simulator, SquashReason, TraceEventKind,
+    ExecConfig, ExecutionPlan, FaultPlan, GovernorConfig, SimConfig, Simulator, SquashReason,
+    TraceEventKind,
 };
 use seqpar_specmem::Addr;
 use seqpar_workloads::{all_workloads, workload_by_name, InputSize, VersionedJob};
@@ -181,6 +182,77 @@ fn sim_and_native_timelines_agree_on_commit_order() {
                     .any(|e| matches!(e.kind, TraceEventKind::VersionOpen { .. })),
                 "{id}: {side} timeline carries VersionOpen events"
             );
+        }
+    }
+}
+
+/// (g) The speculation governor changes scheduling, never results: with
+/// the governor on (default knobs), every workload at every thread
+/// count still commits the byte-exact sequential stream, the
+/// `committed == attempts - squashes` invariant holds across early
+/// squashes / backoff replays / degraded inline commits, and the report
+/// carries governor stats; with it off the report carries none.
+#[test]
+fn governed_runs_stay_byte_identical_across_the_matrix() {
+    for (id, job) in versioned_jobs() {
+        let seq = job.sequential();
+        for &t in THREADS {
+            for governed in [false, true] {
+                let mut config = ExecConfig::default();
+                if governed {
+                    config = config.with_governor(GovernorConfig::default());
+                }
+                let (r, _mem) = job
+                    .execute(&ExecutionPlan::tls(t), config)
+                    .expect("plan matches graph");
+                assert_eq!(
+                    r.output, seq.output,
+                    "{id}: governed={governed} output diverged at {t} threads"
+                );
+                assert_eq!(
+                    r.tasks_committed,
+                    r.attempts - r.squashes,
+                    "{id}: governed={governed} attempt accounting broke at {t} threads"
+                );
+                assert_eq!(
+                    r.governor.is_some(),
+                    governed,
+                    "{id}: governor stats present iff the governor ran"
+                );
+                if let Some(g) = r.governor {
+                    assert!(g.final_window >= 1, "{id}: window collapsed below 1");
+                    assert!(g.min_window >= 1, "{id}: window dipped below 1");
+                }
+            }
+        }
+    }
+}
+
+/// (h) Governor + chaos compose: injected faults spend the retry
+/// budget, memory conflicts ride the governor's backoff, and the
+/// committed stream stays byte-identical with well-formed traces.
+#[test]
+fn governed_chaos_runs_stay_byte_identical() {
+    for (id, job) in versioned_jobs() {
+        let seq = job.sequential();
+        for seed in [7u64, 42] {
+            let config = ExecConfig::default()
+                .with_faults(FaultPlan::seeded(seed))
+                .with_retry_budget(4)
+                .with_tracing(true)
+                .with_governor(GovernorConfig::default());
+            let (r, _mem) = job
+                .execute(&ExecutionPlan::tls(8), config)
+                .expect("recoverable faults never abort the run");
+            assert_eq!(
+                r.output, seq.output,
+                "{id}: governed chaos seed {seed} diverged from sequential"
+            );
+            r.timeline
+                .as_ref()
+                .expect("tracing was on")
+                .validate()
+                .expect("governed chaos traces are well-formed");
         }
     }
 }
